@@ -1,0 +1,38 @@
+# Placeless — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (Table 1 + E1–E9 + micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Human-readable experiment tables (what EXPERIMENTS.md records).
+experiments:
+	$(GO) run ./cmd/plbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/collaboration
+	$(GO) run ./examples/webproxy
+	$(GO) run ./examples/qoscache
+	$(GO) run ./examples/officeday
+	$(GO) run ./examples/remotecache
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,92 @@
+// Command placelessd runs a Placeless Documents server: a document
+// space exposed over TCP, backed by a directory on the local file
+// system (or an in-memory store), with the standard active-property
+// library available for remote attachment.
+//
+// Usage:
+//
+//	placelessd [-addr :7999] [-root DIR] [-mem]
+//
+// With -root, documents created through the server are stored as
+// files under DIR, and out-of-band edits to those files are caught by
+// mtime verifiers exactly as the paper describes for file-system
+// repositories. With -mem, an in-memory repository is used instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/repo"
+	"placeless/internal/server"
+	"placeless/internal/simnet"
+)
+
+func main() {
+	addr := flag.String("addr", ":7999", "TCP listen address")
+	root := flag.String("root", "", "directory backing document content (default: in-memory)")
+	mem := flag.Bool("mem", false, "force the in-memory repository even if -root is set")
+	journalPath := flag.String("journal", "", "configuration journal file; replayed at startup, appended while running")
+	flag.Parse()
+
+	clk := clock.Real{}
+	fast := simnet.NewPath("local", 1) // real deployments: no simulated latency
+
+	var backing repo.Repository
+	switch {
+	case *root != "" && !*mem:
+		if err := os.MkdirAll(*root, 0o755); err != nil {
+			log.Fatalf("placelessd: create root: %v", err)
+		}
+		fsRepo, err := repo.NewFS("fs", clk, fast, *root)
+		if err != nil {
+			log.Fatalf("placelessd: open root: %v", err)
+		}
+		backing = fsRepo
+	default:
+		backing = repo.NewMem("mem", clk, fast)
+	}
+
+	archive := repo.NewDMS("dms", clk, simnet.NewPath("local", 2))
+	space := docspace.New(clk, archive)
+	srv := server.New(space, backing)
+
+	// Durable configuration: replay a prior journal, then append new
+	// configuration operations to it. Combined with -root, a restart
+	// loses nothing: content lives in the file system, the property
+	// graph in the journal.
+	if *journalPath != "" {
+		applied, err := srv.ReplayJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("placelessd: journal replay: %v", err)
+		}
+		j, err := server.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("placelessd: journal: %v", err)
+		}
+		defer j.Close()
+		srv.SetJournal(j)
+		fmt.Printf("placelessd: replayed %d configuration entries from %s\n", applied, *journalPath)
+	}
+
+	// Graceful shutdown on interrupt: close the listener and detach
+	// every remote notifier before exiting.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "placelessd: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("placelessd: serving document space on %s (backing: %s)\n", *addr, backing.Name())
+	fmt.Printf("placelessd: standard properties: %v\n", server.KnownPropertySpecs())
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("placelessd: %v", err)
+	}
+}

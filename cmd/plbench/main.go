@@ -1,0 +1,179 @@
+// Command plbench regenerates the paper's evaluation and this
+// repository's extension experiments (see DESIGN.md §4 for the
+// experiment index).
+//
+// Usage:
+//
+//	plbench [-seed N] [-iters N] [-format table|csv] <experiment>
+//
+// Experiments:
+//
+//	table1             Table 1: access times, no-cache / miss / hit (T1)
+//	notifier-verifier  notifier vs verifier consistency tradeoff (E1)
+//	nv-sweep           E1 across update rates (figure-style series)
+//	replacement        replacement policy ablation, GDS vs baselines (E2)
+//	sharing            content-signature storage sharing (E3)
+//	cacheability       cacheability indicator mix (E4)
+//	chains             property-chain length vs latency (E5)
+//	qos                QoS-driven replacement-cost inflation (E6)
+//	collection         related-document (collection) prefetching (E8)
+//	cost-ablation      property-cost signal ablation for GDS (E9)
+//	placement          app-side vs server-side cache placement (E10)
+//	all                run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"placeless/internal/experiment"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	iters := flag.Int("iters", 5, "iterations per Table 1 cell")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|all>")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiment(s), writing results to w in the
+// chosen format.
+func run(w *os.File, which string, seed int64, iters int, format string) error {
+	all := which == "all"
+	ran := false
+
+	emit := func(title string, res experiment.Result) {
+		fmt.Fprintln(w, title)
+		if format == "csv" {
+			fmt.Fprintln(w, res.CSV())
+		} else {
+			fmt.Fprintln(w, res.Table())
+		}
+	}
+
+	if all || which == "table1" {
+		ran = true
+		res, err := experiment.RunTable1(seed, iters)
+		if err != nil {
+			return err
+		}
+		emit("T1 — Table 1: document content access times (application-level cache)", res)
+	}
+	if all || which == "notifier-verifier" {
+		ran = true
+		cfg := experiment.DefaultNVConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunNotifierVerifier(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E1 — notifier vs verifier (docs=%d reads=%d update every %d, %.0f%% out-of-band)",
+			cfg.Docs, cfg.Reads, cfg.UpdateEvery, cfg.OutsideFrac*100), res)
+	}
+	if all || which == "nv-sweep" {
+		ran = true
+		cfg := experiment.DefaultNVConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunNotifierVerifierSweep(cfg, experiment.DefaultNVSweepRates())
+		if err != nil {
+			return err
+		}
+		emit("E1b — notifier vs verifier across update rates (updates per read)", res)
+	}
+	if all || which == "replacement" {
+		ran = true
+		cfg := experiment.DefaultReplacementConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunReplacement(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E2 — replacement policies (docs=%d reads=%d zipf=%.2f capacity=%.0f%%)",
+			cfg.Docs, cfg.Reads, cfg.Alpha, cfg.CapacityFrac*100), res)
+	}
+	if all || which == "sharing" {
+		ran = true
+		cfg := experiment.DefaultSharingConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunSharing(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E3 — signature sharing (docs=%d users=%d)", cfg.Docs, cfg.Users), res)
+	}
+	if all || which == "cacheability" {
+		ran = true
+		cfg := experiment.DefaultCacheabilityConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunCacheability(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E4 — cacheability mix (docs=%d reads=%d)", cfg.Docs, cfg.Reads), res)
+	}
+	if all || which == "chains" {
+		ran = true
+		cfg := experiment.DefaultChainsConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunChains(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E5 — property chains (cost/property=%v doc=%dB)", cfg.PropCost, cfg.DocSize), res)
+	}
+	if all || which == "qos" {
+		ran = true
+		cfg := experiment.DefaultQoSConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunQoS(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E6 — QoS cost inflation (background docs=%d reads=%d factor=%.0fx)",
+			cfg.BackgroundDocs, cfg.Reads, cfg.CostFactor), res)
+	}
+	if all || which == "collection" {
+		ran = true
+		cfg := experiment.DefaultCollectionConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunCollection(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E8 — collection prefetching (members=%d size=%dB, WAN-hosted)", cfg.Members, cfg.DocSize), res)
+	}
+	if all || which == "cost-ablation" {
+		ran = true
+		cfg := experiment.DefaultReplacementConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunCostAblation(cfg)
+		if err != nil {
+			return err
+		}
+		emit("E9 — replacement-cost signal ablation (GDS, same workload as E2)", res)
+	}
+	if all || which == "placement" {
+		ran = true
+		cfg := experiment.DefaultPlacementConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunPlacement(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E10 — cache placement (docs=%d reads=%d link=%v app-capacity=%.0f%%)",
+			cfg.Docs, cfg.Reads, cfg.LinkCost, cfg.AppCapacityFrac*100), res)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// sink returns a throwaway file for run output.
+func sink(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "plbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run(sink(t), "nonsense", 1, 1, "table")
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	// Smoke-run every experiment with tiny iteration counts; the
+	// shape assertions live in internal/experiment's tests.
+	for _, which := range []string{
+		"table1", "sharing", "cacheability", "chains", "collection",
+	} {
+		if err := run(sink(t), which, 1, 1, "table"); err != nil {
+			t.Fatalf("run(%s): %v", which, err)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	f := sink(t)
+	if err := run(f, "table1", 1, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	f.Seek(0, 0)
+	buf := make([]byte, 4096)
+	n, _ := f.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "Original Source,size (bytes)") {
+		t.Fatalf("csv output missing header: %q", out)
+	}
+	if !strings.Contains(out, `www.gatech.edu,"10,883"`) {
+		t.Fatalf("csv quoting wrong: %q", out)
+	}
+}
+
+func TestRunHeavyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiments skipped in -short mode")
+	}
+	for _, which := range []string{"notifier-verifier", "replacement", "qos"} {
+		if err := run(sink(t), which, 1, 1, "table"); err != nil {
+			t.Fatalf("run(%s): %v", which, err)
+		}
+	}
+}

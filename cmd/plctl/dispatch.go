@@ -1,0 +1,157 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"placeless/internal/server"
+)
+
+// errUsage signals a malformed command line.
+var errUsage = errors.New("usage")
+
+// dispatch executes one plctl command (everything except the blocking
+// `watch`) against a connected client, reading document content from
+// stdin when no file argument is given and writing results to stdout.
+func dispatch(c *server.Client, cmd string, rest []string, stdin io.Reader, stdout io.Writer) error {
+	content := func(idx int) ([]byte, error) {
+		if len(rest) > idx {
+			return os.ReadFile(rest[idx])
+		}
+		return io.ReadAll(stdin)
+	}
+
+	switch cmd {
+	case "create":
+		if len(rest) < 2 {
+			return errUsage
+		}
+		data, err := content(2)
+		if err != nil {
+			return err
+		}
+		return c.CreateDocument(rest[0], rest[1], data)
+
+	case "read":
+		if len(rest) != 2 {
+			return errUsage
+		}
+		data, meta, err := c.Read(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n[cacheability=%v cost=%v]\n", meta.Cacheability, meta.Cost)
+		return nil
+
+	case "write":
+		if len(rest) < 2 {
+			return errUsage
+		}
+		data, err := content(2)
+		if err != nil {
+			return err
+		}
+		return c.Write(rest[0], rest[1], data)
+
+	case "addref":
+		if len(rest) != 2 {
+			return errUsage
+		}
+		return c.AddReference(rest[0], rest[1])
+
+	case "attach":
+		if len(rest) != 3 {
+			return errUsage
+		}
+		user, personal := level(rest[1])
+		return c.Attach(rest[0], user, personal, rest[2])
+
+	case "detach":
+		if len(rest) != 3 {
+			return errUsage
+		}
+		user, personal := level(rest[1])
+		return c.Detach(rest[0], user, personal, rest[2])
+
+	case "static":
+		if len(rest) < 3 {
+			return errUsage
+		}
+		user, personal := level(rest[1])
+		value := ""
+		if len(rest) > 3 {
+			value = rest[3]
+		}
+		return c.AttachStatic(rest[0], user, personal, rest[2], value)
+
+	case "actives":
+		if len(rest) != 2 {
+			return errUsage
+		}
+		user, personal := level(rest[1])
+		names, err := c.ListActives(rest[0], user, personal)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+
+	case "describe":
+		if len(rest) != 1 {
+			return errUsage
+		}
+		text, err := c.Describe(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, text)
+		return nil
+
+	case "find":
+		if len(rest) < 2 {
+			return errUsage
+		}
+		value := ""
+		if len(rest) > 2 {
+			value = rest[2]
+		}
+		matches, err := c.Find(rest[0], rest[1], value)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if m.Value != "" {
+				fmt.Fprintf(stdout, "%s\t%s = %s\t(%s)\n", m.Doc, rest[1], m.Value, m.Level)
+			} else {
+				fmt.Fprintf(stdout, "%s\t%s\t(%s)\n", m.Doc, rest[1], m.Level)
+			}
+		}
+		return nil
+
+	case "stats":
+		stats, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(stdout, "%-15s %d\n", k, stats[k])
+		}
+		return nil
+
+	default:
+		return errUsage
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/repo"
+	"placeless/internal/server"
+	"placeless/internal/simnet"
+)
+
+// testClient boots an in-process server and connects a client.
+func testClient(t *testing.T) *server.Client {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	space := docspace.New(clk, nil)
+	srv := server.New(space, repo.NewMem("srv", clk, simnet.NewPath("loop", 1)))
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		<-done
+	})
+	return c
+}
+
+// run executes a dispatch command with stdin content, returning stdout.
+func run(t *testing.T, c *server.Client, stdin string, cmd string, rest ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := dispatch(c, cmd, rest, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("dispatch(%s %v): %v", cmd, rest, err)
+	}
+	return out.String()
+}
+
+func TestDispatchCreateReadWrite(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "teh draft", "create", "notes", "alice")
+	out := run(t, c, "", "read", "notes", "alice")
+	if !strings.HasPrefix(out, "teh draft") || !strings.Contains(out, "cacheability=") {
+		t.Fatalf("read output %q", out)
+	}
+	run(t, c, "v2 content", "write", "notes", "alice")
+	out = run(t, c, "", "read", "notes", "alice")
+	if !strings.HasPrefix(out, "v2 content") {
+		t.Fatalf("after write: %q", out)
+	}
+}
+
+func TestDispatchContentFromFile(t *testing.T) {
+	c := testClient(t)
+	path := filepath.Join(t.TempDir(), "draft.txt")
+	os.WriteFile(path, []byte("file content"), 0o644)
+	run(t, c, "", "create", "doc", "alice", path)
+	out := run(t, c, "", "read", "doc", "alice")
+	if !strings.HasPrefix(out, "file content") {
+		t.Fatalf("out = %q", out)
+	}
+	var buf bytes.Buffer
+	if err := dispatch(c, "create", []string{"doc2", "alice", "/no/such/file"}, nil, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDispatchPropertyLifecycle(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "teh memo", "create", "memo", "alice")
+	run(t, c, "", "attach", "memo", "alice", "spell-correct")
+	out := run(t, c, "", "read", "memo", "alice")
+	if !strings.HasPrefix(out, "the memo") {
+		t.Fatalf("spell correction missing: %q", out)
+	}
+	if got := run(t, c, "", "actives", "memo", "alice"); !strings.Contains(got, "spell-correct") {
+		t.Fatalf("actives = %q", got)
+	}
+	run(t, c, "", "detach", "memo", "alice", "spell-correct")
+	if got := run(t, c, "", "actives", "memo", "alice"); strings.TrimSpace(got) != "" {
+		t.Fatalf("actives after detach = %q", got)
+	}
+}
+
+func TestDispatchAddrefAndUniversal(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "shout", "create", "d", "alice")
+	run(t, c, "", "addref", "d", "bob")
+	run(t, c, "", "attach", "d", "-", "uppercase") // universal
+	out := run(t, c, "", "read", "d", "bob")
+	if !strings.HasPrefix(out, "SHOUT") {
+		t.Fatalf("bob reads %q", out)
+	}
+	run(t, c, "", "static", "d", "-", "workshop", "1999")
+}
+
+func TestDispatchDescribe(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "x", "create", "d", "alice")
+	run(t, c, "", "attach", "d", "alice", "spell-correct")
+	run(t, c, "", "static", "d", "-", "status", "draft")
+	out := run(t, c, "", "describe", "d")
+	for _, want := range []string{"document d", "owner alice", "spell-correct", "status = draft"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe output missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := dispatch(c, "describe", []string{"ghost"}, strings.NewReader(""), &buf); err == nil {
+		t.Fatal("describe of missing doc succeeded")
+	}
+}
+
+func TestDispatchFind(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "1", "create", "b1", "alice")
+	run(t, c, "2", "create", "b2", "alice")
+	run(t, c, "3", "create", "other", "alice")
+	run(t, c, "", "static", "b1", "-", "budget related")
+	run(t, c, "", "static", "b2", "-", "budget related")
+	run(t, c, "", "static", "other", "-", "status", "draft")
+
+	out := run(t, c, "", "find", "alice", "budget related")
+	if !strings.Contains(out, "b1") || !strings.Contains(out, "b2") || strings.Contains(out, "other") {
+		t.Fatalf("find output:\n%s", out)
+	}
+	out = run(t, c, "", "find", "alice", "status", "draft")
+	if !strings.Contains(out, "other") || !strings.Contains(out, "status = draft") {
+		t.Fatalf("value-filtered find:\n%s", out)
+	}
+	if out := run(t, c, "", "find", "nobody", "budget related"); strings.TrimSpace(out) != "" {
+		t.Fatalf("stranger sees %q", out)
+	}
+}
+
+func TestDispatchStats(t *testing.T) {
+	c := testClient(t)
+	run(t, c, "x", "create", "d", "u")
+	out := run(t, c, "", "stats")
+	if !strings.Contains(out, "requests") || !strings.Contains(out, "connections") {
+		t.Fatalf("stats = %q", out)
+	}
+}
+
+func TestDispatchUsageErrors(t *testing.T) {
+	c := testClient(t)
+	bad := [][]string{
+		{"create"}, {"read", "d"}, {"write"}, {"addref", "d"},
+		{"attach", "d", "u"}, {"detach", "d"}, {"static", "d", "u"},
+		{"actives", "d"}, {"no-such-command"},
+	}
+	for _, args := range bad {
+		var out bytes.Buffer
+		err := dispatch(c, args[0], args[1:], strings.NewReader(""), &out)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("dispatch(%v) err = %v, want usage", args, err)
+		}
+	}
+}
+
+func TestDispatchServerErrorsPropagate(t *testing.T) {
+	c := testClient(t)
+	var out bytes.Buffer
+	err := dispatch(c, "read", []string{"ghost", "u"}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "no such document") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Collaboration: the paper's running example (Figures 1 and 2).
+//
+// Eyal owns the HotOS paper draft at /tilde/edelara/hotos.doc. The
+// base document carries a universal versioning property; Eyal attaches
+// a personal spelling corrector and a timer-driven replication
+// property that keeps a copy at Rice; Paul labels his reference
+// "1999 workshop submission"; Doug notes "read by 11/30". The demo
+// walks the read/write paths, the per-user views, version archiving,
+// end-of-day replication, and the cache invalidation that fires when
+// Doug updates the draft.
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/nfs"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+func main() {
+	clk := clock.NewVirtual(time.Date(1998, 11, 20, 9, 0, 0, 0, time.UTC))
+
+	// Repositories: PARC's file server (via NFS), the archive DMS,
+	// and Eyal's machine at Rice across the Internet.
+	parcFS := repo.NewMem("parc-nfs", clk, simnet.Local(1))
+	archive := repo.NewDMS("parc-dms", clk, simnet.Local(2))
+	riceFS := repo.NewMem("rice-fs", clk, simnet.WAN(3))
+
+	space := docspace.New(clk, archive)
+	space.SetAccessOverhead(2 * time.Millisecond)
+
+	// The base document: Eyal created the draft, so he owns it; the
+	// bit-provider is the NFS client for /tilde/edelara/hotos.doc.
+	parcFS.Store("/tilde/edelara/hotos.doc", []byte(
+		"Caching Documents with Active Properties\n"+
+			"Abstract: caching in teh Placeless Documents system poses new challenges...\n"))
+	if _, err := space.CreateDocument("hotos.doc", "eyal", &property.RepoBitProvider{
+		Repo: parcFS, Path: "/tilde/edelara/hotos.doc",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Universal property on the base: version on every write.
+	versioning := property.NewVersioning()
+	must(space.Attach("hotos.doc", "", docspace.Universal, versioning))
+
+	// References for the co-authors.
+	must2(space.AddReference("hotos.doc", "paul"))
+	must2(space.AddReference("hotos.doc", "doug"))
+
+	// Personal properties (Figure 1).
+	must(space.Attach("hotos.doc", "eyal", docspace.Personal, property.NewSpellCorrector(2*time.Millisecond)))
+	must(space.Attach("hotos.doc", "eyal", docspace.Personal,
+		property.NewReplicator(riceFS, "/home/edelara/hotos.doc", 24*time.Hour)))
+	must(space.AttachStatic("hotos.doc", "paul", docspace.Personal,
+		property.Static{Key: "1999 workshop submission"}))
+	must(space.AttachStatic("hotos.doc", "doug", docspace.Personal,
+		property.Static{Key: "read by", Value: "11/30"}))
+
+	// The application-level cache, and per-user NFS mounts so
+	// off-the-shelf tools see plain files (Figure 2's MS-Word path).
+	cache := core.New(space, core.Options{Name: "appcache", HitCost: 200 * time.Microsecond})
+	eyalFS := nfs.MountCached(cache, space, "eyal")
+	dougFS := nfs.MountCached(cache, space, "doug")
+
+	fmt.Println("== per-user views ==")
+	eyalView, _ := eyalFS.ReadFile("hotos.doc")
+	dougView, _ := dougFS.ReadFile("hotos.doc")
+	fmt.Printf("eyal (spell-corrected):\n%s\n", eyalView)
+	fmt.Printf("doug (original):\n%s\n", dougView)
+
+	fmt.Println("== eyal saves from his editor (write path) ==")
+	f, err := eyalFS.Create("hotos.doc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(f, "Caching Documents with Active Properties\n")
+	fmt.Fprint(f, "Abstract: active properties can modify teh content a user sees...\n")
+	fmt.Fprint(f, "1. Introduction\n")
+	must(f.Close())
+
+	// The write ran through Eyal's spelling corrector before hitting
+	// the repository, and the versioning property archived the old
+	// draft.
+	stored, _ := parcFS.Fetch("/tilde/edelara/hotos.doc")
+	fmt.Printf("stored at PARC (corrected on the way down):\n%s\n", stored.Data)
+	fmt.Printf("versions archived: %d\n", versioning.SavedVersions())
+	statics, _ := space.Statics("hotos.doc", "", docspace.Universal)
+	for _, st := range statics {
+		fmt.Printf("  base static property: %s -> %s\n", st.Key, st.Value)
+	}
+
+	fmt.Println("\n== end of day: the replication property fires ==")
+	clk.Advance(24 * time.Hour)
+	replica, err := riceFS.Fetch("/home/edelara/hotos.doc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica at Rice (%d bytes): ok\n", len(replica.Data))
+
+	fmt.Println("\n== doug updates the paper; the cache notifier invalidates eyal's copy ==")
+	eyalFS.ReadFile("hotos.doc") // warm eyal's cache entry
+	before := cache.Stats()
+	must(dougFS.WriteFile("hotos.doc", []byte("Doug's revision: tightened teh abstract.\n")))
+	after := cache.Stats()
+	fmt.Printf("invalidations pushed by notifiers: %d\n", after.Invalidations-before.Invalidations)
+	eyalView, _ = eyalFS.ReadFile("hotos.doc")
+	fmt.Printf("eyal now sees (fresh + corrected):\n%s\n", eyalView)
+	fmt.Printf("versions archived so far: %d\n", versioning.SavedVersions())
+
+	st := cache.Stats()
+	fmt.Printf("cache: hits=%d misses=%d notifications=%d\n", st.Hits, st.Misses, st.Notifications)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must2[T any](v T, err error) T {
+	must(err)
+	return v
+}

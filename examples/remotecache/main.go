@@ -1,0 +1,99 @@
+// Remotecache: the paper's full deployment in one process — a
+// Placeless server fronting the repositories, and two "application
+// machines", each with its own connection and local cache. Doug's
+// write on one machine invalidates Eyal's cached copy on the other via
+// the server's notifier push; a TTL-limited web page expires on
+// schedule in the remote cache even though verifier code never crosses
+// the wire.
+//
+// Run with: go run ./examples/remotecache
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"placeless"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/server"
+	"placeless/internal/simnet"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	// Server side: virtual clock, repositories, document space.
+	clk := placeless.NewVirtualClock(time.Date(1999, 3, 28, 9, 0, 0, 0, time.UTC))
+	disk := repo.NewMem("serverdisk", clk, simnet.Local(1))
+	web := repo.NewWeb("news", clk, simnet.LAN(2), 30*time.Second, true)
+	space := docspace.New(clk, nil)
+	srv := server.New(space, disk)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+	fmt.Printf("placeless server listening on %s\n\n", addr)
+
+	// Two application machines.
+	dial := func(name string) (*server.Client, *placeless.RemoteCache) {
+		c, err := server.Dial(addr)
+		must(err)
+		cache := placeless.NewRemoteCache(c, placeless.RemoteCacheOptions{Clock: clk})
+		fmt.Printf("machine %s connected with a local cache\n", name)
+		return c, cache
+	}
+	eyalClient, eyalCache := dial("eyal-laptop")
+	_, dougCache := dial("doug-desktop")
+
+	// Eyal creates the draft and personalizes it.
+	must(eyalClient.CreateDocument("hotos", "eyal", []byte("teh draft, v1")))
+	must(eyalClient.AddReference("hotos", "doug"))
+	must(eyalClient.Attach("hotos", "eyal", true, "spell-correct"))
+
+	fmt.Println("\n== both machines read their views ==")
+	eyalView, _ := eyalCache.Read("hotos", "eyal")
+	dougView, _ := dougCache.Read("hotos", "doug")
+	fmt.Printf("eyal sees: %s\n", eyalView)
+	fmt.Printf("doug sees: %s\n", dougView)
+
+	fmt.Println("\n== doug edits on his machine; the push invalidates eyal's cache ==")
+	must(dougCache.Write("hotos", "doug", []byte("teh draft, v2 by doug")))
+	// The invalidation is pushed asynchronously over eyal's
+	// connection; wait for it.
+	for i := 0; i < 1000 && eyalCache.Contains("hotos", "eyal"); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	fresh, _ := eyalCache.Read("hotos", "eyal")
+	fmt.Printf("eyal now sees (fresh, corrected): %s\n", fresh)
+	st := eyalCache.Stats()
+	fmt.Printf("eyal's cache: hits=%d misses=%d pushed-invalidations=%d\n",
+		st.Hits, st.Misses, st.Invalidations)
+
+	fmt.Println("\n== a TTL-limited web page in the remote cache ==")
+	web.SetPage("/front", []byte("news: HotOS VII program posted"))
+	if _, err := space.CreateDocument("front", "eyal", &property.RepoBitProvider{Repo: web, Path: "/front"}); err != nil {
+		log.Fatal(err)
+	}
+	page, _ := eyalCache.Read("front", "eyal")
+	fmt.Printf("first read:  %s\n", page)
+	web.SetPage("/front", []byte("news: workshop sold out"))
+	page, _ = eyalCache.Read("front", "eyal")
+	fmt.Printf("within TTL:  %s   (stale, allowed by web semantics)\n", page)
+	clk.Advance(31 * time.Second)
+	page, _ = eyalCache.Read("front", "eyal")
+	fmt.Printf("after TTL:   %s\n", page)
+	fmt.Printf("ttl expiries observed by the cache: %d\n", eyalCache.Stats().TTLExpiries)
+}

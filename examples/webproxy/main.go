@@ -1,0 +1,124 @@
+// Webproxy: per-user personalized web caching.
+//
+// Documents originate from web servers at different network distances
+// (campus vs cross-country) with HTTP-style TTL consistency. Users
+// personalize their views — translation, summarization, a live
+// portfolio page fed by an external stock quote — and the cache copes
+// with TTL expiry, per-user versions, signature sharing, and
+// threshold-based invalidation of the volatile page.
+//
+// Run with: go run ./examples/webproxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+func main() {
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 9, 0, 0, 0, time.UTC))
+
+	campus := repo.NewWeb("parcweb", clk, simnet.LAN(1), 30*time.Second, true)
+	faraway := repo.NewWeb("gatech", clk, simnet.WAN(2), 30*time.Second, true)
+
+	space := docspace.New(clk, nil)
+	space.SetAccessOverhead(2 * time.Millisecond)
+	cache := core.New(space, core.Options{Name: "proxy", HitCost: 200 * time.Microsecond})
+
+	// Two pages, one nearby, one across the country.
+	campus.SetPage("/index.html", []byte("welcome to the parc web server\nthe paper archive is here\n"))
+	faraway.SetPage("/research.html", []byte("the systems group studies caching and document systems\n"))
+	must2(space.CreateDocument("parc-home", "proxyadmin", &property.RepoBitProvider{Repo: campus, Path: "/index.html"}))
+	must2(space.CreateDocument("gt-research", "proxyadmin", &property.RepoBitProvider{Repo: faraway, Path: "/research.html"}))
+
+	// Users with different personalizations of the same page.
+	for _, user := range []string{"marie", "sam"} {
+		must2(space.AddReference("parc-home", user))
+		must2(space.AddReference("gt-research", user))
+	}
+	// Marie reads French; Sam wants summaries.
+	must(space.Attach("parc-home", "marie", docspace.Personal, property.NewTranslator(3*time.Millisecond)))
+	must(space.Attach("parc-home", "sam", docspace.Personal, property.NewSummarizer(1, time.Millisecond)))
+
+	read := func(doc, user string) time.Duration {
+		start := clk.Now()
+		data, err := cache.Read(doc, user)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := clk.Now().Sub(start)
+		fmt.Printf("  %-5s %-12s %8v  %q\n", user, doc, d, firstLine(data))
+		return d
+	}
+
+	fmt.Println("== cold reads (misses; far page pays the WAN) ==")
+	read("parc-home", "marie")
+	read("parc-home", "sam")
+	read("gt-research", "marie")
+	read("gt-research", "sam")
+
+	fmt.Println("\n== warm reads (hits; TTL verifiers are local, so sub-millisecond) ==")
+	read("parc-home", "marie")
+	read("gt-research", "sam")
+
+	st := cache.Stats()
+	fmt.Printf("\nsignature sharing: gt-research is untransformed for both users -> "+
+		"stored=%d bytes for logical=%d bytes (shared entries: %d)\n",
+		st.BytesStored, st.BytesLogical, st.SharedEntries)
+
+	fmt.Println("\n== the far page changes at its origin; within TTL the proxy serves the cached copy ==")
+	faraway.SetPage("/research.html", []byte("UPDATED: new projects posted\n"))
+	read("gt-research", "marie")
+	fmt.Println("   (still the old copy — the web's TTL consistency tolerates this)")
+	clk.Advance(31 * time.Second)
+	fmt.Println("-- 31 simulated seconds later, the TTL verifier expires the entry --")
+	read("gt-research", "marie")
+
+	fmt.Println("\n== a portfolio page with threshold invalidation ==")
+	quote := property.NewExternalVar("XRX", 55.00)
+	campus.SetPage("/portfolio.html", []byte("your holdings: 100 shares of Xerox\n"))
+	must2(space.CreateDocument("portfolio", "marie", &property.RepoBitProvider{Repo: campus, Path: "/portfolio.html"}))
+	ext := property.NewExternalInfo(quote, property.ByThreshold, time.Millisecond)
+	ext.Tolerance = 1.0 // ignore moves under a dollar
+	must(space.Attach("portfolio", "marie", docspace.Personal, ext))
+
+	read("portfolio", "marie")
+	quote.Set(55.40) // insignificant
+	fmt.Println("   quote moves 55.00 -> 55.40 (within tolerance):")
+	read("portfolio", "marie")
+	quote.Set(58.75) // significant
+	fmt.Println("   quote jumps to 58.75 (beyond tolerance):")
+	read("portfolio", "marie")
+
+	final := cache.Stats()
+	fmt.Printf("\nproxy stats: hits=%d misses=%d verifier-rejects=%d hit-ratio=%.0f%%\n",
+		final.Hits, final.Misses, final.VerifierRejects, final.HitRatio()*100)
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must2[T any](v T, err error) T {
+	must(err)
+	return v
+}

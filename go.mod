@@ -1,0 +1,3 @@
+module placeless
+
+go 1.22

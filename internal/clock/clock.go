@@ -1,0 +1,175 @@
+// Package clock provides time sources for the Placeless system.
+//
+// All latency-sensitive components (repositories, the network model,
+// caches, verifiers, and timer-driven active properties) take a Clock
+// rather than calling time.Now directly. Production code uses Real;
+// simulations and tests use a Virtual clock that advances only when
+// told to, which makes every experiment in this repository
+// deterministic and lets the benchmark harness reproduce the paper's
+// millisecond-scale access times without sleeping for real.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is a source of time. Sleep advances past d; on a Virtual clock
+// it advances simulated time instantly, on a Real clock it blocks.
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+	// Sleep advances the clock by d. On a Virtual clock this is
+	// instantaneous wall-clock-wise; on Real it blocks the caller.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the operating system's wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// AfterFunc schedules fn on the wall clock, satisfying the timer
+// capability document spaces need (docspace.TimerClock).
+func (Real) AfterFunc(d time.Duration, fn func(now time.Time)) (cancel func()) {
+	t := time.AfterFunc(d, func() { fn(time.Now()) })
+	return func() { t.Stop() }
+}
+
+// timerEntry is a scheduled callback inside a Virtual clock.
+type timerEntry struct {
+	at  time.Time
+	seq uint64 // tie-break so same-instant timers fire in schedule order
+	fn  func(now time.Time)
+}
+
+// timerHeap orders timers by firing time, then by scheduling order.
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timerEntry)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Virtual is a deterministic simulated clock. Time advances only via
+// Advance or Sleep. Callbacks scheduled with AfterFunc fire, in
+// timestamp order, while time is being advanced, which is how
+// timer-driven active properties (e.g. nightly replication) run in
+// simulation.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers timerHeap
+}
+
+// NewVirtual returns a Virtual clock whose current time is start.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{now: start}
+	heap.Init(&v.timers)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock by advancing simulated time by d.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// Advance moves simulated time forward by d, firing any timers whose
+// deadline is reached, in deadline order. Timer callbacks run without
+// the clock lock held and may themselves schedule further timers; a
+// callback that schedules a timer within the advanced window will see
+// it fire during the same Advance call.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for {
+		if len(v.timers) == 0 || v.timers[0].at.After(target) {
+			break
+		}
+		e := heap.Pop(&v.timers).(*timerEntry)
+		if e.at.After(v.now) {
+			v.now = e.at
+		}
+		now := v.now
+		v.mu.Unlock()
+		e.fn(now)
+		v.mu.Lock()
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves simulated time forward to t (no-op if t is in the past).
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	now := v.now
+	v.mu.Unlock()
+	if t.After(now) {
+		v.Advance(t.Sub(now))
+	}
+}
+
+// AfterFunc schedules fn to run when the clock reaches now+d. It
+// returns a cancel function; cancelling after the timer fired is a
+// no-op. fn receives the simulated time at which it fires.
+func (v *Virtual) AfterFunc(d time.Duration, fn func(now time.Time)) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.seq++
+	e := &timerEntry{at: v.now.Add(d), seq: v.seq, fn: fn}
+	heap.Push(&v.timers, e)
+	v.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			for i, t := range v.timers {
+				if t == e {
+					heap.Remove(&v.timers, i)
+					break
+				}
+			}
+		})
+	}
+}
+
+// PendingTimers reports how many scheduled callbacks have not yet fired.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}

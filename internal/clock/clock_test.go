@@ -1,0 +1,200 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC) // HotOS VII week
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(90 * time.Millisecond)
+	want := epoch.Add(90 * time.Millisecond)
+	if !v.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual(epoch)
+	start := time.Now()
+	v.Sleep(10 * time.Hour)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("virtual Sleep blocked for %v of wall time", elapsed)
+	}
+	if got := v.Now().Sub(epoch); got != 10*time.Hour {
+		t.Fatalf("advanced %v, want 10h", got)
+	}
+}
+
+func TestVirtualNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	NewVirtual(epoch).Advance(-1)
+}
+
+func TestAfterFuncFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []int
+	v.AfterFunc(30*time.Millisecond, func(time.Time) { got = append(got, 3) })
+	v.AfterFunc(10*time.Millisecond, func(time.Time) { got = append(got, 1) })
+	v.AfterFunc(20*time.Millisecond, func(time.Time) { got = append(got, 2) })
+	v.Advance(25 * time.Millisecond)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("after 25ms got %v, want [1 2]", got)
+	}
+	v.Advance(10 * time.Millisecond)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("after 35ms got %v, want [1 2 3]", got)
+	}
+}
+
+func TestAfterFuncSameInstantFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		v.AfterFunc(time.Millisecond, func(time.Time) { got = append(got, i) })
+	}
+	v.Advance(time.Millisecond)
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("same-instant timers fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterFuncSeesFiringTime(t *testing.T) {
+	v := NewVirtual(epoch)
+	var at time.Time
+	v.AfterFunc(7*time.Millisecond, func(now time.Time) { at = now })
+	v.Advance(time.Second)
+	if want := epoch.Add(7 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback time = %v, want %v", at, want)
+	}
+}
+
+func TestAfterFuncCancel(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	cancel := v.AfterFunc(time.Millisecond, func(time.Time) { fired = true })
+	cancel()
+	cancel() // double-cancel must be safe
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if n := v.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", n)
+	}
+}
+
+func TestRescheduleWithinAdvance(t *testing.T) {
+	// A periodic timer (like the paper's end-of-day replication
+	// property) rescheduling itself must keep firing within one
+	// large Advance.
+	v := NewVirtual(epoch)
+	count := 0
+	var tick func(time.Time)
+	tick = func(time.Time) {
+		count++
+		if count < 5 {
+			v.AfterFunc(24*time.Hour, tick)
+		}
+	}
+	v.AfterFunc(24*time.Hour, tick)
+	v.Advance(7 * 24 * time.Hour)
+	if count != 5 {
+		t.Fatalf("periodic timer fired %d times, want 5", count)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	v := NewVirtual(epoch)
+	target := epoch.Add(time.Minute)
+	v.AdvanceTo(target)
+	if !v.Now().Equal(target) {
+		t.Fatalf("Now = %v, want %v", v.Now(), target)
+	}
+	v.AdvanceTo(epoch) // past: no-op
+	if !v.Now().Equal(target) {
+		t.Fatal("AdvanceTo moved the clock backwards")
+	}
+}
+
+func TestVirtualConcurrentAccess(t *testing.T) {
+	v := NewVirtual(epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Advance(time.Microsecond)
+				_ = v.Now()
+				cancel := v.AfterFunc(time.Millisecond, func(time.Time) {})
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(epoch); got < 800*time.Microsecond {
+		t.Fatalf("clock advanced only %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now far in the past")
+	}
+	c.Sleep(time.Millisecond)
+}
+
+// Property: advancing by a sequence of non-negative durations ends at
+// start + sum, regardless of how the sum is split up.
+func TestAdvanceAdditiveProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		v := NewVirtual(epoch)
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			total += d
+			v.Advance(d)
+		}
+		return v.Now().Equal(epoch.Add(total))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a timer scheduled at offset d fires iff the clock is
+// advanced at least d.
+func TestTimerFiringProperty(t *testing.T) {
+	f := func(d, adv uint16) bool {
+		v := NewVirtual(epoch)
+		fired := false
+		v.AfterFunc(time.Duration(d)*time.Microsecond, func(time.Time) { fired = true })
+		v.Advance(time.Duration(adv) * time.Microsecond)
+		return fired == (adv >= d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

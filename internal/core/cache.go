@@ -1,0 +1,563 @@
+// Package core implements the Placeless document-content cache: the
+// caching architecture that is the paper's contribution.
+//
+// The cache sits between applications and the Placeless middleware
+// (the paper's application-level cache, co-located with the
+// application). Entries are identified by (document, user) because
+// active properties personalize content per user; identical content is
+// stored once via content signatures. Consistency is maintained by two
+// mechanisms: notifiers — active properties the cache installs on base
+// documents and references, which push invalidations for changes under
+// Placeless control — and verifiers — code returned with the content
+// and executed on every hit, which catch changes outside Placeless
+// control. Cacheability indicators aggregated along the read path
+// decide whether content may be cached and whether operation events
+// must still be forwarded. Replacement is cost-aware (Greedy-Dual-Size
+// by default), driven by the replacement cost the read path
+// accumulates.
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/replace"
+	"placeless/internal/sig"
+)
+
+// ErrClosed is returned by operations on a closed cache.
+var ErrClosed = errors.New("core: cache is closed")
+
+// WriteMode selects how writes interact with the cache.
+type WriteMode int
+
+const (
+	// WriteThrough forwards every write to the Placeless system
+	// immediately (the paper's default assumption).
+	WriteThrough WriteMode = iota
+	// WriteBack buffers writes in the cache and flushes on demand;
+	// write-path properties whose cacheability vote demands it still
+	// get getOutputStream events forwarded per write.
+	WriteBack
+)
+
+// String names the mode.
+func (m WriteMode) String() string {
+	if m == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Name identifies the cache in notifier property names; caches
+	// sharing a space must use distinct names.
+	Name string
+	// Capacity is the content budget in bytes (unique bytes stored,
+	// after signature sharing). Zero means unlimited.
+	Capacity int64
+	// Policy supplies the replacement policy; nil defaults to
+	// Greedy-Dual-Size.
+	Policy replace.Policy
+	// HitCost is the simulated local access time charged on a cache
+	// hit (the cost of the cache lookup itself), before verifier
+	// execution.
+	HitCost time.Duration
+	// FillCost is the simulated overhead of installing notifiers and
+	// storing an entry on a miss.
+	FillCost time.Duration
+	// Mode selects write-through (default) or write-back.
+	Mode WriteMode
+	// FlushEvery, in write-back mode, flushes dirty content on this
+	// period (like the end-of-day replication property, via the
+	// space's timer clock). Zero disables automatic flushing.
+	FlushEvery time.Duration
+	// MaxDirty, in write-back mode, bounds the number of buffered
+	// writes: exceeding it triggers an immediate flush. Zero means
+	// unbounded (flush only on demand or on the timer).
+	MaxDirty int
+	// DisableNotifiers suppresses notifier installation (verifier-
+	// only consistency), for experiment E1.
+	DisableNotifiers bool
+	// DisablePrefetch turns off related-document prefetching (the
+	// collection-property hint), for experiment E8's ablation.
+	DisablePrefetch bool
+	// CostSource selects what feeds the replacement policy's cost
+	// input, for experiment E9's ablation of the paper's design
+	// choice to accumulate property execution times.
+	CostSource CostSource
+	// DisableVerifiers skips verifier execution on hits (notifier-
+	// only consistency), for experiment E1.
+	DisableVerifiers bool
+}
+
+// CostSource selects the replacement-cost signal handed to the policy.
+type CostSource int
+
+const (
+	// CostFull uses the read path's accumulated cost — retrieval plus
+	// property execution times (the paper's design).
+	CostFull CostSource = iota
+	// CostConstant feeds the policy a fixed cost, reducing GDS to a
+	// size/recency policy; the ablation baseline.
+	CostConstant
+)
+
+// String names the source.
+func (c CostSource) String() string {
+	if c == CostConstant {
+		return "constant"
+	}
+	return "full"
+}
+
+// entry is one cached (document, user) version.
+type entry struct {
+	doc, user    string
+	signature    sig.Signature
+	size         int64
+	cost         time.Duration
+	cacheability property.Cacheability
+	verifiers    []property.Verifier
+	storedAt     time.Time
+}
+
+// blob is signature-shared content storage.
+type blob struct {
+	data []byte
+	refs int
+}
+
+// dirtyWrite is a buffered write-back entry.
+type dirtyWrite struct {
+	data []byte
+}
+
+// Stats counts cache activity. All counters are cumulative.
+type Stats struct {
+	// Hits are reads served from the cache (verifiers passed).
+	Hits int64
+	// Misses are reads that executed the full Placeless read path,
+	// including the first access to a document.
+	Misses int64
+	// VerifierRejects counts hits discarded because a verifier
+	// reported the entry invalid.
+	VerifierRejects int64
+	// Notifications counts invalidations pushed by notifiers.
+	Notifications int64
+	// Invalidations counts entries dropped by notifications.
+	Invalidations int64
+	// Evictions counts entries dropped by the replacement policy.
+	Evictions int64
+	// Uncacheable counts reads whose result could not be cached.
+	Uncacheable int64
+	// EventsForwarded counts operation events forwarded for
+	// CacheWithEvents entries.
+	EventsForwarded int64
+	// Prefetches counts documents loaded because a property declared
+	// them related to one being read (collection prefetching).
+	Prefetches int64
+	// BytesStored is the current unique content footprint.
+	BytesStored int64
+	// BytesLogical is the current sum of entry sizes before signature
+	// sharing.
+	BytesLogical int64
+	// SharedEntries counts current entries whose blob is shared with
+	// at least one other entry.
+	SharedEntries int64
+	// Flushes counts write-back flush operations.
+	Flushes int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a Placeless document-content cache. It is safe for
+// concurrent use.
+type Cache struct {
+	space *docspace.Space
+	clk   clock.Clock
+	opts  Options
+
+	mu        sync.Mutex
+	closed    bool
+	entries   map[string]*entry
+	blobs     map[sig.Signature]*blob
+	policy    replace.Policy
+	stats     Stats
+	dirty     map[string]*dirtyWrite
+	gens      map[string]uint64         // per-doc invalidation generation
+	baseNotif map[string]bool           // docs with a base notifier installed
+	refNotif  map[string]bool           // doc/user refs with a notifier installed
+	notifiers map[string][]notifierSpot // notifier names per doc for Close
+}
+
+// notifierSpot remembers where a notifier was attached.
+type notifierSpot struct {
+	doc, user string
+	level     docspace.Level
+	name      string
+}
+
+// key builds the (document, user) entry identifier. The paper: "Our
+// current implementation tags content with both a document identifier
+// and the user to whom the version of the document belongs."
+func key(doc, user string) string { return doc + "\x00" + user }
+
+// New returns a cache in front of space.
+func New(space *docspace.Space, opts Options) *Cache {
+	if opts.Name == "" {
+		opts.Name = "cache"
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = replace.NewGDS()
+	}
+	c := &Cache{
+		space:     space,
+		clk:       space.Clock(),
+		opts:      opts,
+		entries:   make(map[string]*entry),
+		blobs:     make(map[sig.Signature]*blob),
+		policy:    policy,
+		dirty:     make(map[string]*dirtyWrite),
+		gens:      make(map[string]uint64),
+		baseNotif: make(map[string]bool),
+		refNotif:  make(map[string]bool),
+		notifiers: make(map[string][]notifierSpot),
+	}
+	if opts.Mode == WriteBack && opts.FlushEvery > 0 {
+		c.armFlushTimer()
+	}
+	return c
+}
+
+// armFlushTimer schedules the next periodic write-back flush.
+func (c *Cache) armFlushTimer() {
+	c.space.Clock().AfterFunc(c.opts.FlushEvery, func(time.Time) {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		_ = c.Flush() // flush errors leave entries dirty for the next cycle
+		c.armFlushTimer()
+	})
+}
+
+// Resize changes the capacity budget at runtime and evicts immediately
+// if the cache is now over budget. capacity <= 0 means unlimited.
+func (c *Cache) Resize(capacity int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts.Capacity = capacity
+	c.evictLocked()
+}
+
+// Capacity returns the current byte budget (0 = unlimited).
+func (c *Cache) Capacity() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.Capacity
+}
+
+// Policy returns the replacement policy's name.
+func (c *Cache) Policy() string { return c.policy.Name() }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports how many (document, user) entries are cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Contains reports whether a valid entry exists for (doc, user)
+// without running verifiers or charging time.
+func (c *Cache) Contains(doc, user string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key(doc, user)]
+	return ok
+}
+
+// EntryInfo is the cache-relevant metadata of a served read, for
+// consumers that layer further caches on top (e.g. the Placeless
+// server exposing a server-side cache to remote application caches).
+type EntryInfo struct {
+	// Cacheability is the read path's aggregated vote.
+	Cacheability property.Cacheability
+	// Cost is the replacement cost of rebuilding the content.
+	Cost time.Duration
+	// Expiry is the earliest TTL-verifier deadline attached to the
+	// content (zero when no TTL applies). Unlike verifier code, a
+	// deadline can cross the wire, so layered remote caches can honor
+	// web-style freshness.
+	Expiry time.Time
+}
+
+// minExpiry extracts the earliest TTL deadline from a verifier set.
+func minExpiry(verifiers []property.Verifier) time.Time {
+	var min time.Time
+	for _, v := range verifiers {
+		if ttl, ok := v.(property.TTLVerifier); ok {
+			if min.IsZero() || ttl.Expiry.Before(min) {
+				min = ttl.Expiry
+			}
+		}
+	}
+	return min
+}
+
+// Read returns the document content as seen by user, serving from the
+// cache when possible. On a hit every verifier attached to the entry
+// runs; any failure discards the entry and re-executes the read path.
+//
+// Accesses are keyed by the reference they resolve to: a user reading
+// through a group-owned reference shares the group's cache entry,
+// since every member sees the identical property chain.
+func (c *Cache) Read(doc, user string) ([]byte, error) {
+	data, _, err := c.ReadWithInfo(doc, user)
+	return data, err
+}
+
+// ReadWithInfo is Read plus the entry metadata a layered cache needs.
+func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, EntryInfo{}, ErrClosed
+	}
+	c.mu.Unlock()
+	owner, err := c.space.ResolveOwner(doc, user)
+	if err != nil {
+		return nil, EntryInfo{}, err
+	}
+	user = owner
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, EntryInfo{}, ErrClosed
+	}
+	k := key(doc, user)
+	e := c.entries[k]
+	var data []byte
+	if e != nil {
+		if b := c.blobs[e.signature]; b != nil {
+			data = b.data
+		}
+	}
+	verifyDisabled := c.opts.DisableVerifiers
+	c.mu.Unlock()
+
+	if e != nil && data != nil {
+		c.clk.Sleep(c.opts.HitCost)
+		valid := true
+		if !verifyDisabled {
+			now := c.clk.Now()
+			for _, v := range e.verifiers {
+				ok, err := v.Check(now)
+				if err != nil || !ok {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+			c.mu.Lock()
+			// The entry may have been invalidated while verifying.
+			if cur := c.entries[k]; cur == e {
+				c.stats.Hits++
+				c.policy.Access(k)
+				c.mu.Unlock()
+				if e.cacheability == property.CacheWithEvents {
+					c.forward(doc, user, event.GetInputStream)
+				}
+				out := make([]byte, len(data))
+				copy(out, data)
+				return out, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers)}, nil
+			}
+			c.mu.Unlock()
+		} else {
+			c.mu.Lock()
+			c.stats.VerifierRejects++
+			c.dropLocked(k)
+			c.mu.Unlock()
+		}
+	}
+
+	return c.miss(doc, user, true)
+}
+
+// forward redelivers an operation event for a CacheWithEvents entry.
+func (c *Cache) forward(doc, user string, kind event.Kind) {
+	if err := c.space.ForwardEvent(doc, user, kind); err == nil {
+		c.mu.Lock()
+		c.stats.EventsForwarded++
+		c.mu.Unlock()
+	}
+}
+
+// miss executes the full read path and caches the result according to
+// its cacheability indicator. When mayPrefetch is set, documents the
+// read path declared related (collection members) are loaded
+// afterwards; prefetch-triggered misses pass false so fetching never
+// cascades beyond one hop.
+func (c *Cache) miss(doc, user string, mayPrefetch bool) ([]byte, EntryInfo, error) {
+	// Snapshot the document's invalidation generation: if a
+	// notification arrives while the read path is executing, the
+	// result may already be stale and must not be cached (the
+	// callback race between load and install).
+	c.mu.Lock()
+	gen := c.gens[doc]
+	c.mu.Unlock()
+
+	data, res, err := c.space.ReadDocument(doc, user)
+	if err != nil {
+		return nil, EntryInfo{}, err
+	}
+	info := EntryInfo{Cacheability: res.Cacheability, Cost: res.Cost, Expiry: minExpiry(res.Verifiers)}
+	c.mu.Lock()
+	c.stats.Misses++
+	if c.closed {
+		c.mu.Unlock()
+		return data, info, nil
+	}
+	if res.Cacheability == property.Uncacheable {
+		c.stats.Uncacheable++
+		c.mu.Unlock()
+		return data, info, nil
+	}
+	if c.gens[doc] != gen {
+		// Invalidated mid-read: serve the data but do not install a
+		// potentially stale entry.
+		c.mu.Unlock()
+		return data, info, nil
+	}
+
+	c.clk.Sleep(c.opts.FillCost)
+	k := key(doc, user)
+	c.dropLocked(k) // replace any stale entry
+	s := sig.Of(data)
+	b := c.blobs[s]
+	if b == nil {
+		b = &blob{data: append([]byte{}, data...)}
+		c.blobs[s] = b
+		c.stats.BytesStored += int64(len(data))
+	}
+	b.refs++
+	e := &entry{
+		doc: doc, user: user,
+		signature:    s,
+		size:         int64(len(data)),
+		cost:         res.Cost,
+		cacheability: res.Cacheability,
+		verifiers:    res.Verifiers,
+		storedAt:     c.clk.Now(),
+	}
+	c.entries[k] = e
+	c.stats.BytesLogical += e.size
+	policyCost := e.cost
+	if c.opts.CostSource == CostConstant {
+		policyCost = time.Millisecond
+	}
+	c.policy.Insert(k, e.size, policyCost)
+	c.installNotifiersLocked(doc, user)
+	c.evictLocked()
+	c.recountSharedLocked()
+	c.mu.Unlock()
+
+	if mayPrefetch && !c.opts.DisablePrefetch {
+		c.prefetch(user, res.Related)
+	}
+	return data, info, nil
+}
+
+// prefetch warms the cache with the user's views of related documents.
+// Already-cached members and failures are skipped silently; prefetch
+// misses never recurse.
+func (c *Cache) prefetch(user string, related []string) {
+	for _, doc := range related {
+		c.mu.Lock()
+		_, cached := c.entries[key(doc, user)]
+		closed := c.closed
+		c.mu.Unlock()
+		if cached || closed {
+			continue
+		}
+		if _, _, err := c.miss(doc, user, false); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		c.stats.Prefetches++
+		c.mu.Unlock()
+	}
+}
+
+// dropLocked removes an entry and releases its blob reference.
+func (c *Cache) dropLocked(k string) {
+	e, ok := c.entries[k]
+	if !ok {
+		return
+	}
+	delete(c.entries, k)
+	c.policy.Remove(k)
+	c.stats.BytesLogical -= e.size
+	if b := c.blobs[e.signature]; b != nil {
+		b.refs--
+		if b.refs <= 0 {
+			delete(c.blobs, e.signature)
+			c.stats.BytesStored -= int64(len(b.data))
+		}
+	}
+	c.recountSharedLocked()
+}
+
+// evictLocked enforces the capacity budget using the replacement
+// policy. Capacity is measured in unique stored bytes, so evicting an
+// entry whose blob is shared may free nothing; the loop continues
+// until under budget or empty.
+func (c *Cache) evictLocked() {
+	if c.opts.Capacity <= 0 {
+		return
+	}
+	for c.stats.BytesStored > c.opts.Capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			return
+		}
+		c.stats.Evictions++
+		c.dropLocked(victim)
+	}
+}
+
+// recountSharedLocked recomputes the shared-entry gauge.
+func (c *Cache) recountSharedLocked() {
+	var shared int64
+	for _, e := range c.entries {
+		if b := c.blobs[e.signature]; b != nil && b.refs > 1 {
+			shared++
+		}
+	}
+	c.stats.SharedEntries = shared
+}

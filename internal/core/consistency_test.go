@@ -1,0 +1,265 @@
+package core
+
+// Experiment E7 (DESIGN.md): correctness of the consistency machinery
+// under every invalidation cause the paper enumerates in §3:
+//
+//  1. the original source is modified — inside Placeless control
+//     (snooped write → notifier) and outside it (direct repository
+//     update → verifier);
+//  2. active properties are added, deleted or modified;
+//  3. the order of the active properties changes;
+//  4. information used by active properties changes — tracked by a
+//     verifier, a notifier, or a significance threshold.
+//
+// Each test drives the full stack (repository → docspace → cache) and
+// asserts the user never observes stale content after the change.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+)
+
+func TestCause1InsidePlacelessControl(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("v1"))
+	w.space.AddReference("d", "doug")
+	w.read(t, "d", "eyal")
+
+	w.space.WriteDocument("d", "doug", []byte("v2"))
+	if got := w.read(t, "d", "eyal"); string(got) != "v2" {
+		t.Fatalf("stale after controlled write: %q", got)
+	}
+	// Push-based: the notifier invalidated before the read, so no
+	// verifier reject was needed.
+	if st := w.cache.Stats(); st.VerifierRejects != 0 {
+		t.Fatalf("VerifierRejects = %d, want notifier-driven invalidation", st.VerifierRejects)
+	}
+}
+
+func TestCause1OutsidePlacelessControl(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("v1"))
+	w.read(t, "d", "eyal")
+	w.clk.Advance(time.Second)
+	w.src.UpdateDirect("/d", []byte("v2"))
+	if got := w.read(t, "d", "eyal"); string(got) != "v2" {
+		t.Fatalf("stale after uncontrolled write: %q", got)
+	}
+	if st := w.cache.Stats(); st.VerifierRejects != 1 {
+		t.Fatalf("VerifierRejects = %d, want verifier-driven invalidation", st.VerifierRejects)
+	}
+}
+
+func TestCause2AddDeleteModify(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("the document"))
+
+	// Add.
+	w.read(t, "d", "eyal")
+	w.space.Attach("d", "eyal", docspace.Personal, property.NewTranslator(0))
+	if got := w.read(t, "d", "eyal"); string(got) != "le document" {
+		t.Fatalf("after add: %q", got)
+	}
+	// Modify (upgrade).
+	upgraded := property.NewUppercaser(0)
+	w.space.Replace("d", "eyal", docspace.Personal, "translate-fr", upgraded)
+	if got := w.read(t, "d", "eyal"); string(got) != "THE DOCUMENT" {
+		t.Fatalf("after modify: %q", got)
+	}
+	// Delete.
+	w.space.Detach("d", "eyal", docspace.Personal, "uppercase")
+	if got := w.read(t, "d", "eyal"); string(got) != "the document" {
+		t.Fatalf("after delete: %q", got)
+	}
+}
+
+func TestCause3Reorder(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("alpha\nbeta\ngamma\n"))
+	w.space.Attach("d", "eyal", docspace.Personal, property.NewSummarizer(2, 0))
+	w.space.Attach("d", "eyal", docspace.Personal, property.NewLineNumberer(0))
+	before := w.read(t, "d", "eyal")
+	w.space.Reorder("d", "eyal", docspace.Personal, []string{"line-number", "summarize-2"})
+	after := w.read(t, "d", "eyal")
+	if bytes.Equal(before, after) {
+		t.Fatal("served content identical across reorder")
+	}
+	// Reordering back restores the original view.
+	w.space.Reorder("d", "eyal", docspace.Personal, []string{"summarize-2", "line-number"})
+	restored := w.read(t, "d", "eyal")
+	if !bytes.Equal(before, restored) {
+		t.Fatalf("restore mismatch: %q vs %q", before, restored)
+	}
+}
+
+func TestCause4ExternalInfoByVerifier(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("portfolio:"))
+	quote := property.NewExternalVar("XRX", 55)
+	w.space.Attach("d", "eyal", docspace.Personal, property.NewExternalInfo(quote, property.ByVerifier, 0))
+
+	first := w.read(t, "d", "eyal")
+	if !strings.Contains(string(first), "XRX = 55.00") {
+		t.Fatalf("first read %q", first)
+	}
+	quote.Set(60)
+	second := w.read(t, "d", "eyal")
+	if !strings.Contains(string(second), "XRX = 60.00") {
+		t.Fatalf("stale external info: %q", second)
+	}
+	if st := w.cache.Stats(); st.VerifierRejects != 1 {
+		t.Fatalf("VerifierRejects = %d", st.VerifierRejects)
+	}
+}
+
+func TestCause4ExternalInfoByNotifier(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("portfolio:"))
+	quote := property.NewExternalVar("XRX", 55)
+	x := property.NewExternalInfo(quote, property.ByNotifier, 0)
+	x.NotifyChange = func() { w.space.SignalExternalChange("d", "quote:XRX") }
+	w.space.Attach("d", "eyal", docspace.Personal, x)
+
+	w.read(t, "d", "eyal")
+	quote.Set(60)
+	got := w.read(t, "d", "eyal")
+	if !strings.Contains(string(got), "XRX = 60.00") {
+		t.Fatalf("stale after push: %q", got)
+	}
+	st := w.cache.Stats()
+	if st.VerifierRejects != 0 {
+		t.Fatalf("VerifierRejects = %d, want push-based consistency", st.VerifierRejects)
+	}
+	if st.Notifications == 0 {
+		t.Fatal("no notification recorded")
+	}
+}
+
+func TestCause4ExternalInfoByThreshold(t *testing.T) {
+	// The financial-portfolio policy: small fluctuations keep serving
+	// cached content; significant moves invalidate.
+	w := newWorld(t, Options{})
+	w.addDoc(t, "d", "eyal", "/d", []byte("portfolio:"))
+	quote := property.NewExternalVar("XRX", 100)
+	x := property.NewExternalInfo(quote, property.ByThreshold, 0)
+	x.Tolerance = 5
+	w.space.Attach("d", "eyal", docspace.Personal, x)
+
+	w.read(t, "d", "eyal")
+	quote.Set(102) // insignificant
+	if got := w.read(t, "d", "eyal"); !strings.Contains(string(got), "XRX = 100.00") {
+		t.Fatalf("insignificant change refetched: %q", got)
+	}
+	quote.Set(120) // significant
+	if got := w.read(t, "d", "eyal"); !strings.Contains(string(got), "XRX = 120.00") {
+		t.Fatalf("significant change missed: %q", got)
+	}
+}
+
+func TestComposedDocumentMultiSourceConsistency(t *testing.T) {
+	// News-summary scenario: a document composed from two web sites;
+	// the composite verifier must invalidate when either source
+	// changes.
+	w := newWorld(t, Options{})
+	w.src.Store("/feedA", []byte("A1"))
+	w.src.Store("/feedB", []byte("B1"))
+	composed := &property.ComposedBitProvider{
+		ProviderName: "news",
+		Parts: []*property.RepoBitProvider{
+			{Repo: w.src, Path: "/feedA"},
+			{Repo: w.src, Path: "/feedB"},
+		},
+		Separator: []byte(" | "),
+	}
+	w.space.CreateDocument("news", "u", composed)
+	if got := w.read(t, "news", "u"); string(got) != "A1 | B1" {
+		t.Fatalf("composed read %q", got)
+	}
+	w.read(t, "news", "u") // hit
+	w.clk.Advance(time.Second)
+	w.src.UpdateDirect("/feedB", []byte("B2"))
+	if got := w.read(t, "news", "u"); string(got) != "A1 | B2" {
+		t.Fatalf("stale composed read %q", got)
+	}
+	st := w.cache.Stats()
+	if st.Hits != 1 || st.VerifierRejects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: after any sequence of controlled writes, a cached read
+// always returns the last written content (cache transparency under
+// cause 1).
+func TestCacheTransparencyProperty(t *testing.T) {
+	f := func(writes [][]byte) bool {
+		if len(writes) == 0 || len(writes) > 12 {
+			return true
+		}
+		w := newWorld(t, Options{})
+		w.addDoc(t, "d", "eyal", "/d", []byte("initial"))
+		for _, data := range writes {
+			if err := w.cache.Write("d", "eyal", data); err != nil {
+				return false
+			}
+			got, err := w.cache.Read("d", "eyal")
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+			// A second read must hit and still agree.
+			got2, err := w.cache.Read("d", "eyal")
+			if err != nil || !bytes.Equal(got2, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cached reads agree byte-for-byte with direct docspace
+// reads for arbitrary personalization chains.
+func TestCacheEqualsDirectReadProperty(t *testing.T) {
+	chains := [][]func() property.Active{
+		{},
+		{func() property.Active { return property.NewUppercaser(0) }},
+		{func() property.Active { return property.NewTranslator(0) }},
+		{func() property.Active { return property.NewSummarizer(2, 0) }},
+		{
+			func() property.Active { return property.NewTranslator(0) },
+			func() property.Active { return property.NewLineNumberer(0) },
+		},
+	}
+	f := func(content []byte, chainIdx uint8) bool {
+		w := newWorld(t, Options{})
+		w.addDoc(t, "d", "eyal", "/d", content)
+		for _, mk := range chains[int(chainIdx)%len(chains)] {
+			if err := w.space.Attach("d", "eyal", docspace.Personal, mk()); err != nil {
+				return false
+			}
+		}
+		direct, _, err := w.space.ReadDocument("d", "eyal")
+		if err != nil {
+			return false
+		}
+		miss, err := w.cache.Read("d", "eyal")
+		if err != nil {
+			return false
+		}
+		hit, err := w.cache.Read("d", "eyal")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(direct, miss) && bytes.Equal(miss, hit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

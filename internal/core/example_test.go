@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+// Example demonstrates the whole cache lifecycle: a personalized
+// document, a miss, a hit, and a notifier-driven invalidation when
+// another user writes.
+func Example() {
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	disk := repo.NewMem("disk", clk, simnet.Local(1))
+	space := docspace.New(clk, nil)
+
+	disk.Store("/memo", []byte("teh memo"))
+	space.CreateDocument("memo", "alice", &property.RepoBitProvider{Repo: disk, Path: "/memo"})
+	space.AddReference("memo", "bob")
+	space.Attach("memo", "alice", docspace.Personal, property.NewSpellCorrector(0))
+
+	cache := core.New(space, core.Options{})
+
+	data, _ := cache.Read("memo", "alice") // miss: full read path
+	fmt.Printf("alice sees: %s\n", data)
+	data, _ = cache.Read("memo", "alice") // hit
+	fmt.Printf("alice again: %s\n", data)
+
+	cache.Write("memo", "bob", []byte("teh memo, edited")) // invalidates
+	data, _ = cache.Read("memo", "alice")
+	fmt.Printf("after bob's edit: %s\n", data)
+
+	st := cache.Stats()
+	fmt.Printf("hits=%d misses=%d invalidations=%d\n", st.Hits, st.Misses, st.Invalidations)
+	// Output:
+	// alice sees: the memo
+	// alice again: the memo
+	// after bob's edit: the memo, edited
+	// hits=1 misses=2 invalidations=1
+}

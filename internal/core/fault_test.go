@@ -1,0 +1,122 @@
+package core
+
+// Failure-injection tests: the cache must degrade safely when
+// repositories fail — read errors propagate without corrupting cache
+// state, failing verifier polls are treated as invalid (fail-safe),
+// and recovery after an outage is complete.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+// flakyWorld wires a Flaky repository behind a space and cache.
+func flakyWorld(t *testing.T) (*repo.Flaky, *repo.Mem, *Cache, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	inner := repo.NewMem("mem", clk, simnet.Local(1))
+	flaky := repo.NewFlaky(inner)
+	space := docspace.New(clk, nil)
+	inner.Store("/d", []byte("content"))
+	if _, err := space.CreateDocument("d", "u", &property.RepoBitProvider{Repo: flaky, Path: "/d"}); err != nil {
+		t.Fatal(err)
+	}
+	return flaky, inner, New(space, Options{}), clk
+}
+
+func TestReadErrorPropagatesCleanly(t *testing.T) {
+	flaky, _, cache, _ := flakyWorld(t)
+	flaky.Outage(10)
+	if _, err := cache.Read("d", "u"); !errors.Is(err, repo.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("failed read left an entry behind")
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats polluted by failed read: %+v", st)
+	}
+}
+
+func TestRecoveryAfterOutage(t *testing.T) {
+	flaky, _, cache, _ := flakyWorld(t)
+	flaky.Outage(2)
+	cache.Read("d", "u") // fails (fetch)
+	if data, err := cache.Read("d", "u"); err != nil {
+		// Depending on op accounting the second read may still fail;
+		// the third must succeed.
+		if data, err = cache.Read("d", "u"); err != nil || string(data) != "content" {
+			t.Fatalf("no recovery after outage: %q, %v", data, err)
+		}
+	}
+	if data, err := cache.Read("d", "u"); err != nil || string(data) != "content" {
+		t.Fatalf("read after recovery: %q, %v", data, err)
+	}
+}
+
+func TestVerifierPollFailureIsFailSafe(t *testing.T) {
+	// A cached entry whose mtime verifier cannot reach the source
+	// must be treated as invalid and refetched, not served stale.
+	flaky, inner, cache, clk := flakyWorld(t)
+	if _, err := cache.Read("d", "u"); err != nil {
+		t.Fatal(err)
+	}
+	// The source changes out-of-band while the repo is flaky: the
+	// next hit's Stat poll fails.
+	clk.Advance(time.Second)
+	inner.UpdateDirect("/d", []byte("changed"))
+	flaky.FailEvery(1, false, false, true) // fail all stats
+	data, err := cache.Read("d", "u")
+	if err != nil {
+		t.Fatalf("read failed outright: %v", err)
+	}
+	if string(data) != "changed" {
+		t.Fatalf("served %q despite unverifiable entry", data)
+	}
+	st := cache.Stats()
+	if st.VerifierRejects != 1 {
+		t.Fatalf("VerifierRejects = %d, want fail-safe invalidation", st.VerifierRejects)
+	}
+}
+
+func TestWriteFailureSurfacesAndCacheStaysCoherent(t *testing.T) {
+	flaky, _, cache, _ := flakyWorld(t)
+	if _, err := cache.Read("d", "u"); err != nil {
+		t.Fatal(err)
+	}
+	flaky.FailEvery(1, false, true, false) // all stores fail
+	if err := cache.Write("d", "u", []byte("lost")); !errors.Is(err, repo.ErrInjected) {
+		t.Fatalf("write err = %v", err)
+	}
+	flaky.FailEvery(0, false, false, false)
+	// The failed write never reached the repository; reads must keep
+	// returning the original content.
+	data, err := cache.Read("d", "u")
+	if err != nil || string(data) != "content" {
+		t.Fatalf("after failed write: %q, %v", data, err)
+	}
+}
+
+func TestFlakyOpsCounter(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	inner := repo.NewMem("m", clk, simnet.NewPath("p", 1))
+	flaky := repo.NewFlaky(inner)
+	inner.Store("/x", []byte("1"))
+	flaky.Fetch("/x")
+	flaky.Stat("/x")
+	flaky.Store("/x", []byte("2"))
+	if flaky.Ops() != 3 {
+		t.Fatalf("Ops = %d", flaky.Ops())
+	}
+	if flaky.Name() != "flaky:m" {
+		t.Fatalf("Name = %q", flaky.Name())
+	}
+}

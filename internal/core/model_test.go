@@ -1,0 +1,190 @@
+package core
+
+// Model-based consistency fuzzing: a random sequence of operations
+// (Placeless writes, out-of-band repository updates, property attach/
+// detach/reorder, cache reads for several users) runs against the real
+// stack while a simple oracle tracks what every user should see —
+// repository content pushed through that user's visible property
+// chain. With both consistency mechanisms enabled the cache must never
+// serve anything else, no matter the interleaving.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+)
+
+// modelOp enumerates fuzz operations.
+type modelOp int
+
+const (
+	opRead modelOp = iota
+	opWrite
+	opDirectUpdate
+	opAttach
+	opDetach
+	opReorder
+	numModelOps
+)
+
+// oracle mirrors the transformations a user's chain applies.
+type oracle struct {
+	content []byte              // repository bytes
+	chains  map[string][]string // user -> attached property names, in order
+}
+
+// modelTransform returns the pure function a named fuzz property
+// applies. All fuzz properties are read-path-only so the oracle stays
+// simple (repository content is authoritative).
+func modelTransform(name string) func([]byte) []byte {
+	switch name {
+	case "upper":
+		return bytes.ToUpper
+	case "reverse":
+		return func(b []byte) []byte {
+			out := make([]byte, len(b))
+			for i, c := range b {
+				out[len(b)-1-i] = c
+			}
+			return out
+		}
+	case "stars":
+		return func(b []byte) []byte { return append(append([]byte("*"), b...), '*') }
+	default:
+		panic("unknown fuzz property " + name)
+	}
+}
+
+// makeFuzzProperty builds the real Active for a model property name.
+func makeFuzzProperty(name string) property.Active {
+	return &property.Transformer{
+		Base:          property.Base{PropName: name},
+		ReadTransform: modelTransform(name),
+	}
+}
+
+// expected computes what user should currently read.
+func (o *oracle) expected(user string) []byte {
+	data := append([]byte{}, o.content...)
+	for _, name := range o.chains[user] {
+		data = modelTransform(name)(data)
+	}
+	return data
+}
+
+func TestModelBasedConsistencyFuzz(t *testing.T) {
+	users := []string{"u1", "u2", "u3"}
+	propNames := []string{"upper", "reverse", "stars"}
+
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := newWorld(t, Options{})
+			w.addDoc(t, "d", users[0], "/d", []byte("genesis content"))
+			for _, u := range users[1:] {
+				if _, err := w.space.AddReference("d", u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			o := &oracle{content: []byte("genesis content"), chains: map[string][]string{}}
+
+			version := 0
+			for step := 0; step < 300; step++ {
+				user := users[rng.Intn(len(users))]
+				switch modelOp(rng.Intn(int(numModelOps))) {
+				case opRead:
+					got, err := w.cache.Read("d", user)
+					if err != nil {
+						t.Fatalf("step %d: read: %v", step, err)
+					}
+					want := o.expected(user)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("step %d: %s read %q, oracle says %q (chain %v)",
+							step, user, got, want, o.chains[user])
+					}
+
+				case opWrite:
+					version++
+					// Writes are read-path-transform-free, so the
+					// stored bytes equal the written bytes.
+					data := []byte(fmt.Sprintf("content v%d by %s", version, user))
+					if err := w.cache.Write("d", user, data); err != nil {
+						t.Fatalf("step %d: write: %v", step, err)
+					}
+					o.content = data
+
+				case opDirectUpdate:
+					version++
+					data := []byte(fmt.Sprintf("out-of-band v%d", version))
+					w.clk.Advance(time.Millisecond) // move mtimes
+					w.src.UpdateDirect("/d", data)
+					o.content = data
+
+				case opAttach:
+					name := propNames[rng.Intn(len(propNames))]
+					attached := false
+					for _, n := range o.chains[user] {
+						if n == name {
+							attached = true
+						}
+					}
+					if attached {
+						continue
+					}
+					if err := w.space.Attach("d", user, docspace.Personal, makeFuzzProperty(name)); err != nil {
+						t.Fatalf("step %d: attach: %v", step, err)
+					}
+					o.chains[user] = append(o.chains[user], name)
+
+				case opDetach:
+					chain := o.chains[user]
+					if len(chain) == 0 {
+						continue
+					}
+					idx := rng.Intn(len(chain))
+					name := chain[idx]
+					if err := w.space.Detach("d", user, docspace.Personal, name); err != nil {
+						t.Fatalf("step %d: detach: %v", step, err)
+					}
+					o.chains[user] = append(chain[:idx:idx], chain[idx+1:]...)
+
+				case opReorder:
+					chain := o.chains[user]
+					if len(chain) < 2 {
+						continue
+					}
+					perm := rng.Perm(len(chain))
+					newOrder := make([]string, len(chain))
+					for i, p := range perm {
+						newOrder[i] = chain[p]
+					}
+					if err := w.space.Reorder("d", user, docspace.Personal, newOrder); err != nil {
+						t.Fatalf("step %d: reorder: %v", step, err)
+					}
+					o.chains[user] = newOrder
+				}
+			}
+
+			// Final sweep: every user's view must match the oracle.
+			for _, u := range users {
+				got, err := w.cache.Read("d", u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := o.expected(u); !bytes.Equal(got, want) {
+					t.Fatalf("final: %s sees %q, want %q", u, got, want)
+				}
+			}
+			st := w.cache.Stats()
+			if st.Hits == 0 {
+				t.Fatal("fuzz run never hit the cache — invalidation too aggressive?")
+			}
+		})
+	}
+}

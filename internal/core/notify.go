@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"placeless/internal/docspace"
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/sig"
+)
+
+// cacheNotifier wraps property.Notifier with the machinery marker so
+// document spaces classify its attachment events as cache machinery
+// (other caches must not invalidate when a cache installs plumbing).
+type cacheNotifier struct {
+	*property.Notifier
+}
+
+// CacheMachinery marks the property as cache-installed plumbing.
+func (cacheNotifier) CacheMachinery() {}
+
+// contentAffecting is the semantic predicate for cache notifiers: only
+// events that can change the content a user sees should invalidate.
+// Static labels and other caches' machinery cannot.
+func contentAffecting(e event.Event) bool {
+	switch e.Kind {
+	case event.ContentWritten, event.ReorderProperties, event.ExternalChange:
+		return true
+	case event.SetProperty, event.RemoveProperty, event.ModifyProperty:
+		return e.Detail == docspace.ClassActive
+	default:
+		return false
+	}
+}
+
+// installNotifiersLocked attaches the cache's notifiers for (doc,
+// user) if not yet present — the paper's miss-time behaviour: "When
+// Eyal first opens the paper from MS-Word, a notifier property is
+// attached to the base document to invalidate the cache if the file is
+// opened for writing by another user. Another notifier at the base
+// tracks any additions or deletions of active properties... At Eyal's
+// document reference, a third notifier is attached to watch for active
+// property additions, deletions and for changes."
+//
+// Caller holds c.mu; attachment dispatches events, so the actual
+// space calls run after unlock via the returned thunks... attachment
+// here is safe because notifier attachment only dispatches machinery-
+// class events, which no handler re-enters the cache for.
+func (c *Cache) installNotifiersLocked(doc, user string) {
+	if c.opts.DisableNotifiers {
+		return
+	}
+	var todo []func() error
+	if !c.baseNotif[doc] {
+		c.baseNotif[doc] = true
+		name := fmt.Sprintf("notifier:%s:%s:base", c.opts.Name, doc)
+		n := cacheNotifier{property.NewNotifier(name, c.onBaseEvent,
+			event.ContentWritten, event.SetProperty, event.RemoveProperty,
+			event.ModifyProperty, event.ReorderProperties, event.ExternalChange)}
+		n.Predicate = contentAffecting
+		c.notifiers[doc] = append(c.notifiers[doc], notifierSpot{doc: doc, level: docspace.Universal, name: name})
+		d := doc
+		todo = append(todo, func() error { return c.space.Attach(d, "", docspace.Universal, n) })
+	}
+	rk := key(doc, user)
+	if !c.refNotif[rk] {
+		c.refNotif[rk] = true
+		name := fmt.Sprintf("notifier:%s:%s:%s", c.opts.Name, doc, user)
+		n := cacheNotifier{property.NewNotifier(name, c.onRefEvent,
+			event.SetProperty, event.RemoveProperty,
+			event.ModifyProperty, event.ReorderProperties)}
+		n.Predicate = contentAffecting
+		c.notifiers[doc] = append(c.notifiers[doc], notifierSpot{doc: doc, user: user, level: docspace.Personal, name: name})
+		d, u := doc, user
+		todo = append(todo, func() error { return c.space.Attach(d, u, docspace.Personal, n) })
+	}
+	if len(todo) == 0 {
+		return
+	}
+	// Attaching dispatches setProperty events; the registry handles
+	// re-entrant subscription and our predicate ignores machinery, so
+	// attaching under c.mu would only deadlock if a handler called
+	// back into this cache synchronously — which contentAffecting
+	// prevents for machinery events. To stay safe against user-
+	// installed properties reacting to machinery attachments, run the
+	// attachments without the cache lock.
+	c.mu.Unlock()
+	for _, fn := range todo {
+		_ = fn() // duplicate attach (racing installs) is benign
+	}
+	c.mu.Lock()
+}
+
+// onBaseEvent handles notifications from a base-document notifier:
+// anything that changes content for every user invalidates all of the
+// document's entries.
+func (c *Cache) onBaseEvent(e event.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Notifications++
+	c.gens[e.Doc]++
+	for k, ent := range c.entries {
+		if ent.doc == e.Doc {
+			c.stats.Invalidations++
+			c.dropLocked(k)
+		}
+	}
+}
+
+// onRefEvent handles notifications from a reference notifier: personal
+// property changes invalidate only that user's entry.
+func (c *Cache) onRefEvent(e event.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Notifications++
+	c.gens[e.Doc]++
+	k := key(e.Doc, e.User)
+	if _, ok := c.entries[k]; ok {
+		c.stats.Invalidations++
+		c.dropLocked(k)
+	}
+}
+
+// Invalidate drops the entry for (doc, user), if any. It is the
+// programmatic equivalent of a reference-notifier invalidation.
+func (c *Cache) Invalidate(doc, user string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[doc]++
+	k := key(doc, user)
+	if _, ok := c.entries[k]; ok {
+		c.stats.Invalidations++
+		c.dropLocked(k)
+	}
+}
+
+// InvalidateDoc drops all entries for doc across users.
+func (c *Cache) InvalidateDoc(doc string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[doc]++
+	for k, ent := range c.entries {
+		if ent.doc == doc {
+			c.stats.Invalidations++
+			c.dropLocked(k)
+		}
+	}
+}
+
+// Close flushes write-back state, detaches every notifier the cache
+// installed, and rejects further use.
+func (c *Cache) Close() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	spots := make([]notifierSpot, 0)
+	for _, list := range c.notifiers {
+		spots = append(spots, list...)
+	}
+	c.notifiers = make(map[string][]notifierSpot)
+	c.entries = make(map[string]*entry)
+	c.blobs = make(map[sig.Signature]*blob)
+	c.stats.BytesStored = 0
+	c.stats.BytesLogical = 0
+	c.mu.Unlock()
+	for _, sp := range spots {
+		_ = c.space.Detach(sp.doc, sp.user, sp.level, sp.name)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+)
+
+// attachCollection wires the same collection property to every member
+// document (universal level, as a shared grouping would be).
+func attachCollection(t *testing.T, w *world, name string, members ...string) *property.Collection {
+	t.Helper()
+	col := property.NewCollection(name, members...)
+	for _, m := range members {
+		if err := w.space.Attach(m, "", docspace.Universal, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col
+}
+
+func TestCollectionPrefetchWarmsSiblings(t *testing.T) {
+	w := newWorld(t, Options{})
+	members := []string{"ch1", "ch2", "ch3"}
+	for _, m := range members {
+		w.addDoc(t, m, "eyal", "/"+m, []byte("chapter "+m))
+	}
+	attachCollection(t, w, "book", members...)
+
+	w.read(t, "ch1", "eyal")
+	// Siblings were prefetched on the first member read.
+	if !w.cache.Contains("ch2", "eyal") || !w.cache.Contains("ch3", "eyal") {
+		t.Fatal("siblings not prefetched")
+	}
+	st := w.cache.Stats()
+	if st.Prefetches != 2 {
+		t.Fatalf("Prefetches = %d, want 2", st.Prefetches)
+	}
+	// Reading the siblings is now a pure hit.
+	before := w.cache.Stats().Hits
+	w.read(t, "ch2", "eyal")
+	w.read(t, "ch3", "eyal")
+	if got := w.cache.Stats().Hits - before; got != 2 {
+		t.Fatalf("sibling reads produced %d hits, want 2", got)
+	}
+}
+
+func TestCollectionPrefetchLatencyWin(t *testing.T) {
+	// With the collection, the second member's first read costs hit
+	// latency instead of a WAN round trip.
+	run := func(disable bool) time.Duration {
+		w := newWorld(t, Options{HitCost: 200 * time.Microsecond, DisablePrefetch: disable})
+		w.web.SetPage("/a", []byte("far chapter a"))
+		w.web.SetPage("/b", []byte("far chapter b"))
+		w.space.CreateDocument("a", "u", &property.RepoBitProvider{Repo: w.web, Path: "/a"})
+		w.space.CreateDocument("b", "u", &property.RepoBitProvider{Repo: w.web, Path: "/b"})
+		col := property.NewCollection("far-book", "a", "b")
+		w.space.Attach("a", "", docspace.Universal, col)
+		w.space.Attach("b", "", docspace.Universal, col)
+
+		w.read(t, "a", "u")
+		start := w.clk.Now()
+		w.read(t, "b", "u")
+		return w.clk.Now().Sub(start)
+	}
+	withPrefetch := run(false)
+	without := run(true)
+	if withPrefetch*10 > without {
+		t.Fatalf("prefetch saved too little: %v vs %v", withPrefetch, without)
+	}
+}
+
+func TestPrefetchDoesNotCascade(t *testing.T) {
+	// a's collection names b; b's names c. Reading a must prefetch b
+	// but not chase b's hints to c.
+	w := newWorld(t, Options{})
+	for _, m := range []string{"a", "b", "c"} {
+		w.addDoc(t, m, "eyal", "/"+m, []byte(m))
+	}
+	w.space.Attach("a", "", docspace.Universal, property.NewCollection("g1", "a", "b"))
+	w.space.Attach("b", "", docspace.Universal, property.NewCollection("g2", "b", "c"))
+	w.read(t, "a", "eyal")
+	if !w.cache.Contains("b", "eyal") {
+		t.Fatal("b not prefetched")
+	}
+	if w.cache.Contains("c", "eyal") {
+		t.Fatal("prefetch cascaded through b to c")
+	}
+}
+
+func TestPrefetchSkipsCachedAndMissing(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.addDoc(t, "a", "eyal", "/a", []byte("a"))
+	w.addDoc(t, "b", "eyal", "/b", []byte("b"))
+	// The collection names an absent member; prefetch must skip it
+	// without failing the triggering read.
+	col := property.NewCollection("g", "a", "b", "ghost")
+	w.space.Attach("a", "", docspace.Universal, col)
+	w.read(t, "b", "eyal") // b cached before a is read
+	w.read(t, "a", "eyal")
+	st := w.cache.Stats()
+	if st.Prefetches != 0 {
+		t.Fatalf("Prefetches = %d, want 0 (b already cached, ghost absent)", st.Prefetches)
+	}
+}
+
+func TestCollectionMembership(t *testing.T) {
+	col := property.NewCollection("g", "b", "a", "")
+	col.Add("c")
+	col.Remove("b")
+	col.Remove("never-there")
+	got := col.Members()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Members = %v", got)
+	}
+	if col.Name() != "collection:g" {
+		t.Fatalf("Name = %q", col.Name())
+	}
+}
+
+func TestCollectionPrefetchRespectsPersonalViews(t *testing.T) {
+	// Prefetched sibling entries carry the reading user's transforms.
+	w := newWorld(t, Options{})
+	w.addDoc(t, "a", "eyal", "/a", []byte("plain a"))
+	w.addDoc(t, "b", "eyal", "/b", []byte("plain b"))
+	col := property.NewCollection("g", "a", "b")
+	w.space.Attach("a", "", docspace.Universal, col)
+	w.space.Attach("b", "", docspace.Universal, col)
+	w.space.Attach("b", "eyal", docspace.Personal, property.NewUppercaser(0))
+	w.read(t, "a", "eyal")
+	got := w.read(t, "b", "eyal") // served from prefetched entry
+	if string(got) != "PLAIN B" {
+		t.Fatalf("prefetched view = %q, want personalized transform", got)
+	}
+	if st := w.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want the b read to hit", st)
+	}
+}

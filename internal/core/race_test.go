@@ -1,0 +1,78 @@
+package core
+
+// Regression test for the load/install callback race: a write that
+// lands while a miss is executing the read path must prevent the
+// (already stale) result from being installed, even when verifiers
+// are disabled.
+
+import (
+	"testing"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/stream"
+)
+
+// midReadWriter is an active property whose read transform performs a
+// concurrent write to the same document the first time it runs —
+// deterministically reproducing "the source changed while the cache
+// was loading".
+type midReadWriter struct {
+	property.Base
+	space *docspace.Space
+	doc   string
+	data  []byte
+	fired bool
+}
+
+func (m *midReadWriter) WrapInput(*property.ReadContext) stream.InputWrapper {
+	return stream.WholeInput(func(b []byte) []byte {
+		if !m.fired {
+			m.fired = true
+			// The write runs the full write path: store + the
+			// contentWritten event that notifies the cache.
+			if err := m.space.WriteDocument(m.doc, "writer", m.data); err != nil {
+				panic(err)
+			}
+		}
+		return b
+	})
+}
+
+func TestInvalidationDuringMissPreventsStaleInstall(t *testing.T) {
+	// Verifiers off: only the notification protects consistency, so
+	// a stale install would be served forever.
+	w := newWorld(t, Options{DisableVerifiers: true})
+	w.addDoc(t, "d", "writer", "/d", []byte("v1"))
+	w.space.AddReference("d", "reader")
+
+	// Install the cache's notifiers with a clean first read.
+	w.read(t, "d", "reader")
+	w.cache.Invalidate("d", "reader")
+
+	trigger := &midReadWriter{
+		Base:  property.Base{PropName: "mid-read-writer"},
+		space: w.space, doc: "d", data: []byte("v2-during-read"),
+	}
+	if err := w.space.Attach("d", "reader", docspace.Personal, trigger); err != nil {
+		t.Fatal(err)
+	}
+
+	// This miss reads v1, and v2 lands mid-flight.
+	first, err := w.cache.Read("d", "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "v1" {
+		t.Fatalf("first read = %q, expected the pre-write snapshot", first)
+	}
+	// The stale result must not have been cached: the next read
+	// re-executes and sees v2.
+	second, err := w.cache.Read("d", "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != "v2-during-read" {
+		t.Fatalf("second read = %q — stale entry was installed despite mid-read invalidation", second)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+// Soak tests: the cache under sustained mixed office workloads —
+// reads, Placeless writes, out-of-band updates, and property churn —
+// checking global invariants rather than specific outcomes.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/trace"
+)
+
+// runOfficeSoak drives the workload and verifies every read against a
+// direct middleware read.
+func runOfficeSoak(t *testing.T, cfg trace.OfficeConfig, opts Options) *world {
+	t.Helper()
+	w := newWorld(t, opts)
+	// pad grows content to a few hundred bytes so capacity budgets
+	// in the soak configurations actually bind.
+	pad := func(s string) []byte {
+		b := make([]byte, 512)
+		copy(b, s)
+		return b
+	}
+	for i := 0; i < cfg.Docs; i++ {
+		id := trace.DocID(i)
+		w.addDoc(t, id, "owner", "/"+id, pad("initial "+id))
+		for u := 0; u < cfg.Users; u++ {
+			if _, err := w.space.AddReference(id, trace.UserID(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Per-(doc,user) attached property names for detach/reorder.
+	chains := map[string][]string{}
+	ck := func(doc, user string) string { return doc + "/" + user }
+
+	for i, op := range trace.GenerateOffice(cfg) {
+		switch op.Kind {
+		case trace.OpRead:
+			got, err := w.cache.Read(op.Doc, op.User)
+			if err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			want, _, err := w.space.ReadDocument(op.Doc, op.User)
+			if err != nil {
+				t.Fatalf("op %d direct read: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: cache served %q, middleware says %q", i, got, want)
+			}
+
+		case trace.OpWrite:
+			data := pad(fmt.Sprintf("write %d by %s", op.Arg, op.User))
+			if err := w.cache.Write(op.Doc, op.User, data); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+
+		case trace.OpDirectUpdate:
+			w.clk.Advance(time.Millisecond)
+			w.src.UpdateDirect("/"+op.Doc, pad(fmt.Sprintf("direct %d", op.Arg)))
+
+		case trace.OpAttach:
+			name := fmt.Sprintf("p%d", op.Arg)
+			p := &property.Transformer{
+				Base:          property.Base{PropName: name},
+				ReadTransform: func(b []byte) []byte { return append([]byte("«"), append(b, []byte("»")...)...) },
+			}
+			if err := w.space.Attach(op.Doc, op.User, docspace.Personal, p); err == nil {
+				k := ck(op.Doc, op.User)
+				chains[k] = append(chains[k], name)
+			}
+
+		case trace.OpDetach:
+			k := ck(op.Doc, op.User)
+			if n := len(chains[k]); n > 0 {
+				name := chains[k][op.Arg%n]
+				if err := w.space.Detach(op.Doc, op.User, docspace.Personal, name); err != nil {
+					t.Fatalf("op %d detach: %v", i, err)
+				}
+				out := chains[k][:0]
+				for _, c := range chains[k] {
+					if c != name {
+						out = append(out, c)
+					}
+				}
+				chains[k] = out
+			}
+
+		case trace.OpReorder:
+			k := ck(op.Doc, op.User)
+			if n := len(chains[k]); n > 1 {
+				// Rotate the chain by one.
+				rotated := append(append([]string{}, chains[k][1:]...), chains[k][0])
+				if err := w.space.Reorder(op.Doc, op.User, docspace.Personal, rotated); err != nil {
+					t.Fatalf("op %d reorder: %v", i, err)
+				}
+				chains[k] = rotated
+			}
+		}
+	}
+	return w
+}
+
+func TestOfficeSoakUnbounded(t *testing.T) {
+	w := runOfficeSoak(t, trace.DefaultOfficeConfig(), Options{})
+	st := w.cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("degenerate soak: %+v", st)
+	}
+	if st.BytesStored > st.BytesLogical {
+		t.Fatalf("stored %d > logical %d", st.BytesStored, st.BytesLogical)
+	}
+}
+
+func TestOfficeSoakCapacityInvariant(t *testing.T) {
+	cfg := trace.DefaultOfficeConfig()
+	cfg.Length = 600
+	const capacity = 2048
+	w := runOfficeSoak(t, cfg, Options{Capacity: capacity})
+	st := w.cache.Stats()
+	if st.BytesStored > capacity {
+		t.Fatalf("BytesStored %d exceeds capacity %d", st.BytesStored, capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("capacity soak produced no evictions")
+	}
+}
+
+// Property: under random tiny office workloads with a byte budget, the
+// unique-bytes invariant holds after every configuration.
+func TestCapacityNeverExceededProperty(t *testing.T) {
+	f := func(seed int64, capKB uint8) bool {
+		cfg := trace.OfficeConfig{
+			Docs: 6, Users: 2, Length: 120,
+			WriteFrac: 0.15, DirectFrac: 0.05, PropFrac: 0.15,
+			Seed: seed,
+		}
+		capacity := int64(capKB%8+1) * 256
+		w := runOfficeSoak(t, cfg, Options{Capacity: capacity})
+		st := w.cache.Stats()
+		return st.BytesStored <= capacity && st.BytesStored >= 0 && st.BytesLogical >= st.BytesStored
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"placeless/internal/event"
+	"placeless/internal/property"
+)
+
+// Write stores new content for (doc, user) through the cache.
+//
+// In write-through mode (the paper's default assumption) the write is
+// forwarded to the Placeless system immediately: the full write path
+// runs, contentWritten fires, and the cache's own notifier invalidates
+// the affected entries.
+//
+// In write-back mode the data is buffered in the cache; the paper
+// notes that write-path properties may still need to observe write
+// operations, so getOutputStream events are forwarded per write while
+// the content itself is deferred until Flush.
+func (c *Cache) Write(doc, user string, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	mode := c.opts.Mode
+	c.mu.Unlock()
+
+	if mode == WriteThrough {
+		return c.space.WriteDocument(doc, user, data)
+	}
+
+	// Write-back: buffer the content. getOutputStream is forwarded
+	// only when a write-path property registered its cacheability
+	// requirement for it (paper §3) — "for most properties it is
+	// likely to be sufficient if they execute on the write-back
+	// operation", so the default is no per-write forwarding.
+	c.mu.Lock()
+	c.dirty[key(doc, user)] = &dirtyWrite{data: append([]byte{}, data...)}
+	// The locally buffered write makes cached read versions of this
+	// document stale for this user only after flush; conservatively
+	// drop the user's read entry now so reads observe their own
+	// writes once flushed.
+	c.dropLocked(key(doc, user))
+	overflow := c.opts.MaxDirty > 0 && len(c.dirty) > c.opts.MaxDirty
+	c.mu.Unlock()
+	if c.writeVote(doc, user) >= property.CacheWithEvents {
+		c.forward(doc, user, event.GetOutputStream)
+	}
+	if overflow {
+		return c.Flush()
+	}
+	return nil
+}
+
+// writeVote returns the aggregate write-path cacheability vote for
+// (doc, user), queried fresh each time so property changes are always
+// respected (the query is pure vote collection, no content moves).
+func (c *Cache) writeVote(doc, user string) property.Cacheability {
+	vote, err := c.space.WritePathVote(doc, user)
+	if err != nil {
+		return property.Unrestricted
+	}
+	return vote
+}
+
+// Dirty reports how many write-back entries await flushing.
+func (c *Cache) Dirty() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirty)
+}
+
+// Flush pushes all buffered write-back content through the Placeless
+// write path. The first error aborts the flush; already-flushed
+// entries stay flushed.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	type pending struct {
+		doc, user string
+		data      []byte
+	}
+	var todo []pending
+	for k, w := range c.dirty {
+		doc, user := splitKey(k)
+		todo = append(todo, pending{doc: doc, user: user, data: w.data})
+	}
+	c.mu.Unlock()
+
+	for _, p := range todo {
+		if err := c.space.WriteDocument(p.doc, p.user, p.data); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		delete(c.dirty, key(p.doc, p.user))
+		c.stats.Flushes++
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// splitKey is the inverse of key.
+func splitKey(k string) (doc, user string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

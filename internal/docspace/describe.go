@@ -1,0 +1,97 @@
+package docspace
+
+import (
+	"fmt"
+	"sort"
+
+	"placeless/internal/property"
+)
+
+// NodeInfo summarizes one attachment point's properties.
+type NodeInfo struct {
+	// Actives are active property names in execution order.
+	Actives []string
+	// Statics are the attached labels in attachment order.
+	Statics []property.Static
+}
+
+// Description is a structured summary of a document's configuration —
+// the introspection view behind `plctl describe`.
+type Description struct {
+	// Doc is the document id; Owner its creator.
+	Doc, Owner string
+	// BitProvider names the content link.
+	BitProvider string
+	// Universal summarizes the base document's properties.
+	Universal NodeInfo
+	// Personal maps each reference owner (user or group) to its
+	// properties.
+	Personal map[string]NodeInfo
+	// Users lists reference owners, sorted.
+	Users []string
+}
+
+// Describe returns the document's configuration summary.
+func (s *Space) Describe(doc string) (Description, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bases[doc]
+	if !ok {
+		return Description{}, fmt.Errorf("%w: %s", ErrNoDocument, doc)
+	}
+	d := Description{
+		Doc:         doc,
+		Owner:       b.owner,
+		BitProvider: b.bits.Name(),
+		Universal:   nodeInfoLocked(b.node),
+		Personal:    make(map[string]NodeInfo),
+	}
+	for user, ref := range s.refs[doc] {
+		d.Users = append(d.Users, user)
+		d.Personal[user] = nodeInfoLocked(ref.node)
+	}
+	sort.Strings(d.Users)
+	return d, nil
+}
+
+// nodeInfoLocked snapshots a node's property lists. Caller holds s.mu.
+func nodeInfoLocked(n *node) NodeInfo {
+	info := NodeInfo{
+		Actives: make([]string, 0, len(n.actives)),
+		Statics: make([]property.Static, len(n.statics)),
+	}
+	for _, e := range n.actives {
+		info.Actives = append(info.Actives, e.prop.Name())
+	}
+	copy(info.Statics, n.statics)
+	return info
+}
+
+// String renders the description for CLI output.
+func (d Description) String() string {
+	out := fmt.Sprintf("document %s (owner %s)\n  bits: %s\n  universal:\n%s",
+		d.Doc, d.Owner, d.BitProvider, d.Universal.indent("    "))
+	for _, u := range d.Users {
+		out += fmt.Sprintf("  reference %s:\n%s", u, d.Personal[u].indent("    "))
+	}
+	return out
+}
+
+// indent renders a NodeInfo with the given prefix.
+func (n NodeInfo) indent(prefix string) string {
+	out := ""
+	for _, a := range n.Actives {
+		out += prefix + "active: " + a + "\n"
+	}
+	for _, st := range n.Statics {
+		if st.Value != "" {
+			out += prefix + "static: " + st.Key + " = " + st.Value + "\n"
+		} else {
+			out += prefix + "static: " + st.Key + "\n"
+		}
+	}
+	if out == "" {
+		out = prefix + "(none)\n"
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package docspace_test
+
+import (
+	"fmt"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+// Example reproduces the paper's Figure 1 visibility rules: universal
+// properties are seen by everyone, personal ones only by their owner.
+func Example() {
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	disk := repo.NewMem("disk", clk, simnet.Local(1))
+	space := docspace.New(clk, nil)
+
+	disk.Store("/draft", []byte("one\ntwo\nthree\n"))
+	space.CreateDocument("draft", "eyal", &property.RepoBitProvider{Repo: disk, Path: "/draft"})
+	space.AddReference("draft", "paul")
+
+	// Universal: everyone gets the one-line summary.
+	space.Attach("draft", "", docspace.Universal, property.NewSummarizer(1, 0))
+	// Personal: only Eyal numbers his lines.
+	space.Attach("draft", "eyal", docspace.Personal, property.NewLineNumberer(0))
+
+	eyal, _, _ := space.ReadDocument("draft", "eyal")
+	paul, _, _ := space.ReadDocument("draft", "paul")
+	fmt.Printf("eyal:\n%s", eyal)
+	fmt.Printf("paul:\n%s", paul)
+	// Output:
+	// eyal:
+	//    1  one
+	//    2  [...]
+	// paul:
+	// one
+	// [...]
+}

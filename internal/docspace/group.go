@@ -1,0 +1,109 @@
+package docspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group support: the paper's document spaces are "owned by an
+// individual or a group of people", so a document reference — and the
+// personal properties attached to it — can belong to a group. Every
+// member of the group then shares that reference's view: the same
+// property chain, and (for a cache) the same cached content.
+//
+// Resolution order for an access by user U: U's own reference wins;
+// otherwise the reference of the alphabetically first group containing
+// U that holds one. This makes resolution deterministic when a user
+// belongs to several groups with references to the same document.
+
+// DefineGroup creates (or extends) a group with the given members. A
+// group name must not collide with a user who holds references, which
+// is the caller's responsibility.
+func (s *Space) DefineGroup(name string, members ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.groups == nil {
+		s.groups = make(map[string]map[string]bool)
+	}
+	g := s.groups[name]
+	if g == nil {
+		g = make(map[string]bool)
+		s.groups[name] = g
+	}
+	for _, m := range members {
+		if m != "" {
+			g[m] = true
+		}
+	}
+}
+
+// RemoveGroupMember drops a user from a group; absent members are
+// ignored.
+func (s *Space) RemoveGroupMember(group, user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g := s.groups[group]; g != nil {
+		delete(g, user)
+	}
+}
+
+// GroupMembers lists a group's members, sorted; nil for unknown
+// groups.
+func (s *Space) GroupMembers(group string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return nil
+	}
+	out := make([]string, 0, len(g))
+	for m := range g {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groupsOf returns the sorted names of groups containing user. Caller
+// holds s.mu.
+func (s *Space) groupsOf(user string) []string {
+	var out []string
+	for name, members := range s.groups {
+		if members[user] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveRefLocked finds the reference an access by user should go
+// through: the user's own, else the first group reference available.
+// Caller holds s.mu.
+func (s *Space) resolveRefLocked(doc, user string) (*Ref, error) {
+	if _, ok := s.bases[doc]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDocument, doc)
+	}
+	if r, ok := s.refs[doc][user]; ok {
+		return r, nil
+	}
+	for _, g := range s.groupsOf(user) {
+		if r, ok := s.refs[doc][g]; ok {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%s", ErrNoReference, doc, user)
+}
+
+// ResolveOwner returns the owner key of the reference an access by
+// user resolves to — the user themselves, or a group name. Caches key
+// entries by this owner so group members share cached content.
+func (s *Space) ResolveOwner(doc, user string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		return "", err
+	}
+	return r.user, nil
+}

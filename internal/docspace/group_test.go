@@ -1,0 +1,113 @@
+package docspace
+
+import (
+	"errors"
+	"testing"
+
+	"placeless/internal/property"
+)
+
+func TestGroupMembership(t *testing.T) {
+	f := newFixture(t)
+	f.space.DefineGroup("team", "alice", "bob", "")
+	f.space.DefineGroup("team", "carol") // extend
+	got := f.space.GroupMembers("team")
+	if len(got) != 3 || got[0] != "alice" || got[1] != "bob" || got[2] != "carol" {
+		t.Fatalf("members = %v", got)
+	}
+	f.space.RemoveGroupMember("team", "bob")
+	f.space.RemoveGroupMember("team", "nobody")
+	f.space.RemoveGroupMember("ghosts", "x")
+	if got := f.space.GroupMembers("team"); len(got) != 2 {
+		t.Fatalf("after removal: %v", got)
+	}
+	if f.space.GroupMembers("ghosts") != nil {
+		t.Fatal("unknown group returned members")
+	}
+}
+
+func TestGroupReferenceSharedView(t *testing.T) {
+	// A reference owned by a group: every member reads through it and
+	// sees the group's property chain.
+	f := newFixture(t)
+	f.addDoc(t, "spec", "author", "/spec", []byte("teh spec"))
+	f.space.DefineGroup("reviewers", "alice", "bob")
+	if _, err := f.space.AddReference("spec", "reviewers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.space.Attach("spec", "reviewers", Personal, property.NewSpellCorrector(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		data, _, err := f.space.ReadDocument("spec", u)
+		if err != nil || string(data) != "the spec" {
+			t.Fatalf("%s read %q, %v", u, data, err)
+		}
+	}
+	// Non-members still have no access.
+	if _, _, err := f.space.ReadDocument("spec", "mallory"); !errors.Is(err, ErrNoReference) {
+		t.Fatalf("non-member err = %v", err)
+	}
+}
+
+func TestDirectReferenceWinsOverGroup(t *testing.T) {
+	f := newFixture(t)
+	f.addDoc(t, "d", "author", "/d", []byte("plain"))
+	f.space.DefineGroup("team", "alice")
+	f.space.AddReference("d", "team")
+	f.space.AddReference("d", "alice")
+	f.space.Attach("d", "team", Personal, property.NewUppercaser(0))
+	// Alice's own (property-free) reference takes precedence.
+	data, _, err := f.space.ReadDocument("d", "alice")
+	if err != nil || string(data) != "plain" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	owner, err := f.space.ResolveOwner("d", "alice")
+	if err != nil || owner != "alice" {
+		t.Fatalf("ResolveOwner = %q, %v", owner, err)
+	}
+}
+
+func TestGroupResolutionDeterministic(t *testing.T) {
+	// A user in two groups resolves to the alphabetically first group
+	// holding a reference.
+	f := newFixture(t)
+	f.addDoc(t, "d", "author", "/d", []byte("x"))
+	f.space.DefineGroup("zeta", "alice")
+	f.space.DefineGroup("alpha", "alice")
+	f.space.AddReference("d", "zeta")
+	owner, err := f.space.ResolveOwner("d", "alice")
+	if err != nil || owner != "zeta" {
+		t.Fatalf("ResolveOwner = %q, %v (only zeta holds a ref)", owner, err)
+	}
+	f.space.AddReference("d", "alpha")
+	owner, _ = f.space.ResolveOwner("d", "alice")
+	if owner != "alpha" {
+		t.Fatalf("ResolveOwner = %q, want alphabetically first group", owner)
+	}
+}
+
+func TestGroupWritePath(t *testing.T) {
+	f := newFixture(t)
+	f.addDoc(t, "d", "author", "/d", []byte("v1"))
+	f.space.DefineGroup("editors", "ed")
+	f.space.AddReference("d", "editors")
+	if err := f.space.WriteDocument("d", "ed", []byte("v2 by ed")); err != nil {
+		t.Fatal(err)
+	}
+	fr, _ := f.src.Fetch("/d")
+	if string(fr.Data) != "v2 by ed" {
+		t.Fatalf("stored %q", fr.Data)
+	}
+}
+
+func TestResolveOwnerErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.space.ResolveOwner("ghost", "u"); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("err = %v", err)
+	}
+	f.addDoc(t, "d", "author", "/d", []byte("x"))
+	if _, err := f.space.ResolveOwner("d", "stranger"); !errors.Is(err, ErrNoReference) {
+		t.Fatalf("err = %v", err)
+	}
+}

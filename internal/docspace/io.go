@@ -1,0 +1,233 @@
+package docspace
+
+import (
+	"io"
+
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/stream"
+)
+
+// snapshotActives copies a node's active-property list under the space
+// lock so path execution runs without holding it.
+func (s *Space) snapshotActives(n *node) []property.Active {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	props := make([]property.Active, len(n.actives))
+	for i, e := range n.actives {
+		props[i] = e.prop
+	}
+	return props
+}
+
+// Open executes the read path for user's reference to doc (paper §2,
+// Figure 2): the bit-provider produces the raw stream, base-document
+// properties interpose their custom input streams first, then
+// reference properties; getInputStream events are dispatched at both
+// levels. The returned ReadResult carries the aggregated cacheability
+// vote, the verifiers, and the replacement cost for the cache.
+func (s *Space) Open(doc, user string) (io.ReadCloser, property.ReadResult, error) {
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, property.ReadResult{}, err
+	}
+	b := r.base
+	s.mu.Unlock()
+
+	now := s.clk.Now()
+	rc := &property.ReadContext{Doc: doc, User: user, Now: now, Sleep: s.clk.Sleep}
+	if d := s.AccessOverhead(); d > 0 {
+		// Middleware cost: repository → base server → reference
+		// server. It is real rebuild cost, so it also enters the
+		// replacement-cost accumulator.
+		s.clk.Sleep(d)
+		rc.AddCost(d)
+	}
+
+	raw, err := b.bits.Open(rc)
+	if err != nil {
+		return nil, property.ReadResult{}, err
+	}
+
+	var wrappers []stream.InputWrapper
+	for _, p := range s.snapshotActives(b.node) {
+		if w := p.WrapInput(rc); w != nil {
+			wrappers = append(wrappers, w)
+		}
+	}
+	for _, p := range s.snapshotActives(r.node) {
+		if w := p.WrapInput(rc); w != nil {
+			wrappers = append(wrappers, w)
+		}
+	}
+
+	e := event.Event{Kind: event.GetInputStream, Doc: doc, User: user, Time: now}
+	b.node.registry.Dispatch(e)
+	r.node.registry.Dispatch(e)
+
+	return stream.ChainInput(raw, wrappers...), rc.Result(), nil
+}
+
+// ReadDocument is a convenience wrapper around Open that returns the
+// fully transformed content.
+func (s *Space) ReadDocument(doc, user string) ([]byte, property.ReadResult, error) {
+	r, res, err := s.Open(doc, user)
+	if err != nil {
+		return nil, res, err
+	}
+	data, err := stream.ReadAllAndClose(r)
+	return data, res, err
+}
+
+// notifyingCloser dispatches contentWritten when the composed write
+// stream closes.
+type notifyingCloser struct {
+	io.WriteCloser
+	closed bool
+	onDone func()
+}
+
+func (n *notifyingCloser) Close() error {
+	err := n.WriteCloser.Close()
+	if !n.closed {
+		n.closed = true
+		if n.onDone != nil {
+			n.onDone()
+		}
+	}
+	return err
+}
+
+// Create executes the write path for user's reference to doc: the
+// bit-provider supplies the raw sink, reference properties interpose
+// their custom output streams first (they see application bytes
+// first), then base-document properties; getOutputStream events are
+// dispatched at both levels — which is when a versioning property
+// snapshots the superseded content. Closing the returned stream stores
+// the content and dispatches a contentWritten event on the base, the
+// hook notifiers use for the paper's invalidation cause 1 (updates
+// through the Placeless system).
+func (s *Space) Create(doc, user string) (io.WriteCloser, error) {
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	b := r.base
+	s.mu.Unlock()
+
+	if d := s.AccessOverhead(); d > 0 {
+		s.clk.Sleep(d)
+	}
+	now := s.clk.Now()
+	wc := &property.WriteContext{
+		Doc: doc, User: user, Now: now, Sleep: s.clk.Sleep,
+		Snapshot: func() ([]byte, error) { return b.bits.ReadCurrent() },
+	}
+	// Reuse the event-context hooks for StoreAside/AttachStatic.
+	ectx := s.eventContext(doc, user, Universal, b.node, b, "")
+	wc.StoreAside = ectx.StoreAside
+	wc.AttachStatic = ectx.AttachStatic
+
+	sink, err := b.bits.Create(wc)
+	if err != nil {
+		return nil, err
+	}
+
+	var wrappers []stream.OutputWrapper
+	for _, p := range s.snapshotActives(r.node) {
+		if w := p.WrapOutput(wc); w != nil {
+			wrappers = append(wrappers, w)
+		}
+	}
+	for _, p := range s.snapshotActives(b.node) {
+		if w := p.WrapOutput(wc); w != nil {
+			wrappers = append(wrappers, w)
+		}
+	}
+
+	e := event.Event{Kind: event.GetOutputStream, Doc: doc, User: user, Time: now}
+	r.node.registry.Dispatch(e)
+	b.node.registry.Dispatch(e)
+
+	composed := stream.ChainOutput(sink, wrappers...)
+	return &notifyingCloser{
+		WriteCloser: composed,
+		onDone: func() {
+			b.node.registry.Dispatch(event.Event{
+				Kind: event.ContentWritten, Doc: doc, User: user, Time: s.clk.Now(),
+			})
+		},
+	}, nil
+}
+
+// WriteDocument is a convenience wrapper around Create that writes
+// data and closes the stream.
+func (s *Space) WriteDocument(doc, user string, data []byte) error {
+	w, err := s.Create(doc, user)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// WritePathVote returns the aggregated cacheability vote of the
+// write-path properties for (doc, user) without executing a write.
+// Write-back caches use it to decide whether getOutputStream
+// operations must be forwarded per buffered write (paper §3: "these
+// properties should set the cacheability indicator so that
+// getOutputStream operations get forwarded"). The properties'
+// WrapOutput hooks are invoked for their votes; the wrappers they
+// return are discarded unused.
+func (s *Space) WritePathVote(doc, user string) (property.Cacheability, error) {
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return property.Unrestricted, err
+	}
+	b := r.base
+	s.mu.Unlock()
+
+	wc := &property.WriteContext{Doc: doc, User: user, Now: s.clk.Now()}
+	for _, p := range s.snapshotActives(r.node) {
+		p.WrapOutput(wc)
+	}
+	for _, p := range s.snapshotActives(b.node) {
+		p.WrapOutput(wc)
+	}
+	return wc.Cacheability(), nil
+}
+
+// ForwardEvent redelivers an operation event on behalf of a cache
+// serving a hit for content cached under the CacheWithEvents
+// indicator: "the cache will forward the operation, but the Placeless
+// system will not execute them fully, instead just use them to trigger
+// active properties that have registered for these events" (paper §3).
+// Only OnEvent handlers run; no streams are built and no content
+// moves.
+func (s *Space) ForwardEvent(doc, user string, kind event.Kind) error {
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	b := r.base
+	s.mu.Unlock()
+
+	e := event.Event{
+		Kind: kind, Doc: doc, User: user,
+		Time: s.clk.Now(), Detail: "forwarded",
+	}
+	b.node.registry.Dispatch(e)
+	r.node.registry.Dispatch(e)
+	return nil
+}

@@ -1,0 +1,59 @@
+package docspace
+
+import (
+	"sort"
+
+	"placeless/internal/property"
+)
+
+// Property-based document search. Placeless organizes documents by
+// their properties rather than their location (the project's founding
+// idea — properties like "budget related" exist so documents can be
+// found by them). FindByStatic answers "which documents carry this
+// label, as seen by this user": universal statics are visible to every
+// user with a reference, personal statics only to their owner.
+
+// Match describes one search hit.
+type Match struct {
+	// Doc is the document id.
+	Doc string
+	// Value is the matched static property's value.
+	Value string
+	// Level reports where the property is attached.
+	Level Level
+}
+
+// FindByStatic returns the documents visible to user carrying a static
+// property with the given key. If value is non-empty, the property
+// value must also match. Results are sorted by document id; a document
+// carrying the key at both levels yields the universal match.
+func (s *Space) FindByStatic(user, key, value string) []Match {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Match
+	for doc, b := range s.bases {
+		ref, err := s.resolveRefLocked(doc, user)
+		if err != nil {
+			continue // not visible to this user
+		}
+		if m, ok := matchStatics(b.node.statics, key, value); ok {
+			out = append(out, Match{Doc: doc, Value: m, Level: Universal})
+			continue
+		}
+		if m, ok := matchStatics(ref.node.statics, key, value); ok {
+			out = append(out, Match{Doc: doc, Value: m, Level: Personal})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// matchStatics scans a static list for key (and value, if non-empty).
+func matchStatics(statics []property.Static, key, value string) (string, bool) {
+	for _, st := range statics {
+		if st.Key == key && (value == "" || st.Value == value) {
+			return st.Value, true
+		}
+	}
+	return "", false
+}

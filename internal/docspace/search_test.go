@@ -1,0 +1,75 @@
+package docspace
+
+import (
+	"testing"
+
+	"placeless/internal/property"
+)
+
+func searchFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	f.addDoc(t, "budget-q1", "alice", "/b1", []byte("q1"))
+	f.addDoc(t, "budget-q2", "alice", "/b2", []byte("q2"))
+	f.addDoc(t, "memo", "bob", "/m", []byte("m"))
+	f.space.AddReference("budget-q1", "bob")
+	f.space.AddReference("memo", "alice")
+
+	// Universal labels.
+	f.space.AttachStatic("budget-q1", "", Universal, property.Static{Key: "budget related"})
+	f.space.AttachStatic("budget-q2", "", Universal, property.Static{Key: "budget related"})
+	f.space.AttachStatic("memo", "", Universal, property.Static{Key: "status", Value: "draft"})
+	// Personal labels.
+	f.space.AttachStatic("memo", "alice", Personal, property.Static{Key: "read by", Value: "friday"})
+	return f
+}
+
+func TestFindByStaticUniversal(t *testing.T) {
+	f := searchFixture(t)
+	got := f.space.FindByStatic("alice", "budget related", "")
+	if len(got) != 2 || got[0].Doc != "budget-q1" || got[1].Doc != "budget-q2" {
+		t.Fatalf("matches = %+v", got)
+	}
+	for _, m := range got {
+		if m.Level != Universal {
+			t.Fatalf("level = %v", m.Level)
+		}
+	}
+	// Bob only sees the documents he holds references to.
+	bob := f.space.FindByStatic("bob", "budget related", "")
+	if len(bob) != 1 || bob[0].Doc != "budget-q1" {
+		t.Fatalf("bob matches = %+v", bob)
+	}
+}
+
+func TestFindByStaticValueFilter(t *testing.T) {
+	f := searchFixture(t)
+	if got := f.space.FindByStatic("bob", "status", "draft"); len(got) != 1 || got[0].Value != "draft" {
+		t.Fatalf("matches = %+v", got)
+	}
+	if got := f.space.FindByStatic("bob", "status", "final"); len(got) != 0 {
+		t.Fatalf("value filter leaked: %+v", got)
+	}
+}
+
+func TestFindByStaticPersonalVisibility(t *testing.T) {
+	f := searchFixture(t)
+	alice := f.space.FindByStatic("alice", "read by", "")
+	if len(alice) != 1 || alice[0].Level != Personal || alice[0].Value != "friday" {
+		t.Fatalf("alice matches = %+v", alice)
+	}
+	// Bob owns the memo but cannot see Alice's personal label.
+	if bob := f.space.FindByStatic("bob", "read by", ""); len(bob) != 0 {
+		t.Fatalf("personal label leaked to bob: %+v", bob)
+	}
+}
+
+func TestFindByStaticNoMatches(t *testing.T) {
+	f := searchFixture(t)
+	if got := f.space.FindByStatic("alice", "nonexistent", ""); len(got) != 0 {
+		t.Fatalf("matches = %+v", got)
+	}
+	if got := f.space.FindByStatic("stranger", "budget related", ""); len(got) != 0 {
+		t.Fatalf("stranger sees %+v", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package event defines the document events that drive active
+// properties in the Placeless system.
+//
+// Active properties are event driven (paper §2): they register for the
+// events that can occur on a document — getInputStream,
+// getOutputStream, property mutations, timers — and are invoked, in
+// attachment order, whenever a registered event fires on that
+// document. This package provides the event vocabulary and a small
+// ordered registry used by both base documents and document
+// references.
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind identifies a class of document event.
+type Kind int
+
+// The event kinds named by the paper, plus property-removal which the
+// consistency discussion (§3, invalidation cause 2) requires.
+const (
+	// GetInputStream fires when a document is opened for reading.
+	GetInputStream Kind = iota
+	// GetOutputStream fires when a document is opened for writing.
+	GetOutputStream
+	// SetProperty fires when a property is attached to a document.
+	SetProperty
+	// ModifyProperty fires when an attached property's definition or
+	// configuration changes (e.g. a spell corrector upgrade).
+	ModifyProperty
+	// RemoveProperty fires when a property is detached.
+	RemoveProperty
+	// ReorderProperties fires when the execution order of a
+	// document's properties changes (invalidation cause 3).
+	ReorderProperties
+	// Timer fires at a property-requested simulated time (e.g. the
+	// end-of-day replication property).
+	Timer
+	// ContentWritten fires after a write stream is closed, i.e. the
+	// document content changed through the Placeless system.
+	ContentWritten
+	// ExternalChange fires when information outside Placeless
+	// control that a property depends on changes (invalidation
+	// cause 4); it is synthesized by the property that tracks the
+	// external source.
+	ExternalChange
+	numKinds
+)
+
+var kindNames = [...]string{
+	GetInputStream:    "getInputStream",
+	GetOutputStream:   "getOutputStream",
+	SetProperty:       "setProperty",
+	ModifyProperty:    "modifyProperty",
+	RemoveProperty:    "removeProperty",
+	ReorderProperties: "reorderProperties",
+	Timer:             "timer",
+	ContentWritten:    "contentWritten",
+	ExternalChange:    "externalChange",
+}
+
+// String returns the paper's camel-case name for the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds returns all defined event kinds, in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Event carries the context of a single occurrence delivered to
+// registered handlers.
+type Event struct {
+	// Kind is the event class.
+	Kind Kind
+	// Doc is the identifier of the base document involved.
+	Doc string
+	// User is the owner of the document reference through which the
+	// operation arrived; empty for base-level events with no user
+	// context (e.g. repository-side changes).
+	User string
+	// Property names the property involved in property-mutation
+	// events; empty otherwise.
+	Property string
+	// Time is the simulated time at which the event fired.
+	Time time.Time
+	// Detail carries event-specific context (e.g. the external
+	// source name for ExternalChange).
+	Detail string
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s doc=%s", e.Kind, e.Doc)
+	if e.User != "" {
+		s += " user=" + e.User
+	}
+	if e.Property != "" {
+		s += " prop=" + e.Property
+	}
+	if e.Detail != "" {
+		s += " detail=" + e.Detail
+	}
+	return s
+}
+
+// Handler consumes an event. Handlers run synchronously on the
+// dispatching goroutine, in registration order.
+type Handler func(Event)
+
+// registration pairs a handler with its subscription id for removal.
+type registration struct {
+	id uint64
+	h  Handler
+}
+
+// Registry is an ordered, concurrency-safe event subscription table.
+// Dispatch order is registration order within each kind, matching the
+// paper's "all registered properties on that document are invoked"
+// semantics where attachment order determines execution order.
+type Registry struct {
+	mu     sync.Mutex
+	nextID uint64
+	subs   [numKinds][]registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Subscribe registers h for events of kind k and returns a
+// subscription id usable with Unsubscribe.
+func (r *Registry) Subscribe(k Kind, h Handler) uint64 {
+	if k < 0 || k >= numKinds {
+		panic(fmt.Sprintf("event: subscribe to unknown kind %d", int(k)))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	r.subs[k] = append(r.subs[k], registration{id: r.nextID, h: h})
+	return r.nextID
+}
+
+// Unsubscribe removes the subscription with the given id from every
+// kind it appears under. Unknown ids are ignored.
+func (r *Registry) Unsubscribe(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.subs {
+		regs := r.subs[k]
+		for i, reg := range regs {
+			if reg.id == id {
+				r.subs[k] = append(regs[:i:i], regs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Dispatch delivers e to every handler registered for e.Kind, in
+// registration order. The handler list is snapshotted before delivery,
+// so handlers may subscribe or unsubscribe during dispatch without
+// affecting the current delivery.
+func (r *Registry) Dispatch(e Event) {
+	if e.Kind < 0 || e.Kind >= numKinds {
+		return
+	}
+	r.mu.Lock()
+	regs := make([]registration, len(r.subs[e.Kind]))
+	copy(regs, r.subs[e.Kind])
+	r.mu.Unlock()
+	for _, reg := range regs {
+		reg.h(e)
+	}
+}
+
+// Subscribers reports how many handlers are registered for kind k.
+func (r *Registry) Subscribers(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return len(r.subs[k])
+}

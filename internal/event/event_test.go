@@ -1,0 +1,189 @@
+package event
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		GetInputStream:    "getInputStream",
+		GetOutputStream:   "getOutputStream",
+		SetProperty:       "setProperty",
+		ModifyProperty:    "modifyProperty",
+		RemoveProperty:    "removeProperty",
+		ReorderProperties: "reorderProperties",
+		Timer:             "timer",
+		ContentWritten:    "contentWritten",
+		ExternalChange:    "externalChange",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if s := Kind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestKindsEnumeration(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(numKinds) {
+		t.Fatalf("Kinds() returned %d kinds, want %d", len(ks), int(numKinds))
+	}
+	for i, k := range ks {
+		if int(k) != i {
+			t.Fatalf("Kinds()[%d] = %d", i, int(k))
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: SetProperty, Doc: "d1", User: "eyal", Property: "spell", Detail: "v2"}
+	s := e.String()
+	for _, want := range []string{"setProperty", "d1", "eyal", "spell", "v2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDispatchOrder(t *testing.T) {
+	r := NewRegistry()
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		r.Subscribe(GetInputStream, func(Event) { got = append(got, i) })
+	}
+	r.Dispatch(Event{Kind: GetInputStream})
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("dispatch order %v, want registration order", got)
+		}
+	}
+}
+
+func TestDispatchOnlyMatchingKind(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.Subscribe(GetOutputStream, func(Event) { calls++ })
+	r.Dispatch(Event{Kind: GetInputStream})
+	if calls != 0 {
+		t.Fatal("handler invoked for non-matching kind")
+	}
+	r.Dispatch(Event{Kind: GetOutputStream})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	id := r.Subscribe(Timer, func(Event) { calls++ })
+	r.Subscribe(Timer, func(Event) { calls += 10 })
+	r.Unsubscribe(id)
+	r.Unsubscribe(9999) // unknown id: no-op
+	r.Dispatch(Event{Kind: Timer})
+	if calls != 10 {
+		t.Fatalf("calls = %d, want 10 (first handler removed)", calls)
+	}
+	if n := r.Subscribers(Timer); n != 1 {
+		t.Fatalf("Subscribers = %d, want 1", n)
+	}
+}
+
+func TestSubscribeDuringDispatch(t *testing.T) {
+	r := NewRegistry()
+	added := false
+	r.Subscribe(SetProperty, func(Event) {
+		if !added {
+			added = true
+			r.Subscribe(SetProperty, func(Event) {})
+		}
+	})
+	r.Dispatch(Event{Kind: SetProperty}) // must not deadlock or loop
+	if n := r.Subscribers(SetProperty); n != 2 {
+		t.Fatalf("Subscribers = %d, want 2", n)
+	}
+}
+
+func TestUnsubscribeSelfDuringDispatch(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	var id uint64
+	id = r.Subscribe(ContentWritten, func(Event) {
+		calls++
+		r.Unsubscribe(id)
+	})
+	r.Dispatch(Event{Kind: ContentWritten})
+	r.Dispatch(Event{Kind: ContentWritten})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (handler removed itself)", calls)
+	}
+}
+
+func TestSubscribeUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegistry().Subscribe(Kind(1000), func(Event) {})
+}
+
+func TestDispatchUnknownKindIgnored(t *testing.T) {
+	NewRegistry().Dispatch(Event{Kind: Kind(1000)}) // must not panic
+}
+
+func TestConcurrentSubscribeDispatch(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				id := r.Subscribe(Timer, func(Event) {
+					mu.Lock()
+					total++
+					mu.Unlock()
+				})
+				r.Dispatch(Event{Kind: Timer})
+				r.Unsubscribe(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if total == 0 {
+		t.Fatal("no handler invocations observed")
+	}
+}
+
+// Property: after subscribing n handlers to a kind and unsubscribing k
+// of them, exactly n-k run on dispatch.
+func TestSubscribeUnsubscribeCountProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n%20) + 1
+		kk := int(k) % nn
+		r := NewRegistry()
+		ids := make([]uint64, nn)
+		calls := 0
+		for i := 0; i < nn; i++ {
+			ids[i] = r.Subscribe(GetInputStream, func(Event) { calls++ })
+		}
+		for i := 0; i < kk; i++ {
+			r.Unsubscribe(ids[i])
+		}
+		r.Dispatch(Event{Kind: GetInputStream})
+		return calls == nn-kk && r.Subscribers(GetInputStream) == nn-kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+// Rendering invariants: every result type implements Result, and its
+// Table and CSV renderings agree with TableData (same cells, different
+// framing).
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleResults constructs one literal instance of every result type.
+func sampleResults() []Result {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Result{
+		Table1Result{Rows: []Table1Row{{Source: "parcweb", Size: 1915, NoCache: ms(9), Miss: ms(10), Hit: ms(1)}}},
+		NVResult{Rows: []NVRow{{Mode: VerifierOnly, MeanHit: ms(1), MeanRead: ms(2), HitRatio: 0.5, StaleReads: 3, Notifications: 4, VerifierPolls: 5}}},
+		NVSweepResult{Rates: []NVSweepRow{{UpdateEvery: 10, Rows: []NVRow{{Mode: NotifierOnly, MeanRead: ms(1)}}}}},
+		ReplacementResult{Rows: []ReplacementRow{{Policy: "gds", HitRatio: 0.5, ByteHitRatio: 0.25, MeanRead: ms(25), Evictions: 7}}},
+		SharingResult{Rows: []SharingRow{{PersonalizedFrac: 0.25, Entries: 240, BytesLogical: 1000, BytesStored: 500, Saved: 0.5}}},
+		CacheabilityResult{Rows: []CacheabilityRow{{Mix: "100/0/0", HitRatio: 0.9, MeanRead: ms(1), EventsForwarded: 2}}},
+		ChainsResult{Rows: []ChainRow{{Chain: 3, NoCache: ms(30), Hit: ms(1), ReplacementCost: ms(30)}}},
+		QoSResult{Rows: []QoSRow{{Config: "qos-on", QoSHitRatio: 0.99, QoSMeanRead: ms(80), QoSWorstRead: ms(80), MetTarget: true, OverallHitRatio: 0.3}}},
+		CollectionResult{Rows: []CollectionRow{{Config: "prefetch-on", FirstRead: ms(100), MeanSubsequent: ms(1), TotalWalk: ms(110), Prefetches: 7}}},
+		CostAblationResult{Rows: []CostAblationRow{{Config: "full", HitRatio: 0.5, MeanRead: ms(25)}}},
+		PlacementResult{Rows: []PlacementRow{{Placement: "app+server", MeanRead: ms(8), P99Read: ms(190)}}},
+	}
+}
+
+func TestAllResultsRenderConsistently(t *testing.T) {
+	for _, res := range sampleResults() {
+		header, rows := res.TableData()
+		if len(header) == 0 {
+			t.Fatalf("%T: empty header", res)
+		}
+		for i, r := range rows {
+			if len(r) != len(header) {
+				t.Fatalf("%T: row %d has %d cells, header has %d", res, i, len(r), len(header))
+			}
+		}
+		tbl := res.Table()
+		csv := res.CSV()
+		// Same line counts: header + separator + rows vs header + rows.
+		tblLines := strings.Count(strings.TrimRight(tbl, "\n"), "\n") + 1
+		csvLines := strings.Count(strings.TrimRight(csv, "\n"), "\n") + 1
+		if tblLines != len(rows)+2 || csvLines != len(rows)+1 {
+			t.Fatalf("%T: table %d lines, csv %d lines, rows %d", res, tblLines, csvLines, len(rows))
+		}
+		// Every cell appears in both renderings.
+		for _, r := range rows {
+			for _, cell := range r {
+				if !strings.Contains(tbl, cell) {
+					t.Fatalf("%T: table missing cell %q", res, cell)
+				}
+				// CSV may quote the cell; strip quotes for the check.
+				if !strings.Contains(strings.ReplaceAll(csv, `"`, ""), strings.ReplaceAll(cell, `"`, "")) {
+					t.Fatalf("%T: csv missing cell %q", res, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := csvTable([]string{"a", "b"}, [][]string{{`x,y`, `he said "hi"`}})
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"he said ""hi"""`) {
+		t.Fatalf("csv quoting: %q", out)
+	}
+}

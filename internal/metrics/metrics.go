@@ -1,0 +1,164 @@
+// Package metrics provides the measurement plumbing for the
+// experiment harness: duration histograms and labeled counters over
+// simulated time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates duration observations. It keeps every sample
+// (experiments here are small enough) so exact percentiles are
+// available. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// sortLocked ensures the sample slice is ordered.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders count/mean/p50/p99/max in a compact form.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Counters is a labeled counter set, safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments label by delta.
+func (c *Counters) Add(label string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[label] += delta
+}
+
+// Get returns the current value of label (0 if never touched).
+func (c *Counters) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[label]
+}
+
+// Labels returns all labels in sorted order.
+func (c *Counters) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stopwatch measures elapsed time on any clock-like Now function,
+// which is how experiments time operations against virtual clocks.
+type Stopwatch struct {
+	now   func() time.Time
+	start time.Time
+}
+
+// NewStopwatch starts timing immediately.
+func NewStopwatch(now func() time.Time) *Stopwatch {
+	return &Stopwatch{now: now, start: now()}
+}
+
+// Lap returns the elapsed time and restarts the watch.
+func (s *Stopwatch) Lap() time.Duration {
+	t := s.now()
+	d := t.Sub(s.start)
+	s.start = t
+	return d
+}

@@ -1,0 +1,283 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC)
+
+type env struct {
+	clk   *clock.Virtual
+	src   *repo.Mem
+	space *docspace.Space
+	cache *core.Cache
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	src := repo.NewMem("fs", clk, simnet.Local(1))
+	space := docspace.New(clk, nil)
+	return &env{clk: clk, src: src, space: space, cache: core.New(space, core.Options{})}
+}
+
+func (e *env) addDoc(t *testing.T, id, owner string, content []byte) {
+	t.Helper()
+	e.src.Store("/"+id, content)
+	if _, err := e.space.CreateDocument(id, owner, &property.RepoBitProvider{Repo: e.src, Path: "/" + id}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileWriteFile(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "hotos.doc", "eyal", []byte("draft"))
+	fs := Mount(e.space, "eyal")
+	data, err := fs.ReadFile("hotos.doc")
+	if err != nil || string(data) != "draft" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if err := fs.WriteFile("hotos.doc", []byte("draft v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile("hotos.doc")
+	if string(data) != "draft v2" {
+		t.Fatalf("after write: %q", data)
+	}
+}
+
+func TestOpenReadSeek(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("0123456789"))
+	fs := Mount(e.space, "eyal")
+	f, err := fs.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	buf := make([]byte, 4)
+	n, err := f.Read(buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("read = %q, %d, %v", buf, n, err)
+	}
+	if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+		t.Fatalf("seek = %d, %v", pos, err)
+	}
+	f.Read(buf)
+	if string(buf) != "2345" {
+		t.Fatalf("after seek read %q", buf)
+	}
+	if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Fatalf("seek end = %d", pos)
+	}
+	if pos, _ := f.Seek(1, io.SeekCurrent); pos != 9 {
+		t.Fatalf("seek current = %d", pos)
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	if _, err := f.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if f.Size() != 10 || f.Name() != "d" {
+		t.Fatalf("Size/Name = %d/%s", f.Size(), f.Name())
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("abcdef"))
+	fs := Mount(e.space, "eyal")
+	f, _ := fs.Open("d")
+	defer f.Close()
+	buf := make([]byte, 3)
+	if n, err := f.ReadAt(buf, 2); err != nil || n != 3 || string(buf) != "cde" {
+		t.Fatalf("ReadAt = %q, %d, %v", buf, n, err)
+	}
+	if n, err := f.ReadAt(buf, 5); err != io.EOF || n != 1 {
+		t.Fatalf("short ReadAt = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("past-end ReadAt err = %v", err)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestEOFSemantics(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("ab"))
+	fs := Mount(e.space, "eyal")
+	f, _ := fs.Open("d")
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "ab" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	if _, err := f.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestCreateBuffersUntilClose(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("old"))
+	fs := Mount(e.space, "eyal")
+	f, err := fs.Create("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "new ")
+	io.WriteString(f, "content")
+	// Not yet visible.
+	if data, _ := fs.ReadFile("d"); string(data) != "old" {
+		t.Fatalf("write leaked before close: %q", data)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fs.ReadFile("d"); string(data) != "new content" {
+		t.Fatalf("after close: %q", data)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("x"))
+	fs := Mount(e.space, "eyal")
+	r, _ := fs.Open("d")
+	if _, err := r.Write([]byte("no")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write on read handle: %v", err)
+	}
+	w, _ := fs.Create("d")
+	if _, err := w.Read(make([]byte, 1)); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("read on write handle: %v", err)
+	}
+	if _, err := w.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("readAt on write handle: %v", err)
+	}
+	if _, err := w.Seek(0, io.SeekStart); err == nil {
+		t.Fatal("seek on write handle accepted")
+	}
+	r.Close()
+	w.Close()
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestPerUserViews(t *testing.T) {
+	// The NFS layer exposes each user's personalized view, as the
+	// paper's Figure 2 shows for MS-Word.
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("teh draft"))
+	e.space.AddReference("d", "paul")
+	e.space.Attach("d", "eyal", docspace.Personal, property.NewSpellCorrector(0))
+	eyalFS := Mount(e.space, "eyal")
+	paulFS := Mount(e.space, "paul")
+	eyal, _ := eyalFS.ReadFile("d")
+	paul, _ := paulFS.ReadFile("d")
+	if string(eyal) != "the draft" || string(paul) != "teh draft" {
+		t.Fatalf("views: eyal=%q paul=%q", eyal, paul)
+	}
+}
+
+func TestCachedMountHitsCache(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("cached bits"))
+	fs := MountCached(e.cache, e.space, "eyal")
+	fs.ReadFile("d")
+	fs.ReadFile("d")
+	st := e.cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Writes through the cached mount keep the cache consistent.
+	if err := fs.WriteFile("d", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("d")
+	if string(data) != "v2" {
+		t.Fatalf("read-back = %q", data)
+	}
+}
+
+func TestStatReflectsTransformedSize(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("one\ntwo\nthree\n"))
+	e.space.Attach("d", "eyal", docspace.Personal, property.NewSummarizer(1, 0))
+	fs := Mount(e.space, "eyal")
+	size, err := fs.Stat("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len("one\n[...]\n"))
+	if size != want {
+		t.Fatalf("Stat = %d, want transformed size %d", size, want)
+	}
+}
+
+func TestListShowsOnlyReferencedDocs(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "a", "eyal", []byte("1"))
+	e.addDoc(t, "b", "paul", []byte("2"))
+	e.space.AddReference("b", "eyal")
+	e.addDoc(t, "c", "doug", []byte("3")) // eyal has no reference
+	fs := Mount(e.space, "eyal")
+	docs := fs.List()
+	if len(docs) != 2 || docs[0] != "a" || docs[1] != "b" {
+		t.Fatalf("List = %v", docs)
+	}
+	if fs.User() != "eyal" {
+		t.Fatalf("User = %q", fs.User())
+	}
+}
+
+func TestOpenMissingDoc(t *testing.T) {
+	e := newEnv(t)
+	fs := Mount(e.space, "eyal")
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("Open of missing doc succeeded")
+	}
+	if _, err := fs.Create("nope"); err == nil {
+		t.Fatal("Create of missing doc succeeded")
+	}
+}
+
+// Property: write-then-read through the NFS layer round-trips
+// arbitrary content (no transforming properties attached).
+func TestRoundTripProperty(t *testing.T) {
+	e := newEnv(t)
+	e.addDoc(t, "d", "eyal", []byte("init"))
+	fs := Mount(e.space, "eyal")
+	f := func(content []byte) bool {
+		if err := fs.WriteFile("d", content); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("d")
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

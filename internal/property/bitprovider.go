@@ -1,0 +1,153 @@
+package property
+
+import (
+	"io"
+	"time"
+
+	"placeless/internal/repo"
+	"placeless/internal/stream"
+)
+
+// RepoBitProvider links a base document to content stored in a
+// repository. On reads it seeds the cache-facing read result the way
+// the paper describes for bit-providers: it initializes the
+// replacement cost with the retrieval cost, returns the
+// source-appropriate verifier (TTL when the source advertises one,
+// otherwise an mtime poll), and casts the source's cacheability vote.
+type RepoBitProvider struct {
+	// Repo is the content source; Path the document's location in it.
+	Repo repo.Repository
+	Path string
+	// Vote is the provider's cacheability vote; sources whose
+	// content changes every access (live feeds) should set
+	// Uncacheable. Zero value is Unrestricted.
+	Vote Cacheability
+	// DisableVerifier suppresses verifier creation, for experiments
+	// isolating notifier-only consistency.
+	DisableVerifier bool
+}
+
+var _ BitProvider = (*RepoBitProvider)(nil)
+
+// Name implements BitProvider.
+func (p *RepoBitProvider) Name() string { return "bits:" + p.Repo.Name() + ":" + p.Path }
+
+// Open implements BitProvider: it fetches the content, charges the
+// retrieval cost, and registers verifier/vote/cost on the context.
+func (p *RepoBitProvider) Open(ctx *ReadContext) (io.ReadCloser, error) {
+	fr, err := p.Repo.Fetch(p.Path)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		ctx.AddCost(fr.Cost)
+		ctx.Vote(p.Vote)
+		if !p.DisableVerifier {
+			if fr.Meta.TTL > 0 {
+				ctx.AddVerifier(NewTTLVerifier(ctx.Now, fr.Meta.TTL))
+			} else {
+				ctx.AddVerifier(MTimeVerifier{
+					Repo:    p.Repo,
+					Path:    p.Path,
+					ModTime: fr.Meta.ModTime,
+					Version: fr.Meta.Version,
+				})
+			}
+		}
+	}
+	return stream.BytesReader(fr.Data), nil
+}
+
+// Create implements BitProvider: writes buffered by the returned sink
+// are stored back to the repository when the sink closes.
+func (p *RepoBitProvider) Create(ctx *WriteContext) (io.WriteCloser, error) {
+	return &storeCloser{provider: p}, nil
+}
+
+// storeCloser buffers the composed write-path output and stores it on
+// Close.
+type storeCloser struct {
+	stream.BufferCloser
+	provider *RepoBitProvider
+	storeErr error
+}
+
+// Close stores the buffered content into the repository.
+func (s *storeCloser) Close() error {
+	if s.Closed {
+		return s.storeErr
+	}
+	s.BufferCloser.Close()
+	s.storeErr = s.provider.Repo.Store(s.provider.Path, s.Bytes())
+	return s.storeErr
+}
+
+// ReadCurrent implements BitProvider.
+func (p *RepoBitProvider) ReadCurrent() ([]byte, error) {
+	fr, err := p.Repo.Fetch(p.Path)
+	if err != nil {
+		return nil, err
+	}
+	return fr.Data, nil
+}
+
+// ComposedBitProvider assembles a document from several sources — the
+// paper's news-summary example. It concatenates the parts (with a
+// separator) and returns a Composite verifier covering every source.
+type ComposedBitProvider struct {
+	// ProviderName labels the composition.
+	ProviderName string
+	// Parts are the underlying sources, in composition order.
+	Parts []*RepoBitProvider
+	// Separator is inserted between parts.
+	Separator []byte
+}
+
+var _ BitProvider = (*ComposedBitProvider)(nil)
+
+// Name implements BitProvider.
+func (c *ComposedBitProvider) Name() string { return "composed:" + c.ProviderName }
+
+// Open implements BitProvider by fetching every part. Each part
+// contributes its retrieval cost and verifier; the verifiers are
+// folded into one Composite so the cache sees a single unit.
+func (c *ComposedBitProvider) Open(ctx *ReadContext) (io.ReadCloser, error) {
+	sub := &ReadContext{Doc: ctx.Doc, User: ctx.User, Now: ctx.Now, Sleep: ctx.Sleep}
+	var out []byte
+	for i, part := range c.Parts {
+		if i > 0 {
+			out = append(out, c.Separator...)
+		}
+		r, err := part.Open(sub)
+		if err != nil {
+			return nil, err
+		}
+		data, err := stream.ReadAllAndClose(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	res := sub.Result()
+	ctx.AddCost(res.Cost)
+	ctx.Vote(res.Cacheability)
+	if len(res.Verifiers) > 0 {
+		ctx.AddVerifier(Composite{Parts: res.Verifiers})
+	}
+	return stream.BytesReader(out), nil
+}
+
+// Create implements BitProvider; composed documents are read-only.
+func (c *ComposedBitProvider) Create(*WriteContext) (io.WriteCloser, error) {
+	return nil, repo.ErrReadOnly
+}
+
+// ReadCurrent implements BitProvider.
+func (c *ComposedBitProvider) ReadCurrent() ([]byte, error) {
+	noSleep := func(time.Duration) {}
+	r, err := c.Open(&ReadContext{Sleep: noSleep})
+	if err != nil {
+		return nil, err
+	}
+	return stream.ReadAllAndClose(r)
+}

@@ -1,0 +1,201 @@
+package property
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+	"placeless/internal/stream"
+)
+
+func TestRepoBitProviderOpenSeedsContext(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	p := simnet.NewPath("lan", 1, simnet.Link{Latency: 5 * time.Millisecond})
+	m := repo.NewMem("mem", clk, p)
+	m.Store("/doc", []byte("bits"))
+
+	bp := &RepoBitProvider{Repo: m, Path: "/doc"}
+	rc := &ReadContext{Now: clk.Now()}
+	r, err := bp.Open(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := stream.ReadAllAndClose(r)
+	if string(data) != "bits" {
+		t.Fatalf("data = %q", data)
+	}
+	res := rc.Result()
+	if res.Cost != 5*time.Millisecond {
+		t.Fatalf("cost = %v, want retrieval cost 5ms", res.Cost)
+	}
+	if len(res.Verifiers) != 1 || !strings.Contains(res.Verifiers[0].Name(), "mtime") {
+		t.Fatalf("verifiers = %v, want one mtime verifier", res.Verifiers)
+	}
+	if res.Cacheability != Unrestricted {
+		t.Fatalf("vote = %v", res.Cacheability)
+	}
+}
+
+func TestRepoBitProviderTTLSource(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := repo.NewWeb("web", clk, simnet.NewPath("p", 1), 30*time.Second, true)
+	w.SetPage("/page", []byte("<html>"))
+	bp := &RepoBitProvider{Repo: w, Path: "/page"}
+	rc := &ReadContext{Now: clk.Now()}
+	if _, err := bp.Open(rc); err != nil {
+		t.Fatal(err)
+	}
+	vs := rc.Result().Verifiers
+	if len(vs) != 1 || vs[0].Name() != "ttl" {
+		t.Fatalf("verifiers = %v, want TTL for a web source", vs)
+	}
+	if ok, _ := vs[0].Check(clk.Now().Add(29 * time.Second)); !ok {
+		t.Fatal("TTL verifier rejected fresh entry")
+	}
+	if ok, _ := vs[0].Check(clk.Now().Add(31 * time.Second)); ok {
+		t.Fatal("TTL verifier accepted expired entry")
+	}
+}
+
+func TestRepoBitProviderUncacheableVote(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	feed := repo.NewLiveFeed("cam", clk, simnet.NewPath("p", 1), 64)
+	bp := &RepoBitProvider{Repo: feed, Path: "/cam1", Vote: Uncacheable, DisableVerifier: true}
+	rc := &ReadContext{Now: clk.Now()}
+	if _, err := bp.Open(rc); err != nil {
+		t.Fatal(err)
+	}
+	res := rc.Result()
+	if res.Cacheability != Uncacheable {
+		t.Fatalf("vote = %v", res.Cacheability)
+	}
+	if len(res.Verifiers) != 0 {
+		t.Fatal("DisableVerifier ignored")
+	}
+}
+
+func TestRepoBitProviderOpenNotFound(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	m := repo.NewMem("mem", clk, simnet.NewPath("p", 1))
+	bp := &RepoBitProvider{Repo: m, Path: "/missing"}
+	if _, err := bp.Open(&ReadContext{}); !errors.Is(err, repo.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepoBitProviderCreateStoresOnClose(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	m := repo.NewMem("mem", clk, simnet.NewPath("p", 1))
+	bp := &RepoBitProvider{Repo: m, Path: "/new"}
+	w, err := bp.Create(&WriteContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "written ")
+	io.WriteString(w, "in parts")
+	if _, err := m.Fetch("/new"); !errors.Is(err, repo.ErrNotFound) {
+		t.Fatal("content visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := m.Fetch("/new")
+	if err != nil || string(fr.Data) != "written in parts" {
+		t.Fatalf("stored = %q, %v", fr.Data, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestRepoBitProviderCreateReadOnlyRepo(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	web := repo.NewWeb("web", clk, simnet.NewPath("p", 1), time.Minute, true)
+	bp := &RepoBitProvider{Repo: web, Path: "/p"}
+	w, err := bp.Create(&WriteContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("x"))
+	if err := w.Close(); !errors.Is(err, repo.ErrReadOnly) {
+		t.Fatalf("Close err = %v, want ErrReadOnly surfaced", err)
+	}
+}
+
+func TestRepoBitProviderReadCurrent(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	m := repo.NewMem("mem", clk, simnet.NewPath("p", 1))
+	m.Store("/d", []byte("now"))
+	bp := &RepoBitProvider{Repo: m, Path: "/d"}
+	data, err := bp.ReadCurrent()
+	if err != nil || string(data) != "now" {
+		t.Fatalf("ReadCurrent = %q, %v", data, err)
+	}
+}
+
+func TestComposedBitProvider(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	p := simnet.NewPath("lan", 1, simnet.Link{Latency: time.Millisecond})
+	m1 := repo.NewMem("s1", clk, p)
+	m2 := repo.NewMem("s2", clk, p)
+	m1.Store("/a", []byte("headline A"))
+	m2.Store("/b", []byte("headline B"))
+
+	c := &ComposedBitProvider{
+		ProviderName: "news",
+		Parts: []*RepoBitProvider{
+			{Repo: m1, Path: "/a"},
+			{Repo: m2, Path: "/b"},
+		},
+		Separator: []byte("\n---\n"),
+	}
+	rc := &ReadContext{Now: clk.Now()}
+	r, err := c.Open(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := stream.ReadAllAndClose(r)
+	if string(data) != "headline A\n---\nheadline B" {
+		t.Fatalf("composed = %q", data)
+	}
+	res := rc.Result()
+	if res.Cost != 2*time.Millisecond {
+		t.Fatalf("cost = %v, want both retrievals", res.Cost)
+	}
+	if len(res.Verifiers) != 1 || !strings.Contains(res.Verifiers[0].Name(), "composite") {
+		t.Fatalf("verifiers = %v, want one composite", res.Verifiers)
+	}
+	// Composite verifier tracks each source: changing either part
+	// invalidates.
+	if ok, _ := res.Verifiers[0].Check(clk.Now()); !ok {
+		t.Fatal("fresh composite invalid")
+	}
+	m2.UpdateDirect("/b", []byte("headline B v2"))
+	if ok, _ := res.Verifiers[0].Check(clk.Now()); ok {
+		t.Fatal("composite missed a changed source")
+	}
+}
+
+func TestComposedBitProviderReadOnly(t *testing.T) {
+	c := &ComposedBitProvider{ProviderName: "news"}
+	if _, err := c.Create(&WriteContext{}); !errors.Is(err, repo.ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComposedBitProviderPartError(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	m := repo.NewMem("s", clk, simnet.NewPath("p", 1))
+	c := &ComposedBitProvider{Parts: []*RepoBitProvider{{Repo: m, Path: "/gone"}}}
+	if _, err := c.Open(&ReadContext{}); !errors.Is(err, repo.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.ReadCurrent(); err == nil {
+		t.Fatal("ReadCurrent swallowed part error")
+	}
+}

@@ -1,0 +1,56 @@
+package property
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressorRoundTrip(t *testing.T) {
+	c := NewCompressor(6, 0)
+	plain := []byte(strings.Repeat("the placeless documents system ", 100))
+	stored := runWrite(t, c, plain)
+	if len(stored) >= len(plain) {
+		t.Fatalf("compression did not shrink repetitive content: %d -> %d", len(plain), len(stored))
+	}
+	back, _ := runRead(t, c, stored)
+	if !bytes.Equal(back, plain) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCompressorPassesThroughUncompressed(t *testing.T) {
+	// Content written before the property was attached is not
+	// deflate data; the read path must pass it through unharmed.
+	c := NewCompressor(6, 0)
+	legacy := []byte("plain legacy content, never compressed")
+	got, _ := runRead(t, c, legacy)
+	if !bytes.Equal(got, legacy) {
+		t.Fatalf("legacy content mangled: %q", got)
+	}
+}
+
+func TestCompressorBadLevelDefaults(t *testing.T) {
+	c := NewCompressor(99, 0)
+	plain := []byte(strings.Repeat("x", 500))
+	stored := runWrite(t, c, plain)
+	back, _ := runRead(t, c, stored)
+	if !bytes.Equal(back, plain) {
+		t.Fatal("default-level round trip failed")
+	}
+}
+
+// Property: compress-then-decompress is the identity for arbitrary
+// bytes.
+func TestCompressorIdentityProperty(t *testing.T) {
+	c := NewCompressor(1, 0)
+	f := func(data []byte) bool {
+		stored := runWrite(t, c, data)
+		back, _ := runRead(t, c, stored)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package remote implements a client-side document cache over the
+// Placeless TCP protocol: the deployment the paper measures, where the
+// cache runs "on the machine where applications are run" while the
+// Placeless servers (and the repositories behind them) are remote.
+//
+// Consistency is push-based: on the first access to a document the
+// cache subscribes, and the server-side notifiers stream invalidations
+// back over the connection (verifier code cannot cross the wire, so a
+// remote cache leans on the notifier half of the paper's mechanism
+// pair; the server still runs verifier-equivalent checks when it
+// re-executes the read path on a miss). Cacheability indicators are
+// honored: Uncacheable results are never stored, and CacheWithEvents
+// entries forward a getInputStream event to the server on every hit.
+package remote
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/replace"
+	"placeless/internal/server"
+	"placeless/internal/sig"
+)
+
+// ErrClosed is returned by operations on a closed cache.
+var ErrClosed = errors.New("remote: cache is closed")
+
+// Options configures a Cache.
+type Options struct {
+	// Capacity bounds unique stored bytes; zero = unlimited.
+	Capacity int64
+	// Policy supplies the replacement policy; nil = Greedy-Dual-Size.
+	Policy replace.Policy
+	// Clock supplies time for TTL-deadline checks; nil = wall clock.
+	// TTL deadlines originate on the server, so the clocks are
+	// assumed synchronized (true in simulation, NTP-close in
+	// production).
+	Clock clock.Clock
+}
+
+// Stats counts remote-cache activity.
+type Stats struct {
+	// Hits and Misses count read outcomes.
+	Hits, Misses int64
+	// Uncacheable counts reads whose result was not storable.
+	Uncacheable int64
+	// Invalidations counts entries dropped by server pushes.
+	Invalidations int64
+	// Evictions counts capacity-driven removals.
+	Evictions int64
+	// EventsForwarded counts hit-time operation forwards.
+	EventsForwarded int64
+	// TTLExpiries counts entries dropped because their server-issued
+	// TTL deadline passed.
+	TTLExpiries int64
+	// BytesStored is the current unique content footprint.
+	BytesStored int64
+}
+
+// entry is one cached (doc, user) version.
+type entry struct {
+	doc, user    string
+	signature    sig.Signature
+	size         int64
+	cost         time.Duration
+	cacheability property.Cacheability
+	expires      time.Time // zero = no TTL
+}
+
+// blob is signature-shared storage.
+type blob struct {
+	data []byte
+	refs int
+}
+
+// Cache is a client-side cache over a server.Client. Safe for
+// concurrent use.
+type Cache struct {
+	client *server.Client
+
+	mu         sync.Mutex
+	closed     bool
+	entries    map[string]*entry
+	blobs      map[sig.Signature]*blob
+	policy     replace.Policy
+	subscribed map[string]bool   // (doc,user) subscription dedup
+	gens       map[string]uint64 // per-doc invalidation generation
+	capacity   int64
+	clk        clock.Clock
+	stats      Stats
+}
+
+func key(doc, user string) string { return doc + "\x00" + user }
+
+// New wraps client with a cache and registers the invalidation
+// handler. The caller must not install its own OnInvalidate handler on
+// the client afterwards.
+func New(client *server.Client, opts Options) *Cache {
+	policy := opts.Policy
+	if policy == nil {
+		policy = replace.NewGDS()
+	}
+	c := &Cache{
+		client:     client,
+		entries:    make(map[string]*entry),
+		blobs:      make(map[sig.Signature]*blob),
+		policy:     policy,
+		subscribed: make(map[string]bool),
+		gens:       make(map[string]uint64),
+		clk:        opts.Clock,
+	}
+	if c.clk == nil {
+		c.clk = clock.Real{}
+	}
+	c.capacity = opts.Capacity
+	client.OnInvalidate(c.onInvalidate)
+	return c
+}
+
+// onInvalidate handles a server push: user == "" invalidates every
+// user's entry for the document.
+func (c *Cache) onInvalidate(doc, user string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[doc]++
+	if user != "" {
+		if _, ok := c.entries[key(doc, user)]; ok {
+			c.stats.Invalidations++
+			c.dropLocked(key(doc, user))
+		}
+		return
+	}
+	for k, e := range c.entries {
+		if e.doc == doc {
+			c.stats.Invalidations++
+			c.dropLocked(k)
+		}
+	}
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports cached entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Contains reports whether (doc, user) is cached.
+func (c *Cache) Contains(doc, user string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key(doc, user)]
+	return ok
+}
+
+// Read returns the user's view of the document, served locally when a
+// valid entry exists.
+func (c *Cache) Read(doc, user string) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	k := key(doc, user)
+	if e := c.entries[k]; e != nil {
+		// Server-issued TTL deadlines are the one verifier that can
+		// cross the wire; honor them before serving.
+		if !e.expires.IsZero() && c.clk.Now().After(e.expires) {
+			c.stats.TTLExpiries++
+			c.dropLocked(k)
+			c.mu.Unlock()
+			return c.miss(doc, user)
+		}
+		if b := c.blobs[e.signature]; b != nil {
+			c.stats.Hits++
+			c.policy.Access(k)
+			data := b.data
+			forward := e.cacheability == property.CacheWithEvents
+			c.mu.Unlock()
+			if forward {
+				if err := c.client.ForwardEvent(doc, user, event.GetInputStream.String()); err == nil {
+					c.mu.Lock()
+					c.stats.EventsForwarded++
+					c.mu.Unlock()
+				}
+			}
+			out := make([]byte, len(data))
+			copy(out, data)
+			return out, nil
+		}
+	}
+	c.mu.Unlock()
+	return c.miss(doc, user)
+}
+
+// miss fetches through the wire, subscribes for invalidations, and
+// stores the entry per its cacheability.
+func (c *Cache) miss(doc, user string) ([]byte, error) {
+	// Snapshot the invalidation generation so a push arriving while
+	// the remote read is in flight prevents installing a stale entry
+	// (the load/install race; see internal/core's equivalent guard
+	// and its regression test).
+	c.mu.Lock()
+	gen := c.gens[doc]
+	c.mu.Unlock()
+
+	data, meta, err := c.client.Read(doc, user)
+	if err != nil {
+		return nil, err
+	}
+
+	// Subscribe before storing so no invalidation window is missed
+	// for subsequent changes. (A change racing between the Read and
+	// the Subscribe is the classic callback race; the paper's
+	// prototype has the same window, and it only widens staleness by
+	// one access.)
+	c.mu.Lock()
+	k := key(doc, user)
+	needSub := !c.subscribed[k]
+	if needSub {
+		c.subscribed[k] = true
+	}
+	c.mu.Unlock()
+	if needSub {
+		if err := c.client.Subscribe(doc, user); err != nil {
+			c.mu.Lock()
+			delete(c.subscribed, k)
+			c.mu.Unlock()
+			return data, nil // serve uncached rather than fail
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Misses++
+	if c.closed {
+		return data, nil
+	}
+	if meta.Cacheability == property.Uncacheable {
+		c.stats.Uncacheable++
+		return data, nil
+	}
+	if c.gens[doc] != gen {
+		// Invalidated mid-read: serve uncached.
+		return data, nil
+	}
+	c.dropLocked(k)
+	s := sig.Of(data)
+	b := c.blobs[s]
+	if b == nil {
+		b = &blob{data: append([]byte{}, data...)}
+		c.blobs[s] = b
+		c.stats.BytesStored += int64(len(data))
+	}
+	b.refs++
+	c.entries[k] = &entry{
+		doc: doc, user: user, signature: s,
+		size: int64(len(data)), cost: meta.Cost,
+		cacheability: meta.Cacheability,
+		expires:      meta.Expiry,
+	}
+	c.policy.Insert(k, int64(len(data)), meta.Cost)
+	c.evictLocked()
+	return data, nil
+}
+
+// Write pushes content through the wire; the server's notifiers push
+// back the invalidation for our own cached entries.
+func (c *Cache) Write(doc, user string, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	return c.client.Write(doc, user, data)
+}
+
+// dropLocked removes an entry and its blob reference.
+func (c *Cache) dropLocked(k string) {
+	e, ok := c.entries[k]
+	if !ok {
+		return
+	}
+	delete(c.entries, k)
+	c.policy.Remove(k)
+	if b := c.blobs[e.signature]; b != nil {
+		b.refs--
+		if b.refs <= 0 {
+			delete(c.blobs, e.signature)
+			c.stats.BytesStored -= int64(len(b.data))
+		}
+	}
+}
+
+// evictLocked enforces the byte budget.
+func (c *Cache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.stats.BytesStored > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			return
+		}
+		c.stats.Evictions++
+		c.dropLocked(victim)
+	}
+}
+
+// Close clears the cache; the underlying client remains usable and
+// must be closed separately.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.entries = make(map[string]*entry)
+	c.blobs = make(map[sig.Signature]*blob)
+	c.stats.BytesStored = 0
+}

@@ -1,0 +1,279 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+	"placeless/internal/server"
+	"placeless/internal/simnet"
+)
+
+var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC)
+
+// rig is a running server plus a cached client.
+type rig struct {
+	srv    *server.Server
+	client *server.Client
+	cache  *Cache
+	space  *docspace.Space
+	feed   *repo.LiveFeed
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	backing := repo.NewMem("srv", clk, simnet.NewPath("loop", 1))
+	space := docspace.New(clk, nil)
+	srv := server.New(space, backing)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	client, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		srv: srv, client: client, space: space,
+		feed:  repo.NewLiveFeed("cam", clk, simnet.NewPath("loop", 2), 64),
+		cache: New(client, opts),
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+	})
+	return r
+}
+
+// waitFor polls cond until true or the deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestMissThenHit(t *testing.T) {
+	r := newRig(t, Options{})
+	if err := r.client.CreateDocument("d", "u", []byte("remote bits")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.cache.Read("d", "u")
+	if err != nil || string(a) != "remote bits" {
+		t.Fatalf("read = %q, %v", a, err)
+	}
+	b, _ := r.cache.Read("d", "u")
+	if !bytes.Equal(a, b) {
+		t.Fatal("hit content differs")
+	}
+	st := r.cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPushInvalidationOnRemoteWrite(t *testing.T) {
+	r := newRig(t, Options{})
+	r.client.CreateDocument("d", "eyal", []byte("v1"))
+	r.client.AddReference("d", "doug")
+	if _, err := r.cache.Read("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	// Doug writes through the same cache/client: the server's
+	// notifier pushes back the invalidation.
+	if err := r.cache.Write("d", "doug", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return !r.cache.Contains("d", "eyal") })
+	got, _ := r.cache.Read("d", "eyal")
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+	if st := r.cache.Stats(); st.Invalidations == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPushInvalidationOnPropertyChange(t *testing.T) {
+	r := newRig(t, Options{})
+	r.client.CreateDocument("d", "u", []byte("the paper"))
+	r.cache.Read("d", "u")
+	if err := r.client.Attach("d", "u", true, "translate-fr"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return !r.cache.Contains("d", "u") })
+	got, _ := r.cache.Read("d", "u")
+	if string(got) != "le papier" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUncacheableNotStored(t *testing.T) {
+	r := newRig(t, Options{})
+	// Create a live-feed document server-side.
+	if _, err := r.space.CreateDocument("cam", "u", &property.RepoBitProvider{
+		Repo: r.feed, Path: "/c", Vote: property.Uncacheable, DisableVerifier: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.cache.Read("cam", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.cache.Read("cam", "u")
+	if bytes.Equal(a, b) {
+		t.Fatal("live frames identical — cached?")
+	}
+	st := r.cache.Stats()
+	if st.Uncacheable != 2 || r.cache.Len() != 0 {
+		t.Fatalf("stats = %+v len=%d", st, r.cache.Len())
+	}
+}
+
+func TestCacheWithEventsForwards(t *testing.T) {
+	r := newRig(t, Options{})
+	r.client.CreateDocument("d", "u", []byte("audited"))
+	trail := property.NewAuditTrail()
+	if err := r.space.Attach("d", "", docspace.Universal, trail); err != nil {
+		t.Fatal(err)
+	}
+	r.cache.Read("d", "u") // miss
+	r.cache.Read("d", "u") // hit: forwards getInputStream
+	waitFor(t, func() bool { return len(trail.Records()) >= 2 })
+	recs := trail.Records()
+	last := recs[len(recs)-1]
+	if !last.Forwarded {
+		t.Fatalf("records = %+v", recs)
+	}
+	if st := r.cache.Stats(); st.EventsForwarded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	r := newRig(t, Options{Capacity: 2048})
+	for _, id := range []string{"a", "b", "c"} {
+		if err := r.client.CreateDocument(id, "u", bytes.Repeat([]byte(id), 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.cache.Read(id, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.cache.Stats()
+	if st.BytesStored > 2048 {
+		t.Fatalf("BytesStored = %d over budget", st.BytesStored)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+}
+
+func TestSignatureSharingRemote(t *testing.T) {
+	r := newRig(t, Options{})
+	r.client.CreateDocument("d", "eyal", []byte("same for all"))
+	r.client.AddReference("d", "paul")
+	r.cache.Read("d", "eyal")
+	r.cache.Read("d", "paul")
+	st := r.cache.Stats()
+	if r.cache.Len() != 2 || st.BytesStored != int64(len("same for all")) {
+		t.Fatalf("len=%d stored=%d", r.cache.Len(), st.BytesStored)
+	}
+}
+
+func TestTTLDeadlineHonoredRemotely(t *testing.T) {
+	// A TTL verifier cannot cross the wire, but its deadline does:
+	// the remote cache must expire web-backed entries on schedule.
+	clk := clock.NewVirtual(epoch)
+	web := repo.NewWeb("web", clk, simnet.NewPath("loop", 3), 30*time.Second, true)
+	space := docspace.New(clk, nil)
+	srv := server.New(space, repo.NewMem("b", clk, simnet.NewPath("loop", 1)))
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	client, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		client.Close()
+		srv.Close()
+		<-done
+	}()
+	// The remote cache shares the server's virtual clock, so the
+	// deadline comparison is exact.
+	cache := New(client, Options{Clock: clk})
+
+	web.SetPage("/p", []byte("page v1"))
+	if _, err := space.CreateDocument("p", "u", &property.RepoBitProvider{Repo: web, Path: "/p"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Read("p", "u"); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL the stale copy is acceptable (web semantics).
+	web.SetPage("/p", []byte("page v2"))
+	got, _ := cache.Read("p", "u")
+	if string(got) != "page v1" {
+		t.Fatalf("within TTL got %q", got)
+	}
+	// Past the deadline the entry must be refetched.
+	clk.Advance(31 * time.Second)
+	got, err = cache.Read("p", "u")
+	if err != nil || string(got) != "page v2" {
+		t.Fatalf("after TTL got %q, %v", got, err)
+	}
+	if st := cache.Stats(); st.TTLExpiries != 1 {
+		t.Fatalf("TTLExpiries = %d", st.TTLExpiries)
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	r := newRig(t, Options{})
+	if _, err := r.cache.Read("ghost", "u"); err == nil {
+		t.Fatal("missing doc read succeeded")
+	}
+}
+
+func TestClosedCache(t *testing.T) {
+	r := newRig(t, Options{})
+	r.client.CreateDocument("d", "u", []byte("x"))
+	r.cache.Read("d", "u")
+	r.cache.Close()
+	if _, err := r.cache.Read("d", "u"); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.cache.Write("d", "u", nil); err != ErrClosed {
+		t.Fatalf("write err = %v", err)
+	}
+	if r.cache.Len() != 0 {
+		t.Fatal("entries survived Close")
+	}
+}

@@ -1,0 +1,52 @@
+package replace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// populate inserts n entries with varied sizes and costs.
+func populate(p Policy, n int) {
+	for i := 0; i < n; i++ {
+		p.Insert(fmt.Sprintf("k%06d", i), int64(512+i%4096), time.Duration(1+i%200)*time.Millisecond)
+	}
+}
+
+func benchPolicy(b *testing.B, mk Factory) {
+	const n = 10000
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := mk()
+			populate(p, n)
+		}
+	})
+	b.Run("access", func(b *testing.B) {
+		p := mk()
+		populate(p, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Access(fmt.Sprintf("k%06d", i%n))
+		}
+	})
+	b.Run("victim-evict", func(b *testing.B) {
+		p := mk()
+		populate(p, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, ok := p.Victim()
+			if !ok {
+				b.StopTimer()
+				populate(p, n)
+				b.StartTimer()
+				continue
+			}
+			p.Remove(v)
+		}
+	})
+}
+
+func BenchmarkGDSPolicy(b *testing.B)  { benchPolicy(b, NewGDS) }
+func BenchmarkGDSFPolicy(b *testing.B) { benchPolicy(b, NewGDSF) }
+func BenchmarkLRUPolicy(b *testing.B)  { benchPolicy(b, NewLRU) }
+func BenchmarkLFUPolicy(b *testing.B)  { benchPolicy(b, NewLFU) }

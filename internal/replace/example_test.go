@@ -1,0 +1,22 @@
+package replace_test
+
+import (
+	"fmt"
+	"time"
+
+	"placeless/internal/replace"
+)
+
+// Example shows Greedy-Dual-Size preferring to evict cheap-per-byte
+// content: a huge cheap page loses to a small document that is
+// expensive to rebuild.
+func Example() {
+	p := replace.NewGDS()
+	p.Insert("cheap-big-page", 100_000, 5*time.Millisecond)
+	p.Insert("costly-translated-report", 2_000, 500*time.Millisecond)
+
+	victim, _ := p.Victim()
+	fmt.Println("evict first:", victim)
+	// Output:
+	// evict first: cheap-big-page
+}

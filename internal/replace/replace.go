@@ -1,0 +1,302 @@
+// Package replace implements cache replacement policies.
+//
+// The paper's prototype uses "a version of the Greedy-Dual-Size
+// algorithm [Cao & Irani 1997], based on the replacement cost supplied
+// by the properties and bit-provider, as well as on the size of the
+// document and the access frequency of the document at that cache"
+// (§4). GDS and its frequency-aware variant GDSF are implemented here,
+// together with LRU, LFU, FIFO and SIZE baselines for the ablation
+// experiment (E2 in DESIGN.md).
+//
+// A Policy tracks entry metadata and answers "which entry should be
+// evicted next"; the cache owns the actual content.
+package replace
+
+import (
+	"container/heap"
+	"container/list"
+	"time"
+)
+
+// Policy is a replacement strategy. Implementations are not
+// concurrency-safe; the owning cache serializes calls.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Insert registers a new entry with its size in bytes and its
+	// replacement cost (retrieval + property execution time).
+	Insert(key string, size int64, cost time.Duration)
+	// Access records a hit on an existing entry; unknown keys are
+	// ignored.
+	Access(key string)
+	// Remove forgets an entry (eviction or invalidation); unknown
+	// keys are ignored.
+	Remove(key string)
+	// Victim returns the entry the policy would evict next, without
+	// removing it. ok is false when the policy tracks nothing.
+	Victim() (key string, ok bool)
+	// Len reports how many entries the policy tracks.
+	Len() int
+}
+
+// Factory constructs a fresh policy instance; experiment harnesses use
+// factories to run identical traces against each policy.
+type Factory func() Policy
+
+// costUnits converts a replacement cost into the float used in
+// priority formulas (milliseconds).
+func costUnits(cost time.Duration) float64 {
+	ms := float64(cost) / float64(time.Millisecond)
+	if ms <= 0 {
+		ms = 0.001 // cost-free entries still need a positive priority
+	}
+	return ms
+}
+
+// pqEntry is a priority-queue element shared by the heap-based
+// policies. Lower priority = better eviction candidate.
+type pqEntry struct {
+	key      string
+	size     int64
+	cost     time.Duration
+	freq     float64
+	priority float64
+	seq      uint64 // FIFO tie-break
+	index    int
+}
+
+// pq is a min-heap of pqEntries by priority (ties broken by insertion
+// order, oldest first).
+type pq []*pqEntry
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].priority == p[j].priority {
+		return p[i].seq < p[j].seq
+	}
+	return p[i].priority < p[j].priority
+}
+func (p pq) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+	p[i].index = i
+	p[j].index = j
+}
+func (p *pq) Push(x interface{}) {
+	e := x.(*pqEntry)
+	e.index = len(*p)
+	*p = append(*p, e)
+}
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return e
+}
+
+// heapPolicy is the shared machinery for GDS, GDSF, LFU and SIZE: a
+// priority function over entry state plus an aging mechanism.
+type heapPolicy struct {
+	name     string
+	entries  map[string]*pqEntry
+	heap     pq
+	seq      uint64
+	inflate  float64 // GDS aging value L
+	useL     bool    // whether priority includes L
+	priority func(h *heapPolicy, e *pqEntry) float64
+}
+
+func (h *heapPolicy) Name() string { return h.name }
+func (h *heapPolicy) Len() int     { return len(h.entries) }
+
+func (h *heapPolicy) Insert(key string, size int64, cost time.Duration) {
+	if old, ok := h.entries[key]; ok {
+		heap.Remove(&h.heap, old.index)
+		delete(h.entries, key)
+	}
+	h.seq++
+	e := &pqEntry{key: key, size: size, cost: cost, freq: 1, seq: h.seq}
+	e.priority = h.priority(h, e)
+	h.entries[key] = e
+	heap.Push(&h.heap, e)
+}
+
+func (h *heapPolicy) Access(key string) {
+	e, ok := h.entries[key]
+	if !ok {
+		return
+	}
+	e.freq++
+	e.priority = h.priority(h, e)
+	heap.Fix(&h.heap, e.index)
+}
+
+func (h *heapPolicy) Remove(key string) {
+	e, ok := h.entries[key]
+	if !ok {
+		return
+	}
+	heap.Remove(&h.heap, e.index)
+	delete(h.entries, key)
+}
+
+func (h *heapPolicy) Victim() (string, bool) {
+	if len(h.heap) == 0 {
+		return "", false
+	}
+	v := h.heap[0]
+	if h.useL {
+		// Greedy-Dual aging: when an entry is (about to be) evicted,
+		// the inflation value L rises to its priority, so future
+		// entries start ahead of long-resident ones.
+		h.inflate = v.priority
+	}
+	return v.key, true
+}
+
+// NewGDS returns the paper's Greedy-Dual-Size policy: priority
+// H = L + cost/size, evict the minimum. Documents that are expensive
+// to rebuild (slow sources, many or slow active properties) are kept
+// preferentially, per byte of cache they occupy.
+func NewGDS() Policy {
+	return &heapPolicy{
+		name:    "gds",
+		entries: make(map[string]*pqEntry),
+		useL:    true,
+		priority: func(h *heapPolicy, e *pqEntry) float64 {
+			size := float64(e.size)
+			if size <= 0 {
+				size = 1
+			}
+			return h.inflate + costUnits(e.cost)/size
+		},
+	}
+}
+
+// NewGDSF returns Greedy-Dual-Size-Frequency: H = L + freq·cost/size,
+// folding in the access frequency the paper says its implementation
+// also uses.
+func NewGDSF() Policy {
+	return &heapPolicy{
+		name:    "gdsf",
+		entries: make(map[string]*pqEntry),
+		useL:    true,
+		priority: func(h *heapPolicy, e *pqEntry) float64 {
+			size := float64(e.size)
+			if size <= 0 {
+				size = 1
+			}
+			return h.inflate + e.freq*costUnits(e.cost)/size
+		},
+	}
+}
+
+// NewLFU returns least-frequently-used (ties: oldest first).
+func NewLFU() Policy {
+	return &heapPolicy{
+		name:    "lfu",
+		entries: make(map[string]*pqEntry),
+		priority: func(_ *heapPolicy, e *pqEntry) float64 {
+			return e.freq
+		},
+	}
+}
+
+// NewSize returns the SIZE policy: evict the largest document first.
+func NewSize() Policy {
+	return &heapPolicy{
+		name:    "size",
+		entries: make(map[string]*pqEntry),
+		priority: func(_ *heapPolicy, e *pqEntry) float64 {
+			return -float64(e.size)
+		},
+	}
+}
+
+// lruPolicy evicts the least recently used entry.
+type lruPolicy struct {
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+// NewLRU returns least-recently-used.
+func NewLRU() Policy {
+	return &lruPolicy{order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (l *lruPolicy) Name() string { return "lru" }
+func (l *lruPolicy) Len() int     { return len(l.entries) }
+
+func (l *lruPolicy) Insert(key string, _ int64, _ time.Duration) {
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[key] = l.order.PushFront(key)
+}
+
+func (l *lruPolicy) Access(key string) {
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+	}
+}
+
+func (l *lruPolicy) Remove(key string) {
+	if el, ok := l.entries[key]; ok {
+		l.order.Remove(el)
+		delete(l.entries, key)
+	}
+}
+
+func (l *lruPolicy) Victim() (string, bool) {
+	back := l.order.Back()
+	if back == nil {
+		return "", false
+	}
+	return back.Value.(string), true
+}
+
+// fifoPolicy evicts in insertion order, ignoring accesses.
+type fifoPolicy struct {
+	order   *list.List // front = oldest
+	entries map[string]*list.Element
+}
+
+// NewFIFO returns first-in-first-out.
+func NewFIFO() Policy {
+	return &fifoPolicy{order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (f *fifoPolicy) Name() string { return "fifo" }
+func (f *fifoPolicy) Len() int     { return len(f.entries) }
+
+func (f *fifoPolicy) Insert(key string, _ int64, _ time.Duration) {
+	if _, ok := f.entries[key]; ok {
+		return
+	}
+	f.entries[key] = f.order.PushBack(key)
+}
+
+func (f *fifoPolicy) Access(string) {}
+
+func (f *fifoPolicy) Remove(key string) {
+	if el, ok := f.entries[key]; ok {
+		f.order.Remove(el)
+		delete(f.entries, key)
+	}
+}
+
+func (f *fifoPolicy) Victim() (string, bool) {
+	front := f.order.Front()
+	if front == nil {
+		return "", false
+	}
+	return front.Value.(string), true
+}
+
+// All returns factories for every policy, GDS (the paper's choice)
+// first.
+func All() []Factory {
+	return []Factory{NewGDS, NewGDSF, NewLRU, NewLFU, NewFIFO, NewSize}
+}

@@ -1,0 +1,239 @@
+package replace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestAllPoliciesBasicContract(t *testing.T) {
+	for _, mk := range All() {
+		p := mk()
+		t.Run(p.Name(), func(t *testing.T) {
+			if _, ok := p.Victim(); ok {
+				t.Fatal("empty policy produced a victim")
+			}
+			p.Access("ghost") // unknown keys ignored
+			p.Remove("ghost")
+
+			p.Insert("a", 100, ms(10))
+			p.Insert("b", 100, ms(10))
+			if p.Len() != 2 {
+				t.Fatalf("Len = %d", p.Len())
+			}
+			v, ok := p.Victim()
+			if !ok || (v != "a" && v != "b") {
+				t.Fatalf("Victim = %q, %v", v, ok)
+			}
+			p.Remove("a")
+			p.Remove("b")
+			if p.Len() != 0 {
+				t.Fatalf("Len after removes = %d", p.Len())
+			}
+			if _, ok := p.Victim(); ok {
+				t.Fatal("drained policy produced a victim")
+			}
+		})
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	p := NewLRU()
+	p.Insert("a", 1, 0)
+	p.Insert("b", 1, 0)
+	p.Insert("c", 1, 0)
+	p.Access("a") // a becomes most recent; b is now oldest
+	if v, _ := p.Victim(); v != "b" {
+		t.Fatalf("victim = %q, want b", v)
+	}
+}
+
+func TestFIFOIgnoresAccess(t *testing.T) {
+	p := NewFIFO()
+	p.Insert("a", 1, 0)
+	p.Insert("b", 1, 0)
+	p.Access("a")
+	p.Access("a")
+	if v, _ := p.Victim(); v != "a" {
+		t.Fatalf("victim = %q, want a (FIFO ignores recency)", v)
+	}
+	p.Insert("a", 1, 0) // re-insert of existing key keeps position
+	if v, _ := p.Victim(); v != "a" {
+		t.Fatal("duplicate insert moved FIFO position")
+	}
+}
+
+func TestLFUEvictsColdest(t *testing.T) {
+	p := NewLFU()
+	p.Insert("hot", 1, 0)
+	p.Insert("cold", 1, 0)
+	p.Access("hot")
+	p.Access("hot")
+	if v, _ := p.Victim(); v != "cold" {
+		t.Fatalf("victim = %q, want cold", v)
+	}
+}
+
+func TestSizeEvictsLargest(t *testing.T) {
+	p := NewSize()
+	p.Insert("small", 10, ms(100))
+	p.Insert("big", 10000, ms(1))
+	if v, _ := p.Victim(); v != "big" {
+		t.Fatalf("victim = %q, want big", v)
+	}
+}
+
+func TestGDSPrefersCheapLargeVictims(t *testing.T) {
+	p := NewGDS()
+	// Expensive-per-byte document vs cheap-per-byte document.
+	p.Insert("precious", 1000, ms(500)) // 0.5 ms/B
+	p.Insert("junk", 100000, ms(5))     // 0.00005 ms/B
+	if v, _ := p.Victim(); v != "junk" {
+		t.Fatalf("victim = %q, want junk (low cost/size)", v)
+	}
+}
+
+func TestGDSAgingAllowsEventualEviction(t *testing.T) {
+	// After evictions raise L, an old high-priority entry that is
+	// never touched again must eventually become the victim against
+	// fresh moderate entries.
+	p := NewGDS()
+	p.Insert("resident", 1000, ms(50)) // priority 0.05
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("new%d", i)
+		p.Insert(key, 1000, ms(10)) // 0.01 + L
+		v, ok := p.Victim()
+		if !ok {
+			t.Fatal("no victim")
+		}
+		p.Remove(v)
+		if v == "resident" {
+			return // aged out, as required
+		}
+	}
+	t.Fatal("GDS aging never evicted the stale resident")
+}
+
+func TestGDSFFrequencyProtectsHotEntries(t *testing.T) {
+	p := NewGDSF()
+	p.Insert("hot", 1000, ms(10))
+	p.Insert("cold", 1000, ms(10))
+	for i := 0; i < 5; i++ {
+		p.Access("hot")
+	}
+	if v, _ := p.Victim(); v != "cold" {
+		t.Fatalf("victim = %q, want cold", v)
+	}
+	// Plain GDS does not distinguish them by frequency: the victim is
+	// just the first inserted.
+	g := NewGDS()
+	g.Insert("hot", 1000, ms(10))
+	g.Insert("cold", 1000, ms(10))
+	for i := 0; i < 5; i++ {
+		g.Access("hot")
+	}
+	if v, _ := g.Victim(); v != "hot" {
+		t.Fatalf("GDS victim = %q, want hot (insertion order tie-break)", v)
+	}
+}
+
+func TestHeapPolicyReinsertReplaces(t *testing.T) {
+	p := NewGDS()
+	p.Insert("k", 1000, ms(1))
+	p.Insert("k", 10, ms(1000)) // updated metadata
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after reinsert", p.Len())
+	}
+	p.Insert("junk", 100000, ms(1))
+	if v, _ := p.Victim(); v != "junk" {
+		t.Fatalf("victim = %q; reinsert did not update cost/size", v)
+	}
+}
+
+func TestZeroCostAndZeroSizeEntries(t *testing.T) {
+	for _, mk := range []Factory{NewGDS, NewGDSF} {
+		p := mk()
+		p.Insert("zero", 0, 0)
+		p.Insert("norm", 100, ms(10))
+		if v, ok := p.Victim(); !ok || v != "zero" {
+			t.Fatalf("%s: victim = %q, %v", p.Name(), v, ok)
+		}
+	}
+}
+
+func TestVictimIsStableWithoutMutation(t *testing.T) {
+	// Victim must not remove; two calls in a row agree (GDS updates
+	// its aging value but the minimum entry is unchanged).
+	for _, mk := range All() {
+		p := mk()
+		p.Insert("a", 100, ms(1))
+		p.Insert("b", 200, ms(2))
+		v1, _ := p.Victim()
+		v2, _ := p.Victim()
+		if v1 != v2 {
+			t.Fatalf("%s: Victim not stable: %q then %q", p.Name(), v1, v2)
+		}
+		if p.Len() != 2 {
+			t.Fatalf("%s: Victim mutated the set", p.Name())
+		}
+	}
+}
+
+// Property: for every policy, inserting n distinct keys then
+// repeatedly evicting the victim drains exactly those n keys with no
+// duplicates.
+func TestDrainProperty(t *testing.T) {
+	for _, mk := range All() {
+		p := mk()
+		f := func(sizes []uint16) bool {
+			p := mk()
+			n := len(sizes) % 50
+			want := map[string]bool{}
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("k%d", i)
+				p.Insert(key, int64(sizes[i])+1, ms(i+1))
+				want[key] = true
+			}
+			seen := map[string]bool{}
+			for {
+				v, ok := p.Victim()
+				if !ok {
+					break
+				}
+				if seen[v] || !want[v] {
+					return false
+				}
+				seen[v] = true
+				p.Remove(v)
+			}
+			return len(seen) == n
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// Property: GDS priorities are monotone in cost — with equal sizes and
+// no accesses, the cheaper entry is evicted first.
+func TestGDSCostMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		p := NewGDS()
+		p.Insert("a", 1000, ms(int(a)+1))
+		p.Insert("b", 1000, ms(int(b)+1))
+		v, _ := p.Victim()
+		if a < b {
+			return v == "a"
+		}
+		return v == "b"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package repo
+
+import (
+	"fmt"
+	"sync"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+// DMS simulates a document management system: an append-only versioned
+// store where every mutation creates a new immutable version and old
+// versions remain retrievable. This is the substrate the paper's
+// versioning property uses to park copies of superseded content.
+type DMS struct {
+	base
+	mu   sync.Mutex
+	docs map[string][]*record // all versions, oldest first
+}
+
+var _ Repository = (*DMS)(nil)
+
+// NewDMS returns an empty versioned store.
+func NewDMS(name string, clk clock.Clock, path *simnet.Path) *DMS {
+	return &DMS{base: base{name: name, clk: clk, path: path}, docs: make(map[string][]*record)}
+}
+
+// Fetch implements Repository, returning the newest version.
+func (d *DMS) Fetch(path string) (*FetchResult, error) {
+	return d.fetchVersion(path, -1)
+}
+
+// FetchVersion retrieves a specific version (1-based). Version -1
+// means newest.
+func (d *DMS) FetchVersion(path string, version int64) (*FetchResult, error) {
+	return d.fetchVersion(path, version)
+}
+
+func (d *DMS) fetchVersion(path string, version int64) (*FetchResult, error) {
+	d.mu.Lock()
+	recs, ok := d.docs[path]
+	var data []byte
+	var meta Meta
+	if ok && len(recs) > 0 {
+		idx := len(recs) - 1
+		if version > 0 {
+			idx = int(version) - 1
+			if idx >= len(recs) {
+				ok = false
+			}
+		}
+		if ok {
+			rec := recs[idx]
+			data = append([]byte{}, rec.data...)
+			meta = Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version}
+		}
+	} else {
+		ok = false
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%s v%d", ErrNotFound, d.name, path, version)
+	}
+	cost := d.charge(meta.Size)
+	return &FetchResult{Data: data, Meta: meta, Cost: cost}, nil
+}
+
+// Store implements Repository by appending a new version.
+func (d *DMS) Store(path string, data []byte) error {
+	d.charge(int64(len(data)))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recs := d.docs[path]
+	d.docs[path] = append(recs, &record{
+		data:    append([]byte{}, data...),
+		modTime: d.clk.Now(),
+		version: int64(len(recs)) + 1,
+	})
+	return nil
+}
+
+// Stat implements Repository for the newest version.
+func (d *DMS) Stat(path string) (Meta, error) {
+	d.chargeStat()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	recs, ok := d.docs[path]
+	if !ok || len(recs) == 0 {
+		return Meta{}, notFound(d.name, path)
+	}
+	rec := recs[len(recs)-1]
+	return Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version}, nil
+}
+
+// Versions reports how many versions exist at path.
+func (d *DMS) Versions(path string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.docs[path])
+}

@@ -1,0 +1,105 @@
+package repo
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure produced by a Flaky repository.
+var ErrInjected = errors.New("repo: injected fault")
+
+// Flaky wraps a repository and injects failures, for exercising the
+// error paths of bit-providers, verifiers, and caches: a cache must
+// treat a verifier whose source poll fails as invalid (fail-safe), and
+// a read-path failure must propagate to the application without
+// corrupting cache state.
+type Flaky struct {
+	// Inner is the wrapped repository.
+	Inner Repository
+
+	mu         sync.Mutex
+	failEvery  int // fail every Nth operation (0 = never)
+	opCount    int
+	failFetch  bool
+	failStore  bool
+	failStat   bool
+	downUntilN int // fail all ops while opCount < downUntilN
+}
+
+var _ Repository = (*Flaky)(nil)
+
+// NewFlaky wraps inner; by default no faults are injected.
+func NewFlaky(inner Repository) *Flaky { return &Flaky{Inner: inner} }
+
+// Name implements Repository.
+func (f *Flaky) Name() string { return "flaky:" + f.Inner.Name() }
+
+// FailEvery makes every nth operation of the selected kinds fail.
+// n <= 0 disables periodic failures.
+func (f *Flaky) FailEvery(n int, fetch, store, stat bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failEvery = n
+	f.failFetch, f.failStore, f.failStat = fetch, store, stat
+}
+
+// Outage makes the next n operations of every kind fail, modeling a
+// repository that is temporarily unreachable.
+func (f *Flaky) Outage(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.downUntilN = f.opCount + n
+}
+
+// shouldFail advances the operation counter and decides this
+// operation's fate.
+func (f *Flaky) shouldFail(kind string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opCount++
+	if f.opCount <= f.downUntilN {
+		return true
+	}
+	if f.failEvery <= 0 || f.opCount%f.failEvery != 0 {
+		return false
+	}
+	switch kind {
+	case "fetch":
+		return f.failFetch
+	case "store":
+		return f.failStore
+	default:
+		return f.failStat
+	}
+}
+
+// Ops reports how many operations have passed through.
+func (f *Flaky) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opCount
+}
+
+// Fetch implements Repository.
+func (f *Flaky) Fetch(path string) (*FetchResult, error) {
+	if f.shouldFail("fetch") {
+		return nil, ErrInjected
+	}
+	return f.Inner.Fetch(path)
+}
+
+// Store implements Repository.
+func (f *Flaky) Store(path string, data []byte) error {
+	if f.shouldFail("store") {
+		return ErrInjected
+	}
+	return f.Inner.Store(path, data)
+}
+
+// Stat implements Repository.
+func (f *Flaky) Stat(path string) (Meta, error) {
+	if f.shouldFail("stat") {
+		return Meta{}, ErrInjected
+	}
+	return f.Inner.Stat(path)
+}

@@ -1,0 +1,93 @@
+package repo
+
+import (
+	"errors"
+	"testing"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+func flakyFixture(t *testing.T) (*Flaky, *Mem) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	inner := NewMem("inner", clk, simnet.NewPath("p", 1))
+	inner.Store("/d", []byte("data"))
+	return NewFlaky(inner), inner
+}
+
+func TestFlakyPassThroughByDefault(t *testing.T) {
+	f, _ := flakyFixture(t)
+	if fr, err := f.Fetch("/d"); err != nil || string(fr.Data) != "data" {
+		t.Fatalf("fetch: %v", err)
+	}
+	if _, err := f.Stat("/d"); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := f.Store("/d", []byte("new")); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if f.Name() != "flaky:inner" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestFlakyFailEverySelectsKinds(t *testing.T) {
+	f, _ := flakyFixture(t)
+	f.FailEvery(1, true, false, false) // only fetches fail
+	if _, err := f.Fetch("/d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fetch err = %v", err)
+	}
+	if _, err := f.Stat("/d"); err != nil {
+		t.Fatalf("stat should pass: %v", err)
+	}
+	if err := f.Store("/d", nil); err != nil {
+		t.Fatalf("store should pass: %v", err)
+	}
+	f.FailEvery(2, false, true, true) // every 2nd store/stat fails
+	var failures int
+	for i := 0; i < 10; i++ {
+		if _, err := f.Stat("/d"); errors.Is(err, ErrInjected) {
+			failures++
+		}
+	}
+	if failures == 0 || failures == 10 {
+		t.Fatalf("periodic failures = %d, want some but not all", failures)
+	}
+}
+
+func TestFlakyOutageAffectsEverything(t *testing.T) {
+	f, _ := flakyFixture(t)
+	f.Outage(3)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch("/d"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d during outage succeeded", i)
+		}
+	}
+	if _, err := f.Fetch("/d"); err != nil {
+		t.Fatalf("after outage: %v", err)
+	}
+	if f.Ops() != 4 {
+		t.Fatalf("Ops = %d", f.Ops())
+	}
+}
+
+func TestLiveFeedDefaultFrameSize(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	l := NewLiveFeed("cam", clk, simnet.NewPath("p", 1), 0) // clamps to 1
+	fr, err := l.Fetch("/c")
+	if err != nil || len(fr.Data) != 1 {
+		t.Fatalf("frame = %d bytes, %v", len(fr.Data), err)
+	}
+	if l.Name() != "cam" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+}
+
+func TestDMSStatEmptyHistory(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	d := NewDMS("dms", clk, simnet.NewPath("p", 1))
+	if _, err := d.Stat("/never"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package repo
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+// FS is a repository backed by a directory on the real file system —
+// the substrate behind the paper's NFS bit-provider. Applications (or
+// tests) can modify files directly through the OS, outside Placeless
+// control, and only an mtime-polling verifier will notice.
+//
+// Version numbers are synthesized from observed mtime transitions,
+// since a plain file system does not version content.
+type FS struct {
+	base
+	root string
+
+	mu       sync.Mutex
+	versions map[string]int64
+	lastMod  map[string]int64 // unix-nano mtime at last version bump
+}
+
+var _ Repository = (*FS)(nil)
+
+// NewFS returns a repository rooted at dir, which must exist.
+func NewFS(name string, clk clock.Clock, path *simnet.Path, dir string) (*FS, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, errors.New("repo: fs root is not a directory")
+	}
+	return &FS{
+		base:     base{name: name, clk: clk, path: path},
+		root:     dir,
+		versions: make(map[string]int64),
+		lastMod:  make(map[string]int64),
+	}, nil
+}
+
+// resolve maps a repository path to a file under root, rejecting
+// escapes.
+func (f *FS) resolve(path string) (string, error) {
+	clean := filepath.Clean("/" + path)
+	full := filepath.Join(f.root, clean)
+	if !strings.HasPrefix(full, filepath.Clean(f.root)+string(os.PathSeparator)) && full != filepath.Clean(f.root) {
+		return "", errors.New("repo: path escapes repository root")
+	}
+	return full, nil
+}
+
+// bumpVersion advances the synthetic version if the mtime moved.
+func (f *FS) bumpVersion(path string, mtimeNano int64) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.lastMod[path] != mtimeNano {
+		f.lastMod[path] = mtimeNano
+		f.versions[path]++
+	}
+	if f.versions[path] == 0 {
+		f.versions[path] = 1
+		f.lastMod[path] = mtimeNano
+	}
+	return f.versions[path]
+}
+
+// Fetch implements Repository.
+func (f *FS) Fetch(path string) (*FetchResult, error) {
+	full, err := f.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, notFound(f.name, path)
+		}
+		return nil, err
+	}
+	info, err := os.Stat(full)
+	if err != nil {
+		return nil, err
+	}
+	cost := f.charge(int64(len(data)))
+	return &FetchResult{
+		Data: data,
+		Meta: Meta{
+			Size:    int64(len(data)),
+			ModTime: info.ModTime(),
+			Version: f.bumpVersion(path, info.ModTime().UnixNano()),
+		},
+		Cost: cost,
+	}, nil
+}
+
+// Store implements Repository.
+func (f *FS) Store(path string, data []byte) error {
+	full, err := f.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	f.charge(int64(len(data)))
+	return os.WriteFile(full, data, 0o644)
+}
+
+// Stat implements Repository.
+func (f *FS) Stat(path string) (Meta, error) {
+	full, err := f.resolve(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	f.chargeStat()
+	info, err := os.Stat(full)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Meta{}, notFound(f.name, path)
+		}
+		return Meta{}, err
+	}
+	return Meta{
+		Size:    info.Size(),
+		ModTime: info.ModTime(),
+		Version: f.bumpVersion(path, info.ModTime().UnixNano()),
+	}, nil
+}

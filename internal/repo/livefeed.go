@@ -1,0 +1,69 @@
+package repo
+
+import (
+	"fmt"
+	"sync"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+// LiveFeed simulates a live content source such as a video camera:
+// every fetch observes different content (a new frame), so cached
+// copies are stale the moment they are made. The paper cites this as
+// the case where a bit-provider "may deem a document uncacheable if
+// the retrieved content changes each time it is accessed".
+type LiveFeed struct {
+	base
+	mu     sync.Mutex
+	frames map[string]int64 // per-path frame counter
+	size   int64            // bytes per frame
+}
+
+var _ Repository = (*LiveFeed)(nil)
+
+// NewLiveFeed returns a feed producing frameSize-byte frames.
+func NewLiveFeed(name string, clk clock.Clock, path *simnet.Path, frameSize int64) *LiveFeed {
+	if frameSize <= 0 {
+		frameSize = 1
+	}
+	return &LiveFeed{base: base{name: name, clk: clk, path: path}, frames: make(map[string]int64), size: frameSize}
+}
+
+// frame synthesizes deterministic content for frame n of a path.
+func (l *LiveFeed) frame(path string, n int64) []byte {
+	header := fmt.Sprintf("frame %d of %s\n", n, path)
+	data := make([]byte, l.size)
+	copy(data, header)
+	for i := len(header); i < len(data); i++ {
+		data[i] = byte(n + int64(i))
+	}
+	return data
+}
+
+// Fetch implements Repository; each call advances the feed's frame
+// counter, so consecutive fetches return different content.
+func (l *LiveFeed) Fetch(path string) (*FetchResult, error) {
+	l.mu.Lock()
+	l.frames[path]++
+	n := l.frames[path]
+	l.mu.Unlock()
+	cost := l.charge(l.size)
+	return &FetchResult{
+		Data: l.frame(path, n),
+		Meta: Meta{Size: l.size, ModTime: l.clk.Now(), Version: n},
+		Cost: cost,
+	}, nil
+}
+
+// Store implements Repository; live feeds are read-only.
+func (l *LiveFeed) Store(string, []byte) error { return ErrReadOnly }
+
+// Stat implements Repository; the version reflects frames served so
+// far, so a verifier comparing versions always sees change.
+func (l *LiveFeed) Stat(path string) (Meta, error) {
+	l.chargeStat()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Meta{Size: l.size, ModTime: l.clk.Now(), Version: l.frames[path] + 1}, nil
+}

@@ -1,0 +1,98 @@
+package repo
+
+import (
+	"sync"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+// Mem is an in-memory mutable repository standing in for a file
+// system or departmental server. It supports the paper's dual update
+// model: Store is the path Placeless snoops on, while UpdateDirect
+// mutates content out-of-band, invisible to the middleware — the
+// situation only a verifier (mtime poll) can detect.
+type Mem struct {
+	base
+	mu   sync.Mutex
+	docs map[string]*record
+}
+
+var _ Repository = (*Mem)(nil)
+
+// NewMem returns an empty in-memory repository reached over path,
+// charging time on clk.
+func NewMem(name string, clk clock.Clock, path *simnet.Path) *Mem {
+	return &Mem{base: base{name: name, clk: clk, path: path}, docs: make(map[string]*record)}
+}
+
+// Fetch implements Repository.
+func (m *Mem) Fetch(path string) (*FetchResult, error) {
+	m.mu.Lock()
+	rec, ok := m.docs[path]
+	var data []byte
+	var meta Meta
+	if ok {
+		data = append([]byte{}, rec.data...)
+		meta = Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, notFound(m.name, path)
+	}
+	cost := m.charge(meta.Size)
+	return &FetchResult{Data: data, Meta: meta, Cost: cost}, nil
+}
+
+// Store implements Repository.
+func (m *Mem) Store(path string, data []byte) error {
+	m.charge(int64(len(data)))
+	m.put(path, data)
+	return nil
+}
+
+// UpdateDirect mutates content without charging transfer time to the
+// accessor, modeling an application writing to the source behind
+// Placeless's back (paper §3, invalidation cause 1, uncontrolled case).
+func (m *Mem) UpdateDirect(path string, data []byte) {
+	m.put(path, data)
+}
+
+func (m *Mem) put(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.docs[path]
+	if !ok {
+		rec = &record{}
+		m.docs[path] = rec
+	}
+	rec.data = append([]byte{}, data...)
+	rec.modTime = m.clk.Now()
+	rec.version++
+}
+
+// Delete removes a path; deleting an absent path is a no-op.
+func (m *Mem) Delete(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.docs, path)
+}
+
+// Stat implements Repository.
+func (m *Mem) Stat(path string) (Meta, error) {
+	m.chargeStat()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.docs[path]
+	if !ok {
+		return Meta{}, notFound(m.name, path)
+	}
+	return Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version}, nil
+}
+
+// Len reports how many documents the repository holds.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.docs)
+}

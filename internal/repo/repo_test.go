@@ -1,0 +1,380 @@
+package repo
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC)
+
+func fastPath() *simnet.Path { return simnet.NewPath("test", 1) }
+
+func newMem(t *testing.T) (*Mem, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	return NewMem("mem", clk, fastPath()), clk
+}
+
+func TestMemFetchNotFound(t *testing.T) {
+	m, _ := newMem(t)
+	if _, err := m.Fetch("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStoreFetchRoundTrip(t *testing.T) {
+	m, _ := newMem(t)
+	if err := m.Store("/a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := m.Fetch("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fr.Data) != "hello" || fr.Meta.Size != 5 || fr.Meta.Version != 1 {
+		t.Fatalf("fetch = %+v", fr)
+	}
+}
+
+func TestMemVersionsIncrease(t *testing.T) {
+	m, clk := newMem(t)
+	m.Store("/a", []byte("v1"))
+	clk.Advance(time.Second)
+	m.Store("/a", []byte("v2"))
+	meta, err := m.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("version = %d, want 2", meta.Version)
+	}
+	if !meta.ModTime.After(epoch) {
+		t.Fatalf("modtime = %v not advanced", meta.ModTime)
+	}
+}
+
+func TestMemUpdateDirectChangesContentAndMtime(t *testing.T) {
+	m, clk := newMem(t)
+	m.Store("/a", []byte("original"))
+	before, _ := m.Stat("/a")
+	clk.Advance(time.Minute)
+	m.UpdateDirect("/a", []byte("sneaky"))
+	after, _ := m.Stat("/a")
+	if !after.ModTime.After(before.ModTime) || after.Version != before.Version+1 {
+		t.Fatalf("out-of-band update not visible in metadata: %+v -> %+v", before, after)
+	}
+	fr, _ := m.Fetch("/a")
+	if string(fr.Data) != "sneaky" {
+		t.Fatalf("content = %q", fr.Data)
+	}
+}
+
+func TestMemDelete(t *testing.T) {
+	m, _ := newMem(t)
+	m.Store("/a", []byte("x"))
+	m.Delete("/a")
+	m.Delete("/a") // idempotent
+	if _, err := m.Fetch("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMemFetchChargesClock(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	p := simnet.NewPath("lan", 1, simnet.Link{Latency: 5 * time.Millisecond, BytesPerSecond: 1 << 20})
+	m := NewMem("mem", clk, p)
+	m.Store("/a", make([]byte, 1<<20))
+	start := clk.Now()
+	fr, err := m.Fetch("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed != fr.Cost {
+		t.Fatalf("clock advanced %v but Cost = %v", elapsed, fr.Cost)
+	}
+	if fr.Cost < time.Second {
+		t.Fatalf("1 MB over 1 MB/s + 5ms should cost > 1s, got %v", fr.Cost)
+	}
+}
+
+func TestMemFetchReturnsCopy(t *testing.T) {
+	m, _ := newMem(t)
+	m.Store("/a", []byte("abc"))
+	fr, _ := m.Fetch("/a")
+	fr.Data[0] = 'Z'
+	fr2, _ := m.Fetch("/a")
+	if string(fr2.Data) != "abc" {
+		t.Fatal("Fetch exposed internal buffer")
+	}
+}
+
+func TestWebTTLInMeta(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := NewWeb("web", clk, fastPath(), 30*time.Second, true)
+	w.SetPage("/index.html", []byte("<html>"))
+	fr, err := w.Fetch("/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Meta.TTL != 30*time.Second {
+		t.Fatalf("TTL = %v", fr.Meta.TTL)
+	}
+	meta, _ := w.Stat("/index.html")
+	if meta.TTL != 30*time.Second {
+		t.Fatalf("Stat TTL = %v", meta.TTL)
+	}
+}
+
+func TestWebReadOnlyRejectsPut(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := NewWeb("web", clk, fastPath(), time.Minute, true)
+	if err := w.Store("/x", []byte("put")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestWebWritablePut(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := NewWeb("web", clk, fastPath(), time.Minute, false)
+	if err := w.Store("/x", []byte("put")); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := w.Fetch("/x")
+	if err != nil || string(fr.Data) != "put" {
+		t.Fatalf("fetch after PUT: %v %q", err, fr.Data)
+	}
+}
+
+func TestWebOutOfBandUpdate(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := NewWeb("web", clk, fastPath(), time.Minute, true)
+	w.SetPage("/p", []byte("old"))
+	v1, _ := w.Stat("/p")
+	clk.Advance(time.Hour)
+	w.SetPage("/p", []byte("new"))
+	v2, _ := w.Stat("/p")
+	if v2.Version != v1.Version+1 {
+		t.Fatalf("versions %d -> %d", v1.Version, v2.Version)
+	}
+}
+
+func TestWebNotFound(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	w := NewWeb("web", clk, fastPath(), time.Minute, true)
+	if _, err := w.Fetch("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDMSVersionHistory(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	d := NewDMS("dms", clk, fastPath())
+	d.Store("/doc", []byte("v1"))
+	d.Store("/doc", []byte("v2"))
+	d.Store("/doc", []byte("v3"))
+	if n := d.Versions("/doc"); n != 3 {
+		t.Fatalf("Versions = %d", n)
+	}
+	newest, err := d.Fetch("/doc")
+	if err != nil || string(newest.Data) != "v3" || newest.Meta.Version != 3 {
+		t.Fatalf("newest = %+v, %v", newest, err)
+	}
+	old, err := d.FetchVersion("/doc", 1)
+	if err != nil || string(old.Data) != "v1" {
+		t.Fatalf("v1 = %+v, %v", old, err)
+	}
+	if _, err := d.FetchVersion("/doc", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent version err = %v", err)
+	}
+}
+
+func TestDMSNotFound(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	d := NewDMS("dms", clk, fastPath())
+	if _, err := d.Fetch("/none"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Stat("/none"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v", err)
+	}
+}
+
+func TestLiveFeedAlwaysChanges(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	l := NewLiveFeed("cam", clk, fastPath(), 256)
+	a, err := l.Fetch("/cam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := l.Fetch("/cam1")
+	if bytes.Equal(a.Data, b.Data) {
+		t.Fatal("consecutive frames identical")
+	}
+	if a.Meta.Version+1 != b.Meta.Version {
+		t.Fatalf("versions %d, %d", a.Meta.Version, b.Meta.Version)
+	}
+	if int64(len(a.Data)) != 256 {
+		t.Fatalf("frame size %d", len(a.Data))
+	}
+}
+
+func TestLiveFeedReadOnly(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	l := NewLiveFeed("cam", clk, fastPath(), 16)
+	if err := l.Store("/cam1", nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLiveFeedStatShowsFutureVersion(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	l := NewLiveFeed("cam", clk, fastPath(), 16)
+	fr, _ := l.Fetch("/c")
+	meta, err := l.Stat("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version <= fr.Meta.Version {
+		t.Fatalf("Stat version %d should exceed fetched %d (feed always newer)", meta.Version, fr.Meta.Version)
+	}
+}
+
+func newFS(t *testing.T) (*FS, string) {
+	t.Helper()
+	dir := t.TempDir()
+	clk := clock.NewVirtual(epoch)
+	f, err := NewFS("fs", clk, fastPath(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, dir
+}
+
+func TestFSRoundTrip(t *testing.T) {
+	f, _ := newFS(t)
+	if err := f.Store("/dir/file.txt", []byte("disk bytes")); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := f.Fetch("/dir/file.txt")
+	if err != nil || string(fr.Data) != "disk bytes" {
+		t.Fatalf("fetch: %v %q", err, fr.Data)
+	}
+}
+
+func TestFSNotFound(t *testing.T) {
+	f, _ := newFS(t)
+	if _, err := f.Fetch("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat err = %v", err)
+	}
+}
+
+func TestFSOutOfBandEditBumpsVersion(t *testing.T) {
+	f, dir := newFS(t)
+	f.Store("/f.txt", []byte("one"))
+	m1, err := f.Stat("/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit behind Placeless's back with a guaranteed-new mtime.
+	full := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(full, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(full, future, future); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := f.Stat("/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version <= m1.Version {
+		t.Fatalf("version did not advance after out-of-band edit: %d -> %d", m1.Version, m2.Version)
+	}
+}
+
+func TestFSRejectsEscape(t *testing.T) {
+	f, _ := newFS(t)
+	if err := f.Store("../../etc/passwd", []byte("nope")); err == nil {
+		// filepath.Clean("/../..") collapses to "/", so the write
+		// lands inside the root; verify it did not escape.
+		if _, statErr := os.Stat("/etc/passwd.placeless-test"); statErr == nil {
+			t.Fatal("escaped the repository root")
+		}
+	}
+}
+
+func TestFSRootMustExist(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	if _, err := NewFS("fs", clk, fastPath(), "/definitely/not/here"); err == nil {
+		t.Fatal("expected error for missing root")
+	}
+}
+
+// Property: for any sequence of stores to Mem, the final fetch returns
+// the last stored content and version equals the number of stores.
+func TestMemLastWriteWinsProperty(t *testing.T) {
+	f := func(writes [][]byte) bool {
+		if len(writes) == 0 {
+			return true
+		}
+		m, _ := newMem(t)
+		for _, w := range writes {
+			if err := m.Store("/p", w); err != nil {
+				return false
+			}
+		}
+		fr, err := m.Fetch("/p")
+		return err == nil &&
+			bytes.Equal(fr.Data, writes[len(writes)-1]) &&
+			fr.Meta.Version == int64(len(writes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DMS never loses a version — after n stores, every version
+// 1..n fetches the corresponding historical content.
+func TestDMSHistoryCompleteProperty(t *testing.T) {
+	f := func(writes [][]byte) bool {
+		if len(writes) == 0 || len(writes) > 20 {
+			return true
+		}
+		clk := clock.NewVirtual(epoch)
+		d := NewDMS("dms", clk, fastPath())
+		for _, w := range writes {
+			if err := d.Store("/p", w); err != nil {
+				return false
+			}
+		}
+		for i, w := range writes {
+			fr, err := d.FetchVersion("/p", int64(i)+1)
+			if err != nil || !bytes.Equal(fr.Data, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package repo
+
+import (
+	"sync"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/simnet"
+)
+
+// Web simulates an HTTP origin server. Pages carry a TTL freshness
+// hint in their metadata — the only consistency mechanism 1999-era web
+// servers offered, which the paper's TTL verifier implements at the
+// cache. Pages change at the origin via SetPage without any
+// notification to consumers, and the repository can be made writable
+// (HTTP PUT) or read-only.
+type Web struct {
+	base
+	mu       sync.Mutex
+	pages    map[string]*record
+	ttl      time.Duration
+	readOnly bool
+}
+
+var _ Repository = (*Web)(nil)
+
+// NewWeb returns a web origin whose pages advertise the given TTL.
+// If readOnly, Store (HTTP PUT) is rejected.
+func NewWeb(name string, clk clock.Clock, path *simnet.Path, ttl time.Duration, readOnly bool) *Web {
+	return &Web{
+		base:     base{name: name, clk: clk, path: path},
+		pages:    make(map[string]*record),
+		ttl:      ttl,
+		readOnly: readOnly,
+	}
+}
+
+// SetPage publishes or replaces a page at the origin. This models
+// out-of-band site updates: no cost is charged to any accessor and no
+// notification is produced.
+func (w *Web) SetPage(path string, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec, ok := w.pages[path]
+	if !ok {
+		rec = &record{}
+		w.pages[path] = rec
+	}
+	rec.data = append([]byte{}, data...)
+	rec.modTime = w.clk.Now()
+	rec.version++
+}
+
+// Fetch implements Repository (HTTP GET).
+func (w *Web) Fetch(path string) (*FetchResult, error) {
+	w.mu.Lock()
+	rec, ok := w.pages[path]
+	var data []byte
+	var meta Meta
+	if ok {
+		data = append([]byte{}, rec.data...)
+		meta = Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version, TTL: w.ttl}
+	}
+	w.mu.Unlock()
+	if !ok {
+		return nil, notFound(w.name, path)
+	}
+	cost := w.charge(meta.Size)
+	return &FetchResult{Data: data, Meta: meta, Cost: cost}, nil
+}
+
+// Store implements Repository (HTTP PUT).
+func (w *Web) Store(path string, data []byte) error {
+	if w.readOnly {
+		return ErrReadOnly
+	}
+	w.charge(int64(len(data)))
+	w.SetPage(path, data)
+	return nil
+}
+
+// Stat implements Repository (HTTP HEAD).
+func (w *Web) Stat(path string) (Meta, error) {
+	w.chargeStat()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec, ok := w.pages[path]
+	if !ok {
+		return Meta{}, notFound(w.name, path)
+	}
+	return Meta{Size: int64(len(rec.data)), ModTime: rec.modTime, Version: rec.version, TTL: w.ttl}, nil
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+// benchServer boots a loopback server with one document.
+func benchServer(b *testing.B) *Client {
+	b.Helper()
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	space := docspace.New(clk, nil)
+	srv := New(space, repo.NewMem("srv", clk, simnet.NewPath("loop", 1)))
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 500; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		b.Fatal("server did not start")
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateDocument("d", "u", make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		<-done
+	})
+	return c
+}
+
+// BenchmarkRemoteRead measures a full request/response round trip over
+// loopback TCP including gob framing and the middleware read path.
+func BenchmarkRemoteRead(b *testing.B) {
+	c := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Read("d", "u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteWrite measures a write round trip.
+func BenchmarkRemoteWrite(b *testing.B) {
+	c := benchServer(b)
+	data := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Write("d", "u", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"placeless/internal/property"
+)
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("server: client closed")
+
+// ReadMeta is the cache-facing metadata a remote read returns.
+type ReadMeta struct {
+	// Cacheability is the aggregated read-path vote.
+	Cacheability property.Cacheability
+	// Cost is the replacement cost the read path accumulated.
+	Cost time.Duration
+	// Expiry is the earliest TTL deadline of the content (zero when
+	// no TTL applies).
+	Expiry time.Time
+}
+
+// Client is a connection to a Placeless server mirroring the local
+// Space API. Safe for concurrent use.
+type Client struct {
+	fc *frameConn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	closed  bool
+	onInval func(doc, user string)
+	readErr error
+}
+
+// Dial connects to a Placeless server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{fc: newFrameConn(conn), pending: make(map[uint64]chan *Response)}
+	go c.readLoop()
+	return c, nil
+}
+
+// OnInvalidate registers the handler for server-pushed invalidations.
+// user == "" means every user's version of doc is affected.
+func (c *Client) OnInvalidate(fn func(doc, user string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onInval = fn
+}
+
+// readLoop demultiplexes responses and notifications.
+func (c *Client) readLoop() {
+	for {
+		var resp Response
+		if err := c.fc.dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if resp.ID == 0 {
+			c.mu.Lock()
+			fn := c.onInval
+			c.mu.Unlock()
+			if fn != nil {
+				fn(resp.NotifyDoc, resp.NotifyUser)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			r := resp
+			ch <- &r
+		}
+	}
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Response, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	if err := c.fc.send(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, ErrClientClosed
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.fc.close()
+}
+
+// Read executes the remote read path.
+func (c *Client) Read(doc, user string) ([]byte, ReadMeta, error) {
+	resp, err := c.call(&Request{Op: OpRead, Doc: doc, User: user})
+	if err != nil {
+		return nil, ReadMeta{}, err
+	}
+	meta := ReadMeta{
+		Cacheability: property.Cacheability(resp.Cacheability),
+		Cost:         time.Duration(resp.CostNanos),
+	}
+	if resp.ExpiryUnixNanos != 0 {
+		meta.Expiry = time.Unix(0, resp.ExpiryUnixNanos)
+	}
+	return resp.Body, meta, nil
+}
+
+// Write executes the remote write path.
+func (c *Client) Write(doc, user string, data []byte) error {
+	_, err := c.call(&Request{Op: OpWrite, Doc: doc, User: user, Body: data})
+	return err
+}
+
+// CreateDocument registers a document with initial content, owned by
+// owner, on the server's backing repository.
+func (c *Client) CreateDocument(doc, owner string, content []byte) error {
+	_, err := c.call(&Request{Op: OpCreateDocument, Doc: doc, User: owner, Body: content})
+	return err
+}
+
+// AddReference gives user a reference to doc.
+func (c *Client) AddReference(doc, user string) error {
+	_, err := c.call(&Request{Op: OpAddReference, Doc: doc, User: user})
+	return err
+}
+
+// Attach attaches a standard property by spec (see ParsePropertySpec);
+// personal selects the reference level.
+func (c *Client) Attach(doc, user string, personal bool, spec string) error {
+	_, err := c.call(&Request{Op: OpAttach, Doc: doc, User: user, Personal: personal, Property: spec})
+	return err
+}
+
+// Detach removes the named property.
+func (c *Client) Detach(doc, user string, personal bool, name string) error {
+	_, err := c.call(&Request{Op: OpDetach, Doc: doc, User: user, Personal: personal, Property: name})
+	return err
+}
+
+// AttachStatic attaches a static label.
+func (c *Client) AttachStatic(doc, user string, personal bool, key, value string) error {
+	_, err := c.call(&Request{Op: OpAttachStatic, Doc: doc, User: user, Personal: personal, Property: key, Value: value})
+	return err
+}
+
+// Subscribe registers for invalidation pushes for (doc, user).
+func (c *Client) Subscribe(doc, user string) error {
+	_, err := c.call(&Request{Op: OpSubscribe, Doc: doc, User: user})
+	return err
+}
+
+// ForwardEvent redelivers an operation event by kind name (e.g.
+// "getInputStream").
+func (c *Client) ForwardEvent(doc, user, kind string) error {
+	_, err := c.call(&Request{Op: OpForwardEvent, Doc: doc, User: user, Value: kind})
+	return err
+}
+
+// ListActives lists active property names at a node.
+func (c *Client) ListActives(doc, user string, personal bool) ([]string, error) {
+	resp, err := c.call(&Request{Op: OpListActives, Doc: doc, User: user, Personal: personal})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Actives, nil
+}
+
+// Describe returns a rendered configuration summary of a document.
+func (c *Client) Describe(doc string) (string, error) {
+	resp, err := c.call(&Request{Op: OpDescribe, Doc: doc})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Match is one property-search hit.
+type Match struct {
+	// Doc is the matched document id.
+	Doc string
+	// Value is the matched static property's value.
+	Value string
+	// Level reports where the property is attached
+	// ("universal"/"personal").
+	Level string
+}
+
+// Find lists documents visible to user carrying the static property
+// key (and value, when non-empty) — Placeless's property-based
+// document organization over the wire.
+func (c *Client) Find(user, key, value string) ([]Match, error) {
+	resp, err := c.call(&Request{Op: OpFind, User: user, Property: key, Value: value})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(resp.Matches))
+	for _, m := range resp.Matches {
+		parts := strings.SplitN(m, "\t", 3)
+		match := Match{Doc: parts[0]}
+		if len(parts) > 1 {
+			match.Value = parts[1]
+		}
+		if len(parts) > 2 {
+			match.Level = parts[2]
+		}
+		out = append(out, match)
+	}
+	return out, nil
+}
+
+// Stats returns server counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePropertySpec checks the spec parser never panics and that
+// every accepted spec yields a usable property whose name is non-empty.
+func FuzzParsePropertySpec(f *testing.F) {
+	for _, seed := range []string{
+		"spell-correct", "spell-correct:5", "translate-fr", "uppercase:2",
+		"summarize:3:10", "watermark:eyal", "qos:250:50", "rot13",
+		"", "unknown", "summarize", "qos:x:y", ":::", "summarize:-1",
+		"watermark:", "qos:250:0.5", strings.Repeat("a:", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePropertySpec(spec)
+		if err != nil {
+			return
+		}
+		if p == nil || p.Name() == "" {
+			t.Fatalf("accepted spec %q produced unusable property", spec)
+		}
+		// Accepted properties must have a well-formed event set.
+		for _, k := range p.Events() {
+			if k.String() == "" {
+				t.Fatalf("spec %q: bad event kind", spec)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+// journalRig boots a journaled server over a persistent FS backing.
+func journalRig(t *testing.T, rootDir, journalPath string) (*Server, *Client, func()) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	fsRepo, err := repo.NewFS("fs", clk, simnet.NewPath("loop", 1), rootDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := docspace.New(clk, nil)
+	srv := New(space, fsRepo)
+	if _, err := srv.ReplayJournal(journalPath); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	j, err := OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetJournal(j)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := func() {
+		client.Close()
+		srv.Close()
+		<-done
+		j.Close()
+	}
+	return srv, client, shutdown
+}
+
+func TestJournalRestartRebuildsConfiguration(t *testing.T) {
+	root := t.TempDir()
+	journal := filepath.Join(t.TempDir(), "config.journal")
+
+	// First server lifetime: build configuration and write content.
+	_, c1, shutdown1 := journalRig(t, root, journal)
+	if err := c1.CreateDocument("memo", "alice", []byte("teh first draft")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AddReference("memo", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Attach("memo", "alice", true, "spell-correct"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AttachStatic("memo", "", false, "status", "draft"); err != nil {
+		t.Fatal(err)
+	}
+	// Content updated after creation: the restart must keep this, not
+	// the journaled initial bytes.
+	if err := c1.Write("memo", "bob", []byte("teh final draft")); err != nil {
+		t.Fatal(err)
+	}
+	shutdown1()
+
+	// Second lifetime over the same root + journal.
+	_, c2, shutdown2 := journalRig(t, root, journal)
+	defer shutdown2()
+
+	alice, _, err := c2.Read("memo", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(alice) != "the final draft" {
+		t.Fatalf("alice reads %q, want post-restart content with spell correction", alice)
+	}
+	bob, _, err := c2.Read("memo", "bob")
+	if err != nil || string(bob) != "teh final draft" {
+		t.Fatalf("bob reads %q, %v", bob, err)
+	}
+	names, err := c2.ListActives("memo", "alice", true)
+	if err != nil || len(names) != 1 || names[0] != "spell-correct" {
+		t.Fatalf("actives = %v, %v", names, err)
+	}
+}
+
+func TestJournalDetachReplays(t *testing.T) {
+	root := t.TempDir()
+	journal := filepath.Join(t.TempDir(), "j")
+	_, c1, shutdown1 := journalRig(t, root, journal)
+	c1.CreateDocument("d", "u", []byte("x"))
+	c1.Attach("d", "u", true, "uppercase")
+	c1.Detach("d", "u", true, "uppercase")
+	shutdown1()
+
+	_, c2, shutdown2 := journalRig(t, root, journal)
+	defer shutdown2()
+	names, err := c2.ListActives("d", "u", true)
+	if err != nil || len(names) != 0 {
+		t.Fatalf("actives after replayed detach = %v, %v", names, err)
+	}
+}
+
+func TestReplayMissingJournalIsNoop(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	srv := New(docspace.New(clk, nil), repo.NewMem("m", clk, simnet.NewPath("p", 1)))
+	n, err := srv.ReplayJournal(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || n != 0 {
+		t.Fatalf("replay = %d, %v", n, err)
+	}
+}
+
+func TestReplayCorruptJournalFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	os.WriteFile(path, []byte("{not json\n"), 0o644)
+	clk := clock.NewVirtual(epoch)
+	srv := New(docspace.New(clk, nil), repo.NewMem("m", clk, simnet.NewPath("p", 1)))
+	if _, err := srv.ReplayJournal(path); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v", err)
+	}
+	os.WriteFile(path, []byte(`{"op":"martian","doc":"d"}`+"\n"), 0o644)
+	if _, err := srv.ReplayJournal(path); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalSkipsDataPlane(t *testing.T) {
+	root := t.TempDir()
+	journal := filepath.Join(t.TempDir(), "j")
+	_, c, shutdown := journalRig(t, root, journal)
+	c.CreateDocument("d", "u", []byte("x"))
+	for i := 0; i < 5; i++ {
+		c.Read("d", "u")
+	}
+	c.Write("d", "u", []byte("y"))
+	shutdown()
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != 1 {
+		t.Fatalf("journal has %d entries, want only the create:\n%s", lines, data)
+	}
+	if !strings.Contains(string(data), `"op":"create"`) {
+		t.Fatalf("journal = %s", data)
+	}
+}

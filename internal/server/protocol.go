@@ -1,0 +1,166 @@
+// Package server exposes a document space over TCP, playing the role
+// of the Placeless server processes in the paper's deployment: "Document
+// accesses also require content to be sent from the storage repository
+// to at least one, possibly two, Placeless servers." Remote
+// applications (and remote caches) talk to the server through Client,
+// which mirrors the local Space API; notifier invalidations are pushed
+// to connected clients over the same connection.
+//
+// The wire protocol is length-prefixed gob frames: every request
+// carries a client-chosen ID, every response echoes it, and
+// server-initiated notification frames use ID 0.
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Op identifies a request type.
+type Op int
+
+// Protocol operations, mirroring the Space API the cache and
+// applications need remotely.
+const (
+	// OpRead executes the read path and returns transformed content
+	// plus the cache-facing metadata.
+	OpRead Op = iota
+	// OpWrite executes the write path with the request body.
+	OpWrite
+	// OpAttach attaches a named standard property (see
+	// ParsePropertySpec in this package).
+	OpAttach
+	// OpDetach removes a property.
+	OpDetach
+	// OpAttachStatic attaches a static label.
+	OpAttachStatic
+	// OpAddReference gives a user a reference to a document.
+	OpAddReference
+	// OpCreateDocument registers a new document backed by the
+	// server-side repository.
+	OpCreateDocument
+	// OpSubscribe registers the client for invalidation pushes for a
+	// document (the remote notifier channel).
+	OpSubscribe
+	// OpForwardEvent redelivers an operation event (CacheWithEvents
+	// support for remote caches).
+	OpForwardEvent
+	// OpStats returns server counters.
+	OpStats
+	// OpListActives lists active property names at a node.
+	OpListActives
+	// OpDescribe returns a document's configuration summary.
+	OpDescribe
+	// OpFind lists documents visible to the user that carry a static
+	// property (Property = key, Value = optional value filter).
+	OpFind
+)
+
+// String names the op.
+func (o Op) String() string {
+	names := [...]string{
+		"read", "write", "attach", "detach", "attachStatic",
+		"addReference", "createDocument", "subscribe", "forwardEvent",
+		"stats", "listActives", "describe", "find",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Request is a client→server frame.
+type Request struct {
+	// ID is echoed in the response; must be non-zero.
+	ID uint64
+	// Op selects the operation.
+	Op Op
+	// Doc and User identify the document/reference.
+	Doc, User string
+	// Personal selects the reference level for property operations
+	// (false = universal).
+	Personal bool
+	// Property names the property for attach/detach; for OpAttach it
+	// is a standard-property spec (see ParsePropertySpec).
+	Property string
+	// Value carries the static property value or forwarded event
+	// kind.
+	Value string
+	// Body carries write content.
+	Body []byte
+}
+
+// Response is a server→client frame. Frames with ID 0 are
+// notifications.
+type Response struct {
+	// ID matches the request; 0 marks a push notification.
+	ID uint64
+	// Err is the error string ("" = success).
+	Err string
+	// Body is the content for reads.
+	Body []byte
+	// Cacheability and CostNanos carry the read result's cache
+	// metadata. Verifier code cannot cross the wire; remote clients
+	// rely on subscription-based invalidation pushes instead (the
+	// notifier mechanism), matching the paper's observation that the
+	// number of caches per document is small enough to collaborate
+	// with the Placeless system.
+	Cacheability int
+	CostNanos    int64
+	// ExpiryUnixNanos is the earliest TTL deadline of the content as
+	// UnixNano (0 = no TTL). Verifier code cannot cross the wire, but
+	// a deadline can, so remote caches honor web-style freshness.
+	ExpiryUnixNanos int64
+	// Notification payload (ID 0): the affected document and user
+	// ("" = all users of the document).
+	NotifyDoc, NotifyUser string
+	// Actives lists property names for OpListActives.
+	Actives []string
+	// Stats carries counter values for OpStats.
+	Stats map[string]int64
+	// Text carries a rendered description for OpDescribe.
+	Text string
+	// Matches carries "doc\tvalue\tlevel" rows for OpFind.
+	Matches []string
+}
+
+// frame writes/reads gob values over a connection with a lock for
+// concurrent writers.
+type frameConn struct {
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (f *frameConn) send(v interface{}) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	return f.enc.Encode(v)
+}
+
+func (f *frameConn) close() error {
+	var err error
+	f.once.Do(func() { err = f.c.Close() })
+	return err
+}
+
+// isClosedErr reports whether err is the normal end of a connection.
+func isClosedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if err == io.EOF {
+		return true
+	}
+	ne, ok := err.(net.Error)
+	return ok && !ne.Timeout()
+}

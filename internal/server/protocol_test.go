@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: Request and Response frames survive gob encoding across a
+// pipe — the wire integrity invariant the whole protocol rests on.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, op uint8, doc, user, prop, value string, personal bool, body []byte) bool {
+		in := Request{
+			ID: id | 1, Op: Op(op % 11), Doc: doc, User: user,
+			Personal: personal, Property: prop, Value: value, Body: body,
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			return false
+		}
+		var out Request
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			return false
+		}
+		// gob encodes empty slices and nil identically; normalize.
+		if len(in.Body) == 0 {
+			in.Body, out.Body = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseRoundTripProperty(t *testing.T) {
+	f := func(id uint64, errStr string, body []byte, cacheability uint8, cost int64, actives []string) bool {
+		in := Response{
+			ID: id, Err: errStr, Body: body,
+			Cacheability: int(cacheability % 3), CostNanos: cost,
+			Actives: actives,
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			return false
+		}
+		var out Response
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			return false
+		}
+		if len(in.Body) == 0 {
+			in.Body, out.Body = nil, nil
+		}
+		if len(in.Actives) == 0 {
+			in.Actives, out.Actives = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameConnConcurrentSenders(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fa, fb := newFrameConn(a), newFrameConn(b)
+
+	const n = 50
+	go func() {
+		for i := 0; i < 2*n; i++ {
+			var resp Response
+			if err := fb.dec.Decode(&resp); err != nil {
+				return
+			}
+		}
+	}()
+	done := make(chan struct{}, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < n; i++ {
+				if err := fa.send(&Response{ID: 1}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("concurrent senders deadlocked")
+		}
+	}
+	if err := fa.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

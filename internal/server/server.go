@@ -1,0 +1,439 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/repo"
+)
+
+// Server exposes one document space over TCP.
+type Server struct {
+	space   *docspace.Space
+	backing repo.Repository
+	cache   *core.Cache // optional server-side cache for reads
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*serverConn]bool
+	closed   bool
+	requests int64
+	notifies int64
+	linkCost time.Duration
+	journal  *Journal
+}
+
+// New returns a server for space. backing is the repository used to
+// store content of documents created via OpCreateDocument.
+func New(space *docspace.Space, backing repo.Repository) *Server {
+	return &Server{space: space, backing: backing, conns: make(map[*serverConn]bool)}
+}
+
+// NewCached returns a server whose reads are served through a
+// server-side content cache — the second cache placement the paper's
+// prototype explored ("caches co-located with the Placeless server and
+// on the machine where applications are run"). Writes and property
+// operations go straight to the space; the cache's own notifiers keep
+// it consistent.
+func NewCached(space *docspace.Space, backing repo.Repository, cache *core.Cache) *Server {
+	s := New(space, backing)
+	s.cache = cache
+	return s
+}
+
+// serverConn is one accepted client connection.
+type serverConn struct {
+	srv *Server
+	fc  *frameConn
+
+	mu        sync.Mutex
+	notifiers []spot          // notifiers installed for this connection
+	baseSubs  map[string]bool // docs with a base notifier installed
+	refSubs   map[string]bool // doc\x00user refs with a notifier installed
+}
+
+// spot records where a connection's notifier lives so it can be
+// detached at disconnect.
+type spot struct {
+	doc, user string
+	level     docspace.Level
+	name      string
+}
+
+// remoteNotifier is the machinery-marked notifier attached on behalf
+// of subscribed clients.
+type remoteNotifier struct{ *property.Notifier }
+
+// CacheMachinery marks remote-subscription notifiers as cache
+// machinery.
+func (remoteNotifier) CacheMachinery() {}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sc := &serverConn{srv: s, fc: newFrameConn(c)}
+		s.mu.Lock()
+		s.conns[sc] = true
+		s.mu.Unlock()
+		go sc.serve()
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and tears down all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.teardown()
+	}
+	return nil
+}
+
+// serve runs the request loop for one connection.
+func (c *serverConn) serve() {
+	defer c.teardown()
+	for {
+		var req Request
+		if err := c.fc.dec.Decode(&req); err != nil {
+			return // disconnect
+		}
+		resp := c.handle(&req)
+		resp.ID = req.ID
+		if err := c.fc.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// teardown detaches the connection's notifiers and unregisters it.
+func (c *serverConn) teardown() {
+	c.fc.close()
+	c.mu.Lock()
+	spots := c.notifiers
+	c.notifiers = nil
+	c.mu.Unlock()
+	for _, sp := range spots {
+		_ = c.srv.space.Detach(sp.doc, sp.user, sp.level, sp.name)
+	}
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+// fail builds an error response.
+func fail(err error) *Response { return &Response{Err: err.Error()} }
+
+// SetLinkCost charges d of simulated time per handled request,
+// modeling the application→server network hop in placement
+// experiments (real deployments leave it zero and pay the actual
+// network).
+func (s *Server) SetLinkCost(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.linkCost = d
+}
+
+// handle dispatches one request from a connection.
+func (c *serverConn) handle(req *Request) *Response {
+	s := c.srv
+	s.mu.Lock()
+	s.requests++
+	link := s.linkCost
+	s.mu.Unlock()
+	if link > 0 {
+		s.space.Clock().Sleep(link)
+	}
+	if req.Op == OpSubscribe {
+		return c.subscribe(req)
+	}
+	resp := s.apply(req)
+	if resp.Err == "" {
+		s.journalRequest(req)
+	}
+	return resp
+}
+
+// apply executes a request that needs no connection state; journal
+// replay uses it directly.
+func (s *Server) apply(req *Request) *Response {
+	level := docspace.Universal
+	if req.Personal {
+		level = docspace.Personal
+	}
+
+	switch req.Op {
+	case OpRead:
+		if s.cache != nil {
+			data, info, err := s.cache.ReadWithInfo(req.Doc, req.User)
+			if err != nil {
+				return fail(err)
+			}
+			return &Response{
+				Body:            data,
+				Cacheability:    int(info.Cacheability),
+				CostNanos:       int64(info.Cost),
+				ExpiryUnixNanos: expiryNanos(info.Expiry),
+			}
+		}
+		data, res, err := s.space.ReadDocument(req.Doc, req.User)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{
+			Body:            data,
+			Cacheability:    int(res.Cacheability),
+			CostNanos:       int64(res.Cost),
+			ExpiryUnixNanos: expiryNanos(minTTLExpiry(res.Verifiers)),
+		}
+
+	case OpWrite:
+		if err := s.space.WriteDocument(req.Doc, req.User, req.Body); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpCreateDocument:
+		path := "/" + req.Doc
+		if err := s.backing.Store(path, req.Body); err != nil {
+			return fail(err)
+		}
+		bits := &property.RepoBitProvider{Repo: s.backing, Path: path}
+		if _, err := s.space.CreateDocument(req.Doc, req.User, bits); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpAddReference:
+		if _, err := s.space.AddReference(req.Doc, req.User); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpAttach:
+		p, err := ParsePropertySpec(req.Property)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.space.Attach(req.Doc, req.User, level, p); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpDetach:
+		if err := s.space.Detach(req.Doc, req.User, level, req.Property); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpAttachStatic:
+		st := property.Static{Key: req.Property, Value: req.Value}
+		if err := s.space.AttachStatic(req.Doc, req.User, level, st); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpForwardEvent:
+		kind, err := parseEventKind(req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.space.ForwardEvent(req.Doc, req.User, kind); err != nil {
+			return fail(err)
+		}
+		return &Response{}
+
+	case OpStats:
+		s.mu.Lock()
+		stats := map[string]int64{
+			"requests":      s.requests,
+			"notifications": s.notifies,
+			"connections":   int64(len(s.conns)),
+		}
+		s.mu.Unlock()
+		return &Response{Stats: stats}
+
+	case OpListActives:
+		names, err := s.space.Actives(req.Doc, req.User, level)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Actives: names}
+
+	case OpDescribe:
+		d, err := s.space.Describe(req.Doc)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Text: d.String()}
+
+	case OpFind:
+		var matches []string
+		for _, m := range s.space.FindByStatic(req.User, req.Property, req.Value) {
+			matches = append(matches, fmt.Sprintf("%s\t%s\t%s", m.Doc, m.Value, m.Level))
+		}
+		return &Response{Matches: matches}
+
+	default:
+		return fail(fmt.Errorf("server: unknown op %v", req.Op))
+	}
+}
+
+// subscribe installs base and reference notifiers pushing
+// invalidations to this connection.
+func (c *serverConn) subscribe(req *Request) *Response {
+	s := c.srv
+	push := func(doc, user string) {
+		s.mu.Lock()
+		s.notifies++
+		s.mu.Unlock()
+		_ = c.fc.send(&Response{ID: 0, NotifyDoc: doc, NotifyUser: user})
+	}
+	c.mu.Lock()
+	if c.baseSubs == nil {
+		c.baseSubs = make(map[string]bool)
+		c.refSubs = make(map[string]bool)
+	}
+	needBase := !c.baseSubs[req.Doc]
+	if needBase {
+		c.baseSubs[req.Doc] = true
+	}
+	refKey := req.Doc + "\x00" + req.User
+	needRef := req.User != "" && !c.refSubs[refKey]
+	if needRef {
+		c.refSubs[refKey] = true
+	}
+	c.mu.Unlock()
+
+	if needBase {
+		baseName := fmt.Sprintf("remote:%p:%s:base", c, req.Doc)
+		base := remoteNotifier{property.NewNotifier(baseName, func(e event.Event) {
+			push(e.Doc, "") // base-level change: all users affected
+		}, event.ContentWritten, event.SetProperty, event.RemoveProperty,
+			event.ModifyProperty, event.ReorderProperties, event.ExternalChange)}
+		base.Predicate = contentAffecting
+		if err := s.space.Attach(req.Doc, "", docspace.Universal, base); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.notifiers = append(c.notifiers, spot{doc: req.Doc, level: docspace.Universal, name: baseName})
+		c.mu.Unlock()
+	}
+
+	if needRef {
+		refName := fmt.Sprintf("remote:%p:%s:%s", c, req.Doc, req.User)
+		ref := remoteNotifier{property.NewNotifier(refName, func(e event.Event) {
+			push(e.Doc, e.User)
+		}, event.SetProperty, event.RemoveProperty,
+			event.ModifyProperty, event.ReorderProperties)}
+		ref.Predicate = contentAffecting
+		if err := s.space.Attach(req.Doc, req.User, docspace.Personal, ref); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.notifiers = append(c.notifiers, spot{doc: req.Doc, user: req.User, level: docspace.Personal, name: refName})
+		c.mu.Unlock()
+	}
+	return &Response{}
+}
+
+// contentAffecting mirrors the cache's semantic notifier predicate:
+// only content-capable changes invalidate.
+func contentAffecting(e event.Event) bool {
+	switch e.Kind {
+	case event.ContentWritten, event.ReorderProperties, event.ExternalChange:
+		return true
+	case event.SetProperty, event.RemoveProperty, event.ModifyProperty:
+		return e.Detail == docspace.ClassActive
+	default:
+		return false
+	}
+}
+
+// expiryNanos converts a TTL deadline to wire form (0 = none).
+func expiryNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// minTTLExpiry extracts the earliest TTL deadline from a verifier set.
+func minTTLExpiry(verifiers []property.Verifier) time.Time {
+	var min time.Time
+	for _, v := range verifiers {
+		if ttl, ok := v.(property.TTLVerifier); ok {
+			if min.IsZero() || ttl.Expiry.Before(min) {
+				min = ttl.Expiry
+			}
+		}
+	}
+	return min
+}
+
+// parseEventKind maps wire names to event kinds for ForwardEvent.
+func parseEventKind(name string) (event.Kind, error) {
+	for _, k := range event.Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown event kind %q", name)
+}

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/docspace"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+)
+
+var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC)
+
+// testServer starts a server on a loopback listener and returns a
+// connected client.
+func testServer(t *testing.T) (*Server, *Client, *docspace.Space) {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	backing := repo.NewMem("srv", clk, simnet.NewPath("loop", 1))
+	space := docspace.New(clk, repo.NewDMS("dms", clk, simnet.NewPath("loop", 2)))
+	srv := New(space, backing)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	// Wait for the listener.
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, client, space
+}
+
+func TestCreateReadWriteRoundTrip(t *testing.T) {
+	_, c, _ := testServer(t)
+	if err := c.CreateDocument("d", "eyal", []byte("hello over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := c.Read("d", "eyal")
+	if err != nil || string(data) != "hello over tcp" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if meta.Cost < 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if err := c.Write("d", "eyal", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = c.Read("d", "eyal")
+	if string(data) != "updated" {
+		t.Fatalf("after write: %q", data)
+	}
+}
+
+func TestReadErrorsPropagate(t *testing.T) {
+	_, c, _ := testServer(t)
+	if _, _, err := c.Read("ghost", "u"); err == nil || !strings.Contains(err.Error(), "no such document") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemotePropertyAttachment(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("teh quick brown fox"))
+	if err := c.Attach("d", "eyal", true, "spell-correct"); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ := c.Read("d", "eyal")
+	if !strings.HasPrefix(string(data), "the quick") {
+		t.Fatalf("spell correction missing: %q", data)
+	}
+	names, err := c.ListActives("d", "eyal", true)
+	if err != nil || len(names) != 1 || names[0] != "spell-correct" {
+		t.Fatalf("actives = %v, %v", names, err)
+	}
+	if err := c.Detach("d", "eyal", true, "spell-correct"); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = c.Read("d", "eyal")
+	if !strings.HasPrefix(string(data), "teh quick") {
+		t.Fatalf("detach ineffective: %q", data)
+	}
+}
+
+func TestPersonalVisibilityOverWire(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("shout"))
+	if err := c.AddReference("d", "paul"); err != nil {
+		t.Fatal(err)
+	}
+	c.Attach("d", "paul", true, "uppercase")
+	eyal, _, _ := c.Read("d", "eyal")
+	paul, _, _ := c.Read("d", "paul")
+	if string(eyal) != "shout" || string(paul) != "SHOUT" {
+		t.Fatalf("eyal=%q paul=%q", eyal, paul)
+	}
+}
+
+func TestStaticAttachment(t *testing.T) {
+	_, c, space := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("x"))
+	if err := c.AttachStatic("d", "", false, "workshop", "1999"); err != nil {
+		t.Fatal(err)
+	}
+	statics, _ := space.Statics("d", "", docspace.Universal)
+	if len(statics) != 1 || statics[0].Key != "workshop" {
+		t.Fatalf("statics = %v", statics)
+	}
+}
+
+func TestSubscriptionPushesInvalidation(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("v1"))
+	c.AddReference("d", "doug")
+
+	var mu sync.Mutex
+	var got [][2]string
+	notified := make(chan struct{}, 8)
+	c.OnInvalidate(func(doc, user string) {
+		mu.Lock()
+		got = append(got, [2]string{doc, user})
+		mu.Unlock()
+		notified <- struct{}{}
+	})
+	if err := c.Subscribe("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	// A write by another user must push a base-level invalidation.
+	if err := c.Write("d", "doug", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-notified:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no invalidation push received")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 || got[0][0] != "d" || got[0][1] != "" {
+		t.Fatalf("pushes = %v", got)
+	}
+}
+
+func TestSubscriptionPersonalPropertyPush(t *testing.T) {
+	_, c, space := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("v1"))
+	notified := make(chan [2]string, 8)
+	c.OnInvalidate(func(doc, user string) { notified <- [2]string{doc, user} })
+	if err := c.Subscribe("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	// Personal property change on the subscribed reference.
+	if err := c.Attach("d", "eyal", true, "uppercase"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-notified:
+		if p[0] != "d" || p[1] != "eyal" {
+			t.Fatalf("push = %v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no personal-property push")
+	}
+	_ = space
+}
+
+func TestForwardEventOverWire(t *testing.T) {
+	_, c, space := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("x"))
+	// Attach an audit trail server-side.
+	if err := c.Attach("d", "", false, "audit-trail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForwardEvent("d", "eyal", "getInputStream"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForwardEvent("d", "eyal", "bogusKind"); err == nil {
+		t.Fatal("bogus event kind accepted")
+	}
+	_ = space
+}
+
+func TestDescribeOverWire(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("x"))
+	c.Attach("d", "eyal", true, "uppercase")
+	text, err := c.Describe("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"document d", "owner eyal", "uppercase"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("describe missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := c.Describe("ghost"); err == nil {
+		t.Fatal("describe of missing doc succeeded")
+	}
+}
+
+func TestFindOverWire(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("a", "u", []byte("1"))
+	c.CreateDocument("b", "u", []byte("2"))
+	c.AttachStatic("a", "", false, "tag", "keep")
+	c.AttachStatic("b", "", false, "tag", "drop")
+	matches, err := c.Find("u", "tag", "")
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("matches = %v, %v", matches, err)
+	}
+	matches, err = c.Find("u", "tag", "keep")
+	if err != nil || len(matches) != 1 || matches[0].Doc != "a" || matches[0].Value != "keep" || matches[0].Level != "universal" {
+		t.Fatalf("filtered matches = %+v, %v", matches, err)
+	}
+	if matches, _ := c.Find("stranger", "tag", ""); len(matches) != 0 {
+		t.Fatalf("stranger sees %v", matches)
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("x"))
+	c.Read("d", "eyal")
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["requests"] < 2 || stats["connections"] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, c, _ := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("shared"))
+	addr := srv.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 20; j++ {
+				data, _, err := cl.Read("d", "eyal")
+				if err != nil || string(data) != "shared" {
+					t.Errorf("read = %q, %v", data, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClientClosedCalls(t *testing.T) {
+	_, c, _ := testServer(t)
+	c.Close()
+	if _, _, err := c.Read("d", "u"); err == nil {
+		t.Fatal("Read on closed client succeeded")
+	}
+}
+
+func TestDisconnectDetachesNotifiers(t *testing.T) {
+	srv, c, space := testServer(t)
+	c.CreateDocument("d", "eyal", []byte("x"))
+	if err := c.Subscribe("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	actives, _ := space.Actives("d", "", docspace.Universal)
+	if len(actives) == 0 {
+		t.Fatal("no notifier installed")
+	}
+	c.Close()
+	// The server notices the disconnect asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		actives, _ = space.Actives("d", "", docspace.Universal)
+		if len(actives) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(actives) != 0 {
+		t.Fatalf("notifiers leaked after disconnect: %v", actives)
+	}
+	_ = srv
+}
+
+func TestParsePropertySpecs(t *testing.T) {
+	good := []string{
+		"spell-correct", "spell-correct:5", "translate-fr", "uppercase:2",
+		"rot13", "line-number", "summarize:3", "summarize:3:10",
+		"watermark:eyal", "audit-trail", "versioning", "qos:250:50",
+	}
+	for _, spec := range good {
+		if _, err := ParsePropertySpec(spec); err != nil {
+			t.Errorf("ParsePropertySpec(%q) = %v", spec, err)
+		}
+	}
+	bad := []string{
+		"", "unknown", "summarize", "summarize:x", "summarize:0",
+		"watermark", "watermark:", "qos", "qos:250", "qos:x:2",
+		"qos:250:0.5", "spell-correct:notanumber", "uppercase:-1",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePropertySpec(spec); err == nil {
+			t.Errorf("ParsePropertySpec(%q) accepted malformed spec", spec)
+		}
+	}
+	if len(KnownPropertySpecs()) < 10 {
+		t.Fatal("spec help list incomplete")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpStats.String() != "stats" {
+		t.Fatal("Op.String broken")
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Fatal("unknown op string")
+	}
+}
+
+func TestServeAfterCloseRejected(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	space := docspace.New(clk, nil)
+	srv := New(space, repo.NewMem("b", clk, simnet.NewPath("p", 1)))
+	srv.Close()
+	if err := srv.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+	if err := errors.Unwrap(nil); err != nil {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+import "placeless/internal/property"
+
+// ParsePropertySpec instantiates a standard property from a wire spec.
+// Specs are the property name optionally followed by colon-separated
+// arguments:
+//
+//	spell-correct[:<execMS>]
+//	translate-fr[:<execMS>]
+//	uppercase[:<execMS>]
+//	rot13[:<execMS>]
+//	line-number[:<execMS>]
+//	summarize:<lines>[:<execMS>]
+//	watermark:<user>[:<execMS>]
+//	audit-trail
+//	versioning
+//	qos:<maxMS>:<factor>
+//
+// Active properties are code; a remote client cannot ship arbitrary
+// behaviour, so the server exposes this fixed library (the paper's
+// prototype similarly loads known property implementations into the
+// middleware).
+func ParsePropertySpec(spec string) (property.Active, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	args := parts[1:]
+
+	msArg := func(idx int) (time.Duration, error) {
+		if idx >= len(args) {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(args[idx])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("server: bad duration arg %q in %q", args[idx], spec)
+		}
+		return time.Duration(n) * time.Millisecond, nil
+	}
+
+	switch name {
+	case "spell-correct":
+		cost, err := msArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewSpellCorrector(cost), nil
+	case "translate-fr":
+		cost, err := msArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewTranslator(cost), nil
+	case "uppercase":
+		cost, err := msArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewUppercaser(cost), nil
+	case "rot13":
+		cost, err := msArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewRot13(cost), nil
+	case "line-number":
+		cost, err := msArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewLineNumberer(cost), nil
+	case "summarize":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("server: summarize needs a line count: %q", spec)
+		}
+		lines, err := strconv.Atoi(args[0])
+		if err != nil || lines < 1 {
+			return nil, fmt.Errorf("server: bad line count in %q", spec)
+		}
+		cost, err := msArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewSummarizer(lines, cost), nil
+	case "watermark":
+		if len(args) < 1 || args[0] == "" {
+			return nil, fmt.Errorf("server: watermark needs a user: %q", spec)
+		}
+		cost, err := msArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return property.NewWatermarker(args[0], cost), nil
+	case "audit-trail":
+		return property.NewAuditTrail(), nil
+	case "versioning":
+		return property.NewVersioning(), nil
+	case "qos":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("server: qos needs maxMS and factor: %q", spec)
+		}
+		maxMS, err := strconv.Atoi(args[0])
+		if err != nil || maxMS <= 0 {
+			return nil, fmt.Errorf("server: bad qos latency in %q", spec)
+		}
+		factor, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || factor < 1 {
+			return nil, fmt.Errorf("server: bad qos factor in %q", spec)
+		}
+		return property.NewQoS(time.Duration(maxMS)*time.Millisecond, factor), nil
+	default:
+		return nil, fmt.Errorf("server: unknown property %q", name)
+	}
+}
+
+// KnownPropertySpecs lists the spec grammar for CLI help output.
+func KnownPropertySpecs() []string {
+	return []string{
+		"spell-correct[:execMS]",
+		"translate-fr[:execMS]",
+		"uppercase[:execMS]",
+		"rot13[:execMS]",
+		"line-number[:execMS]",
+		"summarize:<lines>[:execMS]",
+		"watermark:<user>[:execMS]",
+		"audit-trail",
+		"versioning",
+		"qos:<maxMS>:<factor>",
+	}
+}

@@ -1,0 +1,45 @@
+// Package sig computes content signatures for shared cache storage.
+//
+// The paper (§3, Cache Management) proposes mapping (document, user)
+// pairs to a content signature such as an MD5 hash, and mapping
+// signatures to the stored bytes, so that identical transformed
+// content cached on behalf of different users is stored once. This
+// package provides that signature type.
+package sig
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+)
+
+// Signature is an MD5 digest of document content. The paper names MD5
+// explicitly; it is used here for content equality, not security.
+type Signature [md5.Size]byte
+
+// Of returns the signature of data.
+func Of(data []byte) Signature { return md5.Sum(data) }
+
+// String renders the signature as lowercase hex.
+func (s Signature) String() string { return hex.EncodeToString(s[:]) }
+
+// Zero is the signature of no content; a convenient sentinel for
+// "not yet computed".
+var Zero Signature
+
+// IsZero reports whether the signature is the zero sentinel.
+func (s Signature) IsZero() bool { return s == Zero }
+
+// Parse decodes a hex string produced by String. It reports ok=false
+// for malformed input.
+func Parse(s string) (Signature, bool) {
+	var out Signature
+	if len(s) != hex.EncodedLen(md5.Size) {
+		return out, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return out, false
+	}
+	copy(out[:], b)
+	return out, true
+}

@@ -1,0 +1,77 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfDeterministic(t *testing.T) {
+	a, b := Of([]byte("doc")), Of([]byte("doc"))
+	if a != b {
+		t.Fatal("same content produced different signatures")
+	}
+}
+
+func TestOfDistinguishesContent(t *testing.T) {
+	if Of([]byte("a")) == Of([]byte("b")) {
+		t.Fatal("different content collided")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	s := Of([]byte("round trip"))
+	got, ok := Parse(s.String())
+	if !ok || got != s {
+		t.Fatalf("Parse(String()) = %v, %v", got, ok)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{"", "zz", "0123", "g0000000000000000000000000000000"} {
+		if _, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestZeroSentinel(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if Of([]byte("x")).IsZero() {
+		t.Fatal("real signature reported as zero")
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary content signatures.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		s := Of(data)
+		got, ok := Parse(s.String())
+		return ok && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal content ⇒ equal signature, and signatures of
+// content differing in one byte differ (MD5 collision probability is
+// negligible at quick-check scale).
+func TestContentEqualityProperty(t *testing.T) {
+	f := func(data []byte, flip uint16) bool {
+		cp := append([]byte{}, data...)
+		if Of(data) != Of(cp) {
+			return false
+		}
+		if len(cp) == 0 {
+			return true
+		}
+		cp[int(flip)%len(cp)] ^= 0xFF
+		return bytes.Equal(data, cp) || Of(data) != Of(cp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

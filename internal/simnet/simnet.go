@@ -1,0 +1,127 @@
+// Package simnet models network transfer costs for the Placeless
+// simulation.
+//
+// The paper measures document access times against three repositories
+// at very different network distances: a web server on the PARC LAN, a
+// web server across the Internet (www.gatech.edu), and the local file
+// system. This package captures exactly the axes that matter to a
+// cache — per-request latency and bandwidth-limited transfer time —
+// as composable Links, so the benchmark harness can reproduce the
+// shape of Table 1 on a virtual clock.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Link models one network hop: a fixed round-trip latency plus a
+// transfer rate. The zero value is an infinitely fast link.
+type Link struct {
+	// Name identifies the link in traces and error messages.
+	Name string
+	// Latency is the fixed per-request cost (propagation + request
+	// processing), independent of payload size.
+	Latency time.Duration
+	// BytesPerSecond is the sustained transfer rate; zero means
+	// infinitely fast (no size-dependent cost).
+	BytesPerSecond int64
+	// Jitter, if non-zero, adds a uniformly distributed extra delay
+	// in [0, Jitter) drawn from the Path's deterministic PRNG.
+	Jitter time.Duration
+}
+
+// TransferTime returns the modeled time to move n payload bytes across
+// the link, excluding jitter.
+func (l Link) TransferTime(n int64) time.Duration {
+	d := l.Latency
+	if l.BytesPerSecond > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(l.BytesPerSecond) * float64(time.Second))
+	}
+	return d
+}
+
+// Path is a sequence of links between an accessor and a repository,
+// with a deterministic jitter source. Paths are safe for concurrent
+// use.
+type Path struct {
+	mu    sync.Mutex
+	name  string
+	links []Link
+	rng   *rand.Rand
+
+	totalRequests int64
+	totalBytes    int64
+	totalTime     time.Duration
+}
+
+// NewPath builds a path from the given links. seed fixes the jitter
+// PRNG so simulations are reproducible.
+func NewPath(name string, seed int64, links ...Link) *Path {
+	return &Path{name: name, links: links, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name returns the path's identifier.
+func (p *Path) Name() string { return p.name }
+
+// Cost returns the modeled time to transfer n bytes end-to-end,
+// including any jitter drawn for this call, and records the transfer
+// in the path statistics.
+func (p *Path) Cost(n int64) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var d time.Duration
+	for _, l := range p.links {
+		d += l.TransferTime(n)
+		if l.Jitter > 0 {
+			d += time.Duration(p.rng.Int63n(int64(l.Jitter)))
+		}
+	}
+	p.totalRequests++
+	p.totalBytes += n
+	p.totalTime += d
+	return d
+}
+
+// Stats reports the accumulated transfer totals for the path.
+func (p *Path) Stats() (requests, bytes int64, total time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totalRequests, p.totalBytes, p.totalTime
+}
+
+// String summarizes the path configuration.
+func (p *Path) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.name
+	for _, l := range p.links {
+		s += fmt.Sprintf(" ->[%s %v %dB/s]", l.Name, l.Latency, l.BytesPerSecond)
+	}
+	return s
+}
+
+// Canonical paths calibrated so the simulated Table 1 reproduces the
+// shape of the paper's measurements (local ≈ few ms, nearby web ≈ tens
+// of ms, far web ≈ hundreds of ms for ~10 KB documents in 1999).
+var (
+	// Local models the local file system: sub-millisecond seek plus
+	// ~10 MB/s late-90s disk streaming.
+	Local = func(seed int64) *Path {
+		return NewPath("local", seed, Link{Name: "disk", Latency: 800 * time.Microsecond, BytesPerSecond: 10 << 20})
+	}
+	// LAN models a server on the same campus network (the paper's
+	// "parcweb"): ~5 ms round trip on 10 Mbit Ethernet.
+	LAN = func(seed int64) *Path {
+		return NewPath("lan", seed, Link{Name: "ether", Latency: 5 * time.Millisecond, BytesPerSecond: 1 << 20})
+	}
+	// WAN models a cross-country web fetch (the paper's
+	// www.gatech.edu): ~80 ms RTT and ~40 KB/s effective throughput.
+	WAN = func(seed int64) *Path {
+		return NewPath("wan", seed,
+			Link{Name: "campus", Latency: 5 * time.Millisecond, BytesPerSecond: 1 << 20},
+			Link{Name: "internet", Latency: 75 * time.Millisecond, BytesPerSecond: 40 << 10})
+	}
+)

@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkLatencyOnly(t *testing.T) {
+	l := Link{Latency: 10 * time.Millisecond}
+	if got := l.TransferTime(1 << 20); got != 10*time.Millisecond {
+		t.Fatalf("TransferTime = %v, want latency only", got)
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	l := Link{Latency: time.Millisecond, BytesPerSecond: 1000}
+	got := l.TransferTime(500)
+	want := time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Fatalf("TransferTime(500) = %v, want %v", got, want)
+	}
+}
+
+func TestLinkZeroValueFree(t *testing.T) {
+	var l Link
+	if got := l.TransferTime(1 << 30); got != 0 {
+		t.Fatalf("zero link cost = %v, want 0", got)
+	}
+}
+
+func TestPathSumsLinks(t *testing.T) {
+	p := NewPath("p", 1,
+		Link{Latency: 2 * time.Millisecond},
+		Link{Latency: 3 * time.Millisecond},
+	)
+	if got := p.Cost(0); got != 5*time.Millisecond {
+		t.Fatalf("Cost = %v, want 5ms", got)
+	}
+}
+
+func TestPathDeterministicJitter(t *testing.T) {
+	mk := func() *Path {
+		return NewPath("j", 42, Link{Latency: time.Millisecond, Jitter: time.Millisecond})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		if ca, cb := a.Cost(100), b.Cost(100); ca != cb {
+			t.Fatalf("same-seed paths diverged at call %d: %v vs %v", i, ca, cb)
+		}
+	}
+}
+
+func TestPathStats(t *testing.T) {
+	p := NewPath("s", 1, Link{Latency: time.Millisecond})
+	p.Cost(100)
+	p.Cost(200)
+	reqs, bytes, total := p.Stats()
+	if reqs != 2 || bytes != 300 || total != 2*time.Millisecond {
+		t.Fatalf("Stats = (%d, %d, %v)", reqs, bytes, total)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := NewPath("wan", 1, Link{Name: "internet", Latency: time.Millisecond, BytesPerSecond: 100})
+	s := p.String()
+	if !strings.Contains(s, "wan") || !strings.Contains(s, "internet") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCanonicalOrdering(t *testing.T) {
+	// The cache-relevant property of the three canonical paths: for
+	// any document size, local < LAN < WAN.
+	for _, n := range []int64{0, 1104, 1915, 10883, 1 << 20} {
+		l := Local(1).Cost(n)
+		lan := LAN(1).Cost(n)
+		wan := WAN(1).Cost(n)
+		if !(l < lan && lan < wan) {
+			t.Fatalf("size %d: local=%v lan=%v wan=%v not strictly ordered", n, l, lan, wan)
+		}
+	}
+}
+
+// Property: cost is monotonically non-decreasing in payload size.
+func TestCostMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		small, big := int64(a), int64(b)
+		if small > big {
+			small, big = big, small
+		}
+		p := NewPath("m", 7, Link{Latency: time.Millisecond, BytesPerSecond: 50 << 10})
+		return p.Cost(small) <= p.Cost(big)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a path of k identical latency-only links costs exactly
+// k×latency regardless of payload.
+func TestPathLinearityProperty(t *testing.T) {
+	f := func(k uint8, payload uint16) bool {
+		n := int(k%8) + 1
+		links := make([]Link, n)
+		for i := range links {
+			links[i] = Link{Latency: time.Millisecond}
+		}
+		p := NewPath("lin", 1, links...)
+		return p.Cost(int64(payload)) == time.Duration(n)*time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package stream implements the custom input/output stream mechanism
+// that active properties use to intercept document content.
+//
+// Per the paper (§2), an active property interested in content
+// interposes a custom stream when the getInputStream or
+// getOutputStream event is dispatched: it wraps the stream produced by
+// the previous element in the calling chain and hands the wrapped
+// stream to the next, so properties that modify content form a chain
+// of custom streams, each operating on the bytes that flow through.
+//
+// This package provides the chain plumbing plus the transform
+// primitives the standard property library is built from: whole-content
+// transforms (translation, summarization), streaming chunk transforms
+// (case mapping, watermarking), and observation taps (audit trails).
+package stream
+
+import (
+	"bytes"
+	"io"
+)
+
+// Transform rewrites a complete document body. Implementations must
+// not retain or mutate the input slice.
+type Transform func([]byte) []byte
+
+// InputWrapper wraps a read stream; it is the unit of composition on
+// the read path. A property contributes one InputWrapper per
+// getInputStream dispatch.
+type InputWrapper func(io.ReadCloser) io.ReadCloser
+
+// OutputWrapper wraps a write stream; it is the unit of composition on
+// the write path.
+type OutputWrapper func(io.WriteCloser) io.WriteCloser
+
+// ChainInput applies wrappers to base in order: the first wrapper is
+// closest to the base stream (executes first on the data), matching
+// the paper's rule that on the read path base-document properties run
+// before reference properties.
+func ChainInput(base io.ReadCloser, wrappers ...InputWrapper) io.ReadCloser {
+	r := base
+	for _, w := range wrappers {
+		if w != nil {
+			r = w(r)
+		}
+	}
+	return r
+}
+
+// ChainOutput applies wrappers to base in order: the first wrapper is
+// outermost (sees application bytes first), matching the paper's rule
+// that on the write path reference properties run before base
+// properties.
+func ChainOutput(base io.WriteCloser, wrappers ...OutputWrapper) io.WriteCloser {
+	w := base
+	for i := len(wrappers) - 1; i >= 0; i-- {
+		if wrappers[i] != nil {
+			w = wrappers[i](w)
+		}
+	}
+	return w
+}
+
+// nopReadCloser adapts a Reader to ReadCloser.
+type nopReadCloser struct{ io.Reader }
+
+func (nopReadCloser) Close() error { return nil }
+
+// NopReadCloser wraps r with a no-op Close.
+func NopReadCloser(r io.Reader) io.ReadCloser { return nopReadCloser{r} }
+
+// BytesReader serves b as a read stream.
+func BytesReader(b []byte) io.ReadCloser { return NopReadCloser(bytes.NewReader(b)) }
+
+// wholeReader lazily drains its source, applies a Transform once, and
+// serves the result.
+type wholeReader struct {
+	src io.ReadCloser
+	f   Transform
+	buf *bytes.Reader
+	err error
+}
+
+// WholeInput returns an InputWrapper applying f to the complete
+// content read from the wrapped stream. The source is drained on the
+// first Read, so chains of WholeInput wrappers apply their transforms
+// innermost-first.
+func WholeInput(f Transform) InputWrapper {
+	return func(src io.ReadCloser) io.ReadCloser {
+		return &wholeReader{src: src, f: f}
+	}
+}
+
+func (w *wholeReader) Read(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.buf == nil {
+		data, err := io.ReadAll(w.src)
+		if err != nil {
+			w.err = err
+			return 0, err
+		}
+		w.buf = bytes.NewReader(w.f(data))
+	}
+	return w.buf.Read(p)
+}
+
+func (w *wholeReader) Close() error { return w.src.Close() }
+
+// wholeWriter buffers all writes and applies a Transform when closed.
+type wholeWriter struct {
+	dst    io.WriteCloser
+	f      Transform
+	buf    bytes.Buffer
+	closed bool
+}
+
+// WholeOutput returns an OutputWrapper that buffers everything written
+// and, on Close, applies f and forwards the result to the wrapped
+// stream before closing it.
+func WholeOutput(f Transform) OutputWrapper {
+	return func(dst io.WriteCloser) io.WriteCloser {
+		return &wholeWriter{dst: dst, f: f}
+	}
+}
+
+func (w *wholeWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+func (w *wholeWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if _, err := w.dst.Write(w.f(w.buf.Bytes())); err != nil {
+		w.dst.Close()
+		return err
+	}
+	return w.dst.Close()
+}
+
+// chunkReader applies a transform to each chunk as it flows through.
+// Only safe for transforms that are byte-local (len-preserving not
+// required, but the transform must not depend on chunk boundaries).
+type chunkReader struct {
+	src     io.ReadCloser
+	f       Transform
+	pending []byte
+}
+
+// ChunkInput returns an InputWrapper applying f independently to each
+// chunk read from the source. Use for stateless byte-local transforms
+// such as case mapping; use WholeInput when the transform needs the
+// entire document.
+func ChunkInput(f Transform) InputWrapper {
+	return func(src io.ReadCloser) io.ReadCloser {
+		return &chunkReader{src: src, f: f}
+	}
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	for len(c.pending) == 0 {
+		buf := make([]byte, 4096)
+		n, err := c.src.Read(buf)
+		if n > 0 {
+			c.pending = c.f(buf[:n])
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, c.pending)
+	c.pending = c.pending[n:]
+	return n, nil
+}
+
+func (c *chunkReader) Close() error { return c.src.Close() }
+
+// chunkWriter applies a transform to each chunk as it is written.
+type chunkWriter struct {
+	dst io.WriteCloser
+	f   Transform
+}
+
+// ChunkOutput returns an OutputWrapper applying f independently to
+// each chunk written; the write-path analogue of ChunkInput, for
+// stateless byte-local transforms.
+func ChunkOutput(f Transform) OutputWrapper {
+	return func(dst io.WriteCloser) io.WriteCloser {
+		return &chunkWriter{dst: dst, f: f}
+	}
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	out := c.f(p)
+	if _, err := c.dst.Write(out); err != nil {
+		return 0, err
+	}
+	// Report the consumed input length, per io.Writer contract.
+	return len(p), nil
+}
+
+func (c *chunkWriter) Close() error { return c.dst.Close() }
+
+// ObserverFuncs are callbacks for observation taps on a stream.
+type ObserverFuncs struct {
+	// OnData receives each chunk flowing through (may be nil). The
+	// slice is only valid for the duration of the call.
+	OnData func(p []byte)
+	// OnClose runs once when the stream is closed, with the total
+	// byte count that flowed through (may be nil).
+	OnClose func(total int64)
+}
+
+// tapReader forwards reads while invoking observer callbacks. It never
+// modifies the data — the mechanism for properties that "intercept
+// operations only to invoke a service but do nothing with the content
+// itself" (paper §3), such as read-audit trails.
+type tapReader struct {
+	src    io.ReadCloser
+	obs    ObserverFuncs
+	total  int64
+	closed bool
+}
+
+// TapInput returns an InputWrapper that observes but never modifies
+// data on the read path.
+func TapInput(obs ObserverFuncs) InputWrapper {
+	return func(src io.ReadCloser) io.ReadCloser {
+		return &tapReader{src: src, obs: obs}
+	}
+}
+
+func (t *tapReader) Read(p []byte) (int, error) {
+	n, err := t.src.Read(p)
+	if n > 0 {
+		t.total += int64(n)
+		if t.obs.OnData != nil {
+			t.obs.OnData(p[:n])
+		}
+	}
+	return n, err
+}
+
+func (t *tapReader) Close() error {
+	err := t.src.Close()
+	if !t.closed {
+		t.closed = true
+		if t.obs.OnClose != nil {
+			t.obs.OnClose(t.total)
+		}
+	}
+	return err
+}
+
+// tapWriter is the write-path analogue of tapReader.
+type tapWriter struct {
+	dst    io.WriteCloser
+	obs    ObserverFuncs
+	total  int64
+	closed bool
+}
+
+// TapOutput returns an OutputWrapper that observes but never modifies
+// data on the write path.
+func TapOutput(obs ObserverFuncs) OutputWrapper {
+	return func(dst io.WriteCloser) io.WriteCloser {
+		return &tapWriter{dst: dst, obs: obs}
+	}
+}
+
+func (t *tapWriter) Write(p []byte) (int, error) {
+	n, err := t.dst.Write(p)
+	if n > 0 {
+		t.total += int64(n)
+		if t.obs.OnData != nil {
+			t.obs.OnData(p[:n])
+		}
+	}
+	return n, err
+}
+
+func (t *tapWriter) Close() error {
+	err := t.dst.Close()
+	if !t.closed {
+		t.closed = true
+		if t.obs.OnClose != nil {
+			t.obs.OnClose(t.total)
+		}
+	}
+	return err
+}
+
+// BufferCloser is an in-memory WriteCloser that records whether Close
+// was called; the write-path terminal used by repositories and tests.
+type BufferCloser struct {
+	bytes.Buffer
+	// Closed reports whether Close has been called.
+	Closed bool
+	// OnClose, if non-nil, runs once with the final contents when
+	// the stream is closed.
+	OnClose func(data []byte)
+}
+
+// Close implements io.Closer.
+func (b *BufferCloser) Close() error {
+	if !b.Closed {
+		b.Closed = true
+		if b.OnClose != nil {
+			b.OnClose(b.Bytes())
+		}
+	}
+	return nil
+}
+
+// ReadAllAndClose drains r, closes it, and returns the content.
+func ReadAllAndClose(r io.ReadCloser) ([]byte, error) {
+	data, err := io.ReadAll(r)
+	cerr := r.Close()
+	if err == nil {
+		err = cerr
+	}
+	return data, err
+}

@@ -1,0 +1,252 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func upper(b []byte) []byte { return bytes.ToUpper(b) }
+
+func suffix(s string) Transform {
+	return func(b []byte) []byte { return append(append([]byte{}, b...), []byte(s)...) }
+}
+
+func TestBytesReaderRoundTrip(t *testing.T) {
+	got, err := ReadAllAndClose(BytesReader([]byte("hello")))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestWholeInputTransforms(t *testing.T) {
+	r := ChainInput(BytesReader([]byte("abc")), WholeInput(upper))
+	got, err := ReadAllAndClose(r)
+	if err != nil || string(got) != "ABC" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestChainInputOrder(t *testing.T) {
+	// First wrapper is closest to the base: with suffix transforms
+	// the innermost suffix is appended first.
+	r := ChainInput(BytesReader([]byte("x")), WholeInput(suffix("-base")), WholeInput(suffix("-ref")))
+	got, _ := ReadAllAndClose(r)
+	if string(got) != "x-base-ref" {
+		t.Fatalf("got %q, want base transform applied before reference transform", got)
+	}
+}
+
+func TestChainInputSkipsNil(t *testing.T) {
+	r := ChainInput(BytesReader([]byte("a")), nil, WholeInput(upper), nil)
+	got, _ := ReadAllAndClose(r)
+	if string(got) != "A" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChainOutputOrder(t *testing.T) {
+	// First wrapper is outermost: application bytes hit it first, so
+	// its suffix lands before the later wrappers' suffixes... no:
+	// outermost transform runs first, producing x-ref, then the
+	// inner (base-side) transform sees that and appends -base.
+	var sink BufferCloser
+	w := ChainOutput(&sink, WholeOutput(suffix("-ref")), WholeOutput(suffix("-base")))
+	io.WriteString(w, "x")
+	w.Close()
+	if got := sink.String(); got != "x-ref-base" {
+		t.Fatalf("got %q, want reference transform applied before base transform", got)
+	}
+	if !sink.Closed {
+		t.Fatal("chain did not propagate Close to the sink")
+	}
+}
+
+func TestWholeOutputWriteAfterClose(t *testing.T) {
+	var sink BufferCloser
+	w := ChainOutput(&sink, WholeOutput(upper))
+	w.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("Write after Close: err = %v, want ErrClosedPipe", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestChunkInputStreaming(t *testing.T) {
+	src := strings.NewReader(strings.Repeat("ab", 5000))
+	r := ChainInput(NopReadCloser(src), ChunkInput(upper))
+	got, err := ReadAllAndClose(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != strings.Repeat("AB", 5000) {
+		t.Fatalf("chunk transform mangled data (len=%d)", len(got))
+	}
+}
+
+func TestChunkInputSmallReads(t *testing.T) {
+	r := ChainInput(BytesReader([]byte("hello world")), ChunkInput(upper))
+	var out []byte
+	buf := make([]byte, 3)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(out) != "HELLO WORLD" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestChunkOutputStreaming(t *testing.T) {
+	var sink BufferCloser
+	w := ChainOutput(&sink, ChunkOutput(upper))
+	for _, part := range []string{"ab", "cd", "ef"} {
+		n, err := io.WriteString(w, part)
+		if err != nil || n != 2 {
+			t.Fatalf("write: %d, %v", n, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "ABCDEF" || !sink.Closed {
+		t.Fatalf("sink = %q closed=%v", sink.String(), sink.Closed)
+	}
+}
+
+func TestTapInputObservesWithoutModifying(t *testing.T) {
+	var seen bytes.Buffer
+	var closedTotal int64 = -1
+	r := ChainInput(BytesReader([]byte("audit me")), TapInput(ObserverFuncs{
+		OnData:  func(p []byte) { seen.Write(p) },
+		OnClose: func(n int64) { closedTotal = n },
+	}))
+	got, err := ReadAllAndClose(r)
+	if err != nil || string(got) != "audit me" {
+		t.Fatalf("data modified: %q, %v", got, err)
+	}
+	if seen.String() != "audit me" {
+		t.Fatalf("observer saw %q", seen.String())
+	}
+	if closedTotal != int64(len("audit me")) {
+		t.Fatalf("OnClose total = %d", closedTotal)
+	}
+}
+
+func TestTapOutputObserves(t *testing.T) {
+	var sink BufferCloser
+	var total int64
+	w := ChainOutput(&sink, TapOutput(ObserverFuncs{OnClose: func(n int64) { total = n }}))
+	io.WriteString(w, "12345")
+	w.Close()
+	w.Close() // OnClose must fire once
+	if total != 5 || sink.String() != "12345" {
+		t.Fatalf("total=%d sink=%q", total, sink.String())
+	}
+}
+
+func TestTapNilCallbacks(t *testing.T) {
+	r := ChainInput(BytesReader([]byte("x")), TapInput(ObserverFuncs{}))
+	if got, err := ReadAllAndClose(r); err != nil || string(got) != "x" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	var sink BufferCloser
+	w := ChainOutput(&sink, TapOutput(ObserverFuncs{}))
+	w.Write([]byte("y"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failReader struct{ closed bool }
+
+func (f *failReader) Read([]byte) (int, error) { return 0, errors.New("boom") }
+func (f *failReader) Close() error             { f.closed = true; return nil }
+
+func TestWholeInputPropagatesError(t *testing.T) {
+	fr := &failReader{}
+	r := ChainInput(fr, WholeInput(upper))
+	if _, err := io.ReadAll(r); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	// Error is sticky.
+	if _, err := r.Read(make([]byte, 1)); err == nil {
+		t.Fatal("second read did not return the stored error")
+	}
+	r.Close()
+	if !fr.closed {
+		t.Fatal("Close not propagated to source")
+	}
+}
+
+func TestBufferCloserOnClose(t *testing.T) {
+	var got []byte
+	b := &BufferCloser{OnClose: func(d []byte) { got = append([]byte{}, d...) }}
+	io.WriteString(b, "final")
+	b.Close()
+	b.Close()
+	if string(got) != "final" {
+		t.Fatalf("OnClose data = %q", got)
+	}
+}
+
+// Property: for any content and any pair of whole transforms f, g,
+// reading through ChainInput(base, Whole(f), Whole(g)) equals g(f(content)).
+func TestChainCompositionProperty(t *testing.T) {
+	fn := func(content []byte, s1, s2 string) bool {
+		if len(s1) > 20 {
+			s1 = s1[:20]
+		}
+		if len(s2) > 20 {
+			s2 = s2[:20]
+		}
+		f, g := suffix(s1), suffix(s2)
+		r := ChainInput(BytesReader(content), WholeInput(f), WholeInput(g))
+		got, err := ReadAllAndClose(r)
+		return err == nil && bytes.Equal(got, g(f(content)))
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: write path and read path produce the same composed result
+// for matching chains (reference-then-base on write mirrors
+// base-then-reference on read for the same logical ordering).
+func TestWriteReadSymmetryProperty(t *testing.T) {
+	fn := func(content []byte) bool {
+		var sink BufferCloser
+		w := ChainOutput(&sink, WholeOutput(upper))
+		w.Write(content)
+		w.Close()
+		r := ChainInput(BytesReader(content), WholeInput(upper))
+		got, err := ReadAllAndClose(r)
+		return err == nil && bytes.Equal(got, sink.Bytes())
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a tap never alters the bytes, for any content.
+func TestTapTransparencyProperty(t *testing.T) {
+	fn := func(content []byte) bool {
+		r := ChainInput(BytesReader(content), TapInput(ObserverFuncs{OnData: func([]byte) {}}))
+		got, err := ReadAllAndClose(r)
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// OpKind enumerates operations in an office workload, which — unlike
+// the read-mostly web trace — includes the property mutations that make
+// Placeless cache consistency interesting.
+type OpKind int
+
+const (
+	// OpRead reads a document through the cache.
+	OpRead OpKind = iota
+	// OpWrite updates content through the Placeless write path.
+	OpWrite
+	// OpDirectUpdate mutates the repository out-of-band.
+	OpDirectUpdate
+	// OpAttach attaches a personal transform property.
+	OpAttach
+	// OpDetach removes a previously attached property.
+	OpDetach
+	// OpReorder permutes the user's property chain.
+	OpReorder
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	names := [...]string{"read", "write", "directUpdate", "attach", "detach", "reorder"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// OfficeOp is one operation of an office workload.
+type OfficeOp struct {
+	// Kind is the operation class.
+	Kind OpKind
+	// Doc and User identify the target.
+	Doc, User string
+	// Arg selects a property (for attach/detach) or carries write
+	// content discrimination.
+	Arg int
+	// Think is idle time before the operation.
+	Think time.Duration
+}
+
+// OfficeConfig parameterizes a collaboration workload.
+type OfficeConfig struct {
+	// Docs and Users are the population sizes.
+	Docs, Users int
+	// Length is the number of operations.
+	Length int
+	// WriteFrac, DirectFrac, PropFrac are the fractions of writes,
+	// out-of-band updates, and property mutations; the rest are
+	// reads.
+	WriteFrac, DirectFrac, PropFrac float64
+	// MeanThink is the mean think time (exponential); zero disables.
+	MeanThink time.Duration
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// DefaultOfficeConfig returns a workload resembling a small workgroup:
+// read-dominated with a steady trickle of edits and personalization
+// churn.
+func DefaultOfficeConfig() OfficeConfig {
+	return OfficeConfig{
+		Docs: 12, Users: 4, Length: 1000,
+		WriteFrac: 0.08, DirectFrac: 0.04, PropFrac: 0.08,
+		Seed: 1,
+	}
+}
+
+// GenerateOffice produces a deterministic office workload. Property
+// operations alternate attach/detach/reorder pressure; documents are
+// Zipf-popular like the web trace.
+func GenerateOffice(cfg OfficeConfig) []OfficeOp {
+	if cfg.Docs <= 0 || cfg.Users <= 0 || cfg.Length <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.Docs-1))
+	out := make([]OfficeOp, 0, cfg.Length)
+	for i := 0; i < cfg.Length; i++ {
+		op := OfficeOp{
+			Doc:  DocID(int(zipf.Uint64())),
+			User: UserID(rng.Intn(cfg.Users)),
+			Arg:  rng.Intn(1 << 16),
+		}
+		r := rng.Float64()
+		switch {
+		case r < cfg.WriteFrac:
+			op.Kind = OpWrite
+		case r < cfg.WriteFrac+cfg.DirectFrac:
+			op.Kind = OpDirectUpdate
+		case r < cfg.WriteFrac+cfg.DirectFrac+cfg.PropFrac:
+			// Rotate through the property mutation kinds.
+			op.Kind = OpAttach + OpKind(rng.Intn(3))
+		default:
+			op.Kind = OpRead
+		}
+		if cfg.MeanThink > 0 {
+			op.Think = time.Duration(rng.ExpFloat64() * float64(cfg.MeanThink))
+		}
+		out = append(out, op)
+	}
+	return out
+}

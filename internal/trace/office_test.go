@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateOfficeDeterministic(t *testing.T) {
+	cfg := DefaultOfficeConfig()
+	a := GenerateOffice(cfg)
+	b := GenerateOffice(cfg)
+	if len(a) != cfg.Length {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestGenerateOfficeMix(t *testing.T) {
+	cfg := OfficeConfig{
+		Docs: 10, Users: 3, Length: 5000,
+		WriteFrac: 0.1, DirectFrac: 0.05, PropFrac: 0.1, Seed: 2,
+	}
+	counts := map[OpKind]int{}
+	for _, op := range GenerateOffice(cfg) {
+		counts[op.Kind]++
+	}
+	total := float64(cfg.Length)
+	if f := float64(counts[OpWrite]) / total; f < 0.07 || f > 0.13 {
+		t.Fatalf("write frac = %v", f)
+	}
+	if f := float64(counts[OpDirectUpdate]) / total; f < 0.03 || f > 0.08 {
+		t.Fatalf("direct frac = %v", f)
+	}
+	props := counts[OpAttach] + counts[OpDetach] + counts[OpReorder]
+	if f := float64(props) / total; f < 0.07 || f > 0.13 {
+		t.Fatalf("prop frac = %v", f)
+	}
+	if counts[OpRead] == 0 {
+		t.Fatal("no reads generated")
+	}
+}
+
+func TestGenerateOfficeDegenerate(t *testing.T) {
+	if GenerateOffice(OfficeConfig{}) != nil {
+		t.Fatal("empty config should yield nil")
+	}
+}
+
+func TestGenerateOfficeThink(t *testing.T) {
+	cfg := DefaultOfficeConfig()
+	cfg.MeanThink = 5 * time.Millisecond
+	var sum time.Duration
+	ops := GenerateOffice(cfg)
+	for _, op := range ops {
+		sum += op.Think
+	}
+	mean := sum / time.Duration(len(ops))
+	if mean < 2*time.Millisecond || mean > 10*time.Millisecond {
+		t.Fatalf("mean think = %v", mean)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpRead: "read", OpWrite: "write", OpDirectUpdate: "directUpdate",
+		OpAttach: "attach", OpDetach: "detach", OpReorder: "reorder",
+		OpKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package trace generates synthetic document-access workloads for the
+// experiment harness.
+//
+// The paper reports no trace-driven evaluation (its Table 1 uses three
+// hand-picked documents), but its future-work questions — replacement
+// tradeoffs, notifier-vs-verifier costs, sharing — need workloads to
+// be answerable. This package produces the standard web-caching
+// workload shape of the era: Zipf-distributed document popularity
+// [Cao & Irani 1997] over a heavy-tailed size distribution, with
+// configurable user population, per-user personalization, and write
+// mix. Everything is seeded and deterministic.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Access is one operation in a workload.
+type Access struct {
+	// Doc is the document id.
+	Doc string
+	// User is the accessing user.
+	User string
+	// Write marks update operations; others are reads.
+	Write bool
+	// Think is the simulated idle time before the access.
+	Think time.Duration
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	// Docs is the document population size.
+	Docs int
+	// Users is the user population size.
+	Users int
+	// Length is the number of accesses to generate.
+	Length int
+	// Alpha is the Zipf skew (s parameter); typical web traces are
+	// near 0.8–1.0. Must be > 1 for rand.Zipf, so values <= 1 are
+	// nudged to 1.0001.
+	Alpha float64
+	// WriteFrac is the fraction of accesses that are writes.
+	WriteFrac float64
+	// MeanThink is the mean think time between accesses (exponential);
+	// zero disables think time.
+	MeanThink time.Duration
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// DocID names document i consistently across the harness.
+func DocID(i int) string { return fmt.Sprintf("doc-%04d", i) }
+
+// UserID names user i consistently across the harness.
+func UserID(i int) string { return fmt.Sprintf("user-%02d", i) }
+
+// Generate produces a deterministic access sequence for cfg.
+func Generate(cfg Config) []Access {
+	if cfg.Docs <= 0 || cfg.Users <= 0 || cfg.Length <= 0 {
+		return nil
+	}
+	alpha := cfg.Alpha
+	if alpha <= 1 {
+		alpha = 1.0001
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, alpha, 1, uint64(cfg.Docs-1))
+	out := make([]Access, 0, cfg.Length)
+	for i := 0; i < cfg.Length; i++ {
+		a := Access{
+			Doc:   DocID(int(zipf.Uint64())),
+			User:  UserID(rng.Intn(cfg.Users)),
+			Write: rng.Float64() < cfg.WriteFrac,
+		}
+		if cfg.MeanThink > 0 {
+			a.Think = time.Duration(rng.ExpFloat64() * float64(cfg.MeanThink))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Sizes draws a heavy-tailed (log-normal-ish) size in bytes for each
+// document, deterministic in the seed. Sizes land roughly in
+// [minSize, minSize·~200] with a median a few times minSize, matching
+// the small-documents-dominate shape of 1990s web content.
+func Sizes(docs int, minSize int64, seed int64) map[string]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]int64, docs)
+	for i := 0; i < docs; i++ {
+		// Log-normal via exp of a normal sample, clamped to
+		// [minSize, ~200·minSize].
+		factor := rng.NormFloat64() + 1.0 // mean 1, sd 1 in log space
+		if factor > 5.3 {
+			factor = 5.3
+		}
+		if factor < 0 {
+			factor = 0
+		}
+		out[DocID(i)] = int64(float64(minSize) * math.Exp(factor))
+	}
+	return out
+}
+
+// Popularity returns the expected access counts per document for a
+// generated trace, useful for assertions about skew.
+func Popularity(accesses []Access) map[string]int {
+	out := make(map[string]int)
+	for _, a := range accesses {
+		out[a.Doc]++
+	}
+	return out
+}

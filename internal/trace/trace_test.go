@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Docs: 50, Users: 5, Length: 200, Alpha: 1.1, WriteFrac: 0.1, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateRespectsPopulations(t *testing.T) {
+	cfg := Config{Docs: 10, Users: 3, Length: 500, Alpha: 1.2, Seed: 1}
+	for _, a := range Generate(cfg) {
+		var d, u int
+		if _, err := fmt.Sscanf(a.Doc, "doc-%04d", &d); err != nil || d < 0 || d >= 10 {
+			t.Fatalf("doc out of range: %q", a.Doc)
+		}
+		if _, err := fmt.Sscanf(a.User, "user-%02d", &u); err != nil || u < 0 || u >= 3 {
+			t.Fatalf("user out of range: %q", a.User)
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	cfg := Config{Docs: 100, Users: 1, Length: 10000, Alpha: 1.2, Seed: 42}
+	pop := Popularity(Generate(cfg))
+	// The most popular document must dominate a mid-tail document.
+	if pop[DocID(0)] < 5*pop[DocID(50)]+1 {
+		t.Fatalf("no skew: doc0=%d doc50=%d", pop[DocID(0)], pop[DocID(50)])
+	}
+}
+
+func TestGenerateWriteFraction(t *testing.T) {
+	cfg := Config{Docs: 10, Users: 2, Length: 5000, Alpha: 1.1, WriteFrac: 0.2, Seed: 3}
+	writes := 0
+	for _, a := range Generate(cfg) {
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / 5000
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("write fraction = %v, want ≈0.2", frac)
+	}
+}
+
+func TestGenerateThinkTimes(t *testing.T) {
+	cfg := Config{Docs: 5, Users: 1, Length: 1000, Alpha: 1.1, MeanThink: 10 * time.Millisecond, Seed: 9}
+	var sum time.Duration
+	for _, a := range Generate(cfg) {
+		sum += a.Think
+	}
+	mean := sum / 1000
+	if mean < 5*time.Millisecond || mean > 20*time.Millisecond {
+		t.Fatalf("mean think = %v, want ≈10ms", mean)
+	}
+	noThink := Generate(Config{Docs: 5, Users: 1, Length: 10, Alpha: 1.1, Seed: 9})
+	for _, a := range noThink {
+		if a.Think != 0 {
+			t.Fatal("think time generated when disabled")
+		}
+	}
+}
+
+func TestGenerateDegenerateConfigs(t *testing.T) {
+	if Generate(Config{}) != nil {
+		t.Fatal("empty config should produce nil")
+	}
+	if got := Generate(Config{Docs: 1, Users: 1, Length: 5, Alpha: 0.5, Seed: 1}); len(got) != 5 {
+		t.Fatalf("alpha<=1 config broke generation: %d", len(got))
+	}
+}
+
+func TestSizesBoundsAndDeterminism(t *testing.T) {
+	a := Sizes(100, 1000, 5)
+	b := Sizes(100, 1000, 5)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for id, sz := range a {
+		if sz < 1000 || sz > 1000*210 {
+			t.Fatalf("size %d out of bounds for %s", sz, id)
+		}
+		if b[id] != sz {
+			t.Fatal("sizes not deterministic")
+		}
+	}
+}
+
+func TestSizesVary(t *testing.T) {
+	s := Sizes(50, 1000, 11)
+	distinct := map[int64]bool{}
+	for _, v := range s {
+		distinct[v] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct sizes", len(distinct))
+	}
+}
+
+// Property: every generated access names a document and user within
+// the configured populations, for arbitrary small configs.
+func TestGenerateWellFormedProperty(t *testing.T) {
+	f := func(docs, users, length uint8, seed int64) bool {
+		cfg := Config{
+			Docs:   int(docs%20) + 1,
+			Users:  int(users%5) + 1,
+			Length: int(length%50) + 1,
+			Alpha:  1.1,
+			Seed:   seed,
+		}
+		accesses := Generate(cfg)
+		if len(accesses) != cfg.Length {
+			return false
+		}
+		valid := map[string]bool{}
+		for i := 0; i < cfg.Docs; i++ {
+			valid[DocID(i)] = true
+		}
+		validUser := map[string]bool{}
+		for i := 0; i < cfg.Users; i++ {
+			validUser[UserID(i)] = true
+		}
+		for _, a := range accesses {
+			if !valid[a.Doc] || !validUser[a.User] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

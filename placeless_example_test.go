@@ -1,0 +1,35 @@
+package placeless_test
+
+import (
+	"fmt"
+	"time"
+
+	"placeless"
+)
+
+// Example shows the facade end-to-end: a personalized document cached
+// with notifier-driven consistency, using only the top-level package.
+func Example() {
+	clk := placeless.NewVirtualClock(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	disk := placeless.NewMemRepository("home", clk, placeless.LocalPath(1))
+	space := placeless.NewSpace(clk, nil)
+
+	disk.Store("/doc.txt", []byte("teh content"))
+	space.CreateDocument("doc", "alice", &placeless.RepoBitProvider{Repo: disk, Path: "/doc.txt"})
+	space.Attach("doc", "alice", placeless.Personal, placeless.NewSpellCorrector(0))
+
+	cache := placeless.NewCache(space, placeless.CacheOptions{})
+	data, _ := cache.Read("doc", "alice")
+	fmt.Printf("%s\n", data)
+
+	cache.Write("doc", "alice", []byte("teh second draft"))
+	data, _ = cache.Read("doc", "alice")
+	fmt.Printf("%s\n", data)
+
+	st := cache.Stats()
+	fmt.Printf("misses=%d invalidations=%d\n", st.Misses, st.Invalidations)
+	// Output:
+	// the content
+	// the second draft
+	// misses=2 invalidations=1
+}
