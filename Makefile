@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments examples clean
+.PHONY: all build vet test test-race race fuzz bench experiments examples clean
 
 all: build vet test
 
@@ -17,6 +17,17 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Focused race sweep over the concurrent subsystems (what CI runs):
+# the sharded cache core and the TCP server/remote-cache pair, twice,
+# so scheduling-order-dependent races get two chances to surface.
+race:
+	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/...
+
+# Run the fuzz seed corpora as regression tests (no open-ended
+# fuzzing; use `go test -fuzz=FuzzShardHash ./internal/core/` for that).
+fuzz:
+	$(GO) test -run Fuzz ./...
 
 # Full benchmark sweep (Table 1 + E1–E9 + micro-benchmarks).
 bench:

@@ -12,6 +12,8 @@ package placeless
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,4 +285,124 @@ func BenchmarkWriteThrough(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchParallelWorld builds a cache over many pre-warmed documents on a
+// zero-latency source. shards selects the index layout: 0 =
+// auto-sharded, 1 = single-stripe. hitCost > 0 (with the real clock)
+// reproduces the paper's per-hit access time as an actual sleep, which
+// is where the seed's lock discipline and the sharded core diverge
+// observably: the seed slept while holding its global mutex.
+func benchParallelWorld(b *testing.B, shards, docs int, hitCost time.Duration) *core.Cache {
+	b.Helper()
+	var clk docspace.TimerClock = clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	if hitCost > 0 {
+		clk = clock.Real{} // real sleeps, so overlap (or its absence) is measurable
+	}
+	src := repo.NewMem("m", clk, simnet.NewPath("free", 1))
+	space := docspace.New(clk, nil)
+	cache := core.New(space, core.Options{Shards: shards, HitCost: hitCost})
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("d%d", i)
+		src.Store("/"+id, experiment.Content(id, 4096))
+		if _, err := space.CreateDocument(id, "u", &property.RepoBitProvider{Repo: src, Path: "/" + id}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cache.Read(id, "u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cache
+}
+
+// seedMutexCache reproduces the seed cache's concurrency discipline
+// for baseline comparison: one global mutex held across the entire
+// read, including the simulated per-hit access cost — exactly what the
+// pre-sharding implementation did with its single sync.Mutex.
+type seedMutexCache struct {
+	mu sync.Mutex
+	c  *core.Cache
+}
+
+func (s *seedMutexCache) Read(doc, user string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Read(doc, user)
+}
+
+// BenchmarkParallelHitThroughput measures aggregate hit throughput
+// with b.RunParallel (8× GOMAXPROCS goroutines) across a working set
+// of warm documents, with the paper's 200µs hit cost applied on the
+// real clock. Three configurations:
+//
+//   - sharded: the auto-sharded core; goroutines' hit costs overlap.
+//   - globalLock: single-stripe index, i.e. every key contends on one
+//     stripe mutex, but costs still run outside the lock.
+//   - seedMutex: the seed's discipline — a global mutex held across
+//     the whole read including the hit-cost sleep, serializing all
+//     goroutines end to end.
+//
+// The acceptance ratio (sharded vs seedMutex ns/op at the same
+// goroutine count) is recorded in EXPERIMENTS.md.
+func BenchmarkParallelHitThroughput(b *testing.B) {
+	const docs = 64
+	hitCost := 200 * time.Microsecond // experiment.DefaultCacheOptions.HitCost
+	read := func(cache *core.Cache, _ *seedMutexCache) func(string, string) ([]byte, error) {
+		return cache.Read
+	}
+	seedRead := func(cache *core.Cache, s *seedMutexCache) func(string, string) ([]byte, error) {
+		s.c = cache
+		return s.Read
+	}
+	for _, cfg := range []struct {
+		name   string
+		shards int
+		reader func(*core.Cache, *seedMutexCache) func(string, string) ([]byte, error)
+	}{
+		{"sharded", 0, read},
+		{"globalLock", 1, read},
+		{"seedMutex", 1, seedRead},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cache := benchParallelWorld(b, cfg.shards, docs, hitCost)
+			readFn := cfg.reader(cache, &seedMutexCache{})
+			var next atomic.Int64
+			b.SetParallelism(8) // 8× GOMAXPROCS goroutines: contention is the point
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := next.Add(1) // per-goroutine stride offset
+				for pb.Next() {
+					id := fmt.Sprintf("d%d", int(i)%docs)
+					i++
+					if _, err := readFn(id, "u"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelMixedThroughput stresses the sharded cache with a
+// read-heavy mix that includes invalidations (the notifier path takes
+// shard + policy locks only), approximating concurrent application
+// reads racing server-pushed invalidations.
+func BenchmarkParallelMixedThroughput(b *testing.B) {
+	const docs = 64
+	cache := benchParallelWorld(b, 0, docs, 0)
+	var next atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := next.Add(1)
+		for pb.Next() {
+			id := fmt.Sprintf("d%d", int(i)%docs)
+			if i%64 == 0 {
+				cache.Invalidate(id, "u")
+			} else if _, err := cache.Read(id, "u"); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }

@@ -19,6 +19,7 @@
 //	collection         related-document (collection) prefetching (E8)
 //	cost-ablation      property-cost signal ablation for GDS (E9)
 //	placement          app-side vs server-side cache placement (E10)
+//	parallel           parallel hit throughput + single-flight coalescing (E11)
 //	all                run everything
 package main
 
@@ -36,7 +37,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -171,6 +172,17 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(fmt.Sprintf("E10 — cache placement (docs=%d reads=%d link=%v app-capacity=%.0f%%)",
 			cfg.Docs, cfg.Reads, cfg.LinkCost, cfg.AppCapacityFrac*100), res)
+	}
+	if all || which == "parallel" {
+		ran = true
+		cfg := experiment.DefaultParallelConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunParallel(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E11 — parallel hit throughput, sharded vs seed global mutex (docs=%d ops/goroutine=%d hit-cost=%v, real clock: rates are machine-dependent, compare the speedup column)",
+			cfg.Docs, cfg.OpsPerGoroutine, cfg.HitCost), res)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)

@@ -15,11 +15,24 @@
 // must still be forwarded. Replacement is cost-aware (Greedy-Dual-Size
 // by default), driven by the replacement cost the read path
 // accumulates.
+//
+// Concurrency: the (document, user) index is partitioned into
+// lock-striped shards (shard.go) so readers of different entries never
+// contend; the signature → bytes store and the replacement policy sit
+// behind their own leaf locks; counters are atomic. Concurrent misses
+// on one key are coalesced single-flight (singleflight.go) so the read
+// path — property-chain execution, verifier install, notifier
+// registration — runs exactly once per stampede. Under single-threaded
+// access the cache behaves byte-identically to a globally locked one:
+// verifiers still run on every hit, cacheability aggregation is
+// unchanged, and the eviction sequence is pinned by the determinism
+// golden test.
 package core
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"placeless/internal/clock"
@@ -65,6 +78,11 @@ type Options struct {
 	// Policy supplies the replacement policy; nil defaults to
 	// Greedy-Dual-Size.
 	Policy replace.Policy
+	// Shards overrides the number of index stripes. Zero selects the
+	// GOMAXPROCS-scaled default; other values round up to a power of
+	// two. Shards = 1 degenerates to a single-lock index, which the
+	// parallel benchmarks use as the pre-sharding baseline.
+	Shards int
 	// HitCost is the simulated local access time charged on a cache
 	// hit (the cost of the cache lookup itself), before verifier
 	// execution.
@@ -146,6 +164,12 @@ type Stats struct {
 	// Misses are reads that executed the full Placeless read path,
 	// including the first access to a document.
 	Misses int64
+	// CoalescedMisses are reads that missed while another goroutine
+	// was already executing the read path for the same (document,
+	// user) key and received that execution's result instead of
+	// running their own (single-flight coalescing). They count
+	// neither as Hits nor as Misses.
+	CoalescedMisses int64
 	// VerifierRejects counts hits discarded because a verifier
 	// reported the entry invalid.
 	VerifierRejects int64
@@ -185,23 +209,49 @@ func (s Stats) HitRatio() float64 {
 }
 
 // Cache is a Placeless document-content cache. It is safe for
-// concurrent use.
+// concurrent use: see shard.go for the locking architecture and the
+// lock-ordering rules every method follows.
 type Cache struct {
 	space *docspace.Space
 	clk   clock.Clock
-	opts  Options
+	opts  Options // immutable after New (Capacity lives in capacity)
 
-	mu        sync.Mutex
-	closed    bool
-	entries   map[string]*entry
-	blobs     map[sig.Signature]*blob
-	policy    replace.Policy
-	stats     Stats
-	dirty     map[string]*dirtyWrite
-	gens      map[string]uint64         // per-doc invalidation generation
+	closed   atomic.Bool
+	capacity atomic.Int64
+
+	// idx stripes the (doc, user) → entry index and the single-flight
+	// table; each stripe has its own lock.
+	idx *shardedIndex
+
+	// policy decides eviction order. It stays global — Greedy-Dual-
+	// Size's aging value L must see every entry to keep eviction
+	// globally cost-aware — but behind its own leaf lock, so lookups
+	// on other keys never wait on it.
+	policyMu sync.Mutex
+	policy   replace.Policy
+
+	// blobs is the signature-shared content store, with incremental
+	// byte/shared accounting (sharedDelta).
+	blobMu sync.Mutex
+	blobs  map[sig.Signature]*blob
+
+	// gens carries per-document invalidation generations; the guard
+	// against installing a result that went stale mid-read.
+	gensMu sync.Mutex
+	gens   map[string]uint64
+
+	// dirty buffers write-back content.
+	writeMu sync.Mutex
+	dirty   map[string]*dirtyWrite
+
+	// Notifier bookkeeping: which attachment points already carry the
+	// cache's notifiers, and where to detach them on Close.
+	notifMu   sync.Mutex
 	baseNotif map[string]bool           // docs with a base notifier installed
 	refNotif  map[string]bool           // doc/user refs with a notifier installed
 	notifiers map[string][]notifierSpot // notifier names per doc for Close
+
+	stats statsCounters
 }
 
 // notifierSpot remembers where a notifier was attached.
@@ -229,15 +279,16 @@ func New(space *docspace.Space, opts Options) *Cache {
 		space:     space,
 		clk:       space.Clock(),
 		opts:      opts,
-		entries:   make(map[string]*entry),
-		blobs:     make(map[sig.Signature]*blob),
+		idx:       newShardedIndex(opts.Shards),
 		policy:    policy,
-		dirty:     make(map[string]*dirtyWrite),
+		blobs:     make(map[sig.Signature]*blob),
 		gens:      make(map[string]uint64),
+		dirty:     make(map[string]*dirtyWrite),
 		baseNotif: make(map[string]bool),
 		refNotif:  make(map[string]bool),
 		notifiers: make(map[string][]notifierSpot),
 	}
+	c.capacity.Store(opts.Capacity)
 	if opts.Mode == WriteBack && opts.FlushEvery > 0 {
 		c.armFlushTimer()
 	}
@@ -247,10 +298,7 @@ func New(space *docspace.Space, opts Options) *Cache {
 // armFlushTimer schedules the next periodic write-back flush.
 func (c *Cache) armFlushTimer() {
 	c.space.Clock().AfterFunc(c.opts.FlushEvery, func(time.Time) {
-		c.mu.Lock()
-		closed := c.closed
-		c.mu.Unlock()
-		if closed {
+		if c.closed.Load() {
 			return
 		}
 		_ = c.Flush() // flush errors leave entries dirty for the next cycle
@@ -261,42 +309,30 @@ func (c *Cache) armFlushTimer() {
 // Resize changes the capacity budget at runtime and evicts immediately
 // if the cache is now over budget. capacity <= 0 means unlimited.
 func (c *Cache) Resize(capacity int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.opts.Capacity = capacity
-	c.evictLocked()
+	c.capacity.Store(capacity)
+	c.evict()
 }
 
 // Capacity returns the current byte budget (0 = unlimited).
-func (c *Cache) Capacity() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.opts.Capacity
-}
+func (c *Cache) Capacity() int64 { return c.capacity.Load() }
 
 // Policy returns the replacement policy's name.
 func (c *Cache) Policy() string { return c.policy.Name() }
 
 // Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+func (c *Cache) Stats() Stats { return c.stats.snapshot() }
 
 // Len reports how many (document, user) entries are cached.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *Cache) Len() int { return c.idx.count() }
 
 // Contains reports whether a valid entry exists for (doc, user)
 // without running verifiers or charging time.
 func (c *Cache) Contains(doc, user string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key(doc, user)]
+	k := key(doc, user)
+	sh := c.idx.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[k]
 	return ok
 }
 
@@ -313,6 +349,10 @@ type EntryInfo struct {
 	// deadline can cross the wire, so layered remote caches can honor
 	// web-style freshness.
 	Expiry time.Time
+	// Hit reports whether this read was served from the cache.
+	// Coalesced misses (reads that received another goroutine's
+	// read-path result) report false.
+	Hit bool
 }
 
 // minExpiry extracts the earliest TTL deadline from a verifier set.
@@ -342,38 +382,35 @@ func (c *Cache) Read(doc, user string) ([]byte, error) {
 
 // ReadWithInfo is Read plus the entry metadata a layered cache needs.
 func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, EntryInfo{}, ErrClosed
 	}
-	c.mu.Unlock()
 	owner, err := c.space.ResolveOwner(doc, user)
 	if err != nil {
 		return nil, EntryInfo{}, err
 	}
 	user = owner
 
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, EntryInfo{}, ErrClosed
 	}
 	k := key(doc, user)
-	e := c.entries[k]
+	sh := c.idx.shardFor(k)
+
+	sh.mu.Lock()
+	e := sh.entries[k]
 	var data []byte
 	if e != nil {
-		if b := c.blobs[e.signature]; b != nil {
-			data = b.data
-		}
+		data = c.blobData(e.signature)
 	}
-	verifyDisabled := c.opts.DisableVerifiers
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	if e != nil && data != nil {
-		c.clk.Sleep(c.opts.HitCost)
+		if c.opts.HitCost > 0 {
+			c.clk.Sleep(c.opts.HitCost)
+		}
 		valid := true
-		if !verifyDisabled {
+		if !c.opts.DisableVerifiers {
 			now := c.clk.Now()
 			for _, v := range e.verifiers {
 				ok, err := v.Check(now)
@@ -384,88 +421,130 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 			}
 		}
 		if valid {
-			c.mu.Lock()
+			sh.mu.Lock()
 			// The entry may have been invalidated while verifying.
-			if cur := c.entries[k]; cur == e {
-				c.stats.Hits++
+			if cur := sh.entries[k]; cur == e {
+				c.stats.hits.Inc()
+				c.policyMu.Lock()
 				c.policy.Access(k)
-				c.mu.Unlock()
+				c.policyMu.Unlock()
+				sh.mu.Unlock()
 				if e.cacheability == property.CacheWithEvents {
 					c.forward(doc, user, event.GetInputStream)
 				}
 				out := make([]byte, len(data))
 				copy(out, data)
-				return out, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers)}, nil
+				return out, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers), Hit: true}, nil
 			}
-			c.mu.Unlock()
+			sh.mu.Unlock()
 		} else {
-			c.mu.Lock()
-			c.stats.VerifierRejects++
-			c.dropLocked(k)
-			c.mu.Unlock()
+			sh.mu.Lock()
+			c.stats.verifierRejects.Inc()
+			// Drop only if the rejected entry is still installed; a
+			// concurrent reinstall must not lose its fresh entry.
+			if cur := sh.entries[k]; cur == e {
+				c.dropShardLocked(sh, k)
+			}
+			sh.mu.Unlock()
 		}
 	}
 
-	return c.miss(doc, user, true)
+	return c.coalescedMiss(sh, k, doc, user, true)
 }
 
 // forward redelivers an operation event for a CacheWithEvents entry.
 func (c *Cache) forward(doc, user string, kind event.Kind) {
 	if err := c.space.ForwardEvent(doc, user, kind); err == nil {
-		c.mu.Lock()
-		c.stats.EventsForwarded++
-		c.mu.Unlock()
+		c.stats.eventsForwarded.Inc()
 	}
 }
 
+// coalescedMiss funnels a miss through the shard's single-flight
+// table: the leader executes the read path via miss and publishes the
+// result; followers block and share it. Prefetching happens after the
+// flight resolves so a collection that (transitively) references the
+// document being read can never re-enter its own flight.
+func (c *Cache) coalescedMiss(sh *shard, k, doc, user string, mayPrefetch bool) ([]byte, EntryInfo, error) {
+	f, leader := c.joinOrLead(sh, k)
+	if !leader {
+		<-f.done
+		c.stats.coalesced.Inc()
+		if f.err != nil {
+			return nil, EntryInfo{}, f.err
+		}
+		out := make([]byte, len(f.data))
+		copy(out, f.data)
+		return out, f.info, nil
+	}
+	data, info, related, err := c.miss(doc, user)
+	c.finish(sh, k, f, data, info, err)
+	if err == nil && mayPrefetch && !c.opts.DisablePrefetch {
+		c.prefetch(user, related)
+	}
+	return data, info, err
+}
+
 // miss executes the full read path and caches the result according to
-// its cacheability indicator. When mayPrefetch is set, documents the
-// read path declared related (collection members) are loaded
-// afterwards; prefetch-triggered misses pass false so fetching never
-// cascades beyond one hop.
-func (c *Cache) miss(doc, user string, mayPrefetch bool) ([]byte, EntryInfo, error) {
+// its cacheability indicator, returning the related-document hints for
+// the caller to prefetch (nil unless an entry was installed).
+func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []string, err error) {
 	// Snapshot the document's invalidation generation: if a
 	// notification arrives while the read path is executing, the
 	// result may already be stale and must not be cached (the
 	// callback race between load and install).
-	c.mu.Lock()
+	c.gensMu.Lock()
 	gen := c.gens[doc]
-	c.mu.Unlock()
+	c.gensMu.Unlock()
 
 	data, res, err := c.space.ReadDocument(doc, user)
 	if err != nil {
-		return nil, EntryInfo{}, err
+		return nil, EntryInfo{}, nil, err
 	}
-	info := EntryInfo{Cacheability: res.Cacheability, Cost: res.Cost, Expiry: minExpiry(res.Verifiers)}
-	c.mu.Lock()
-	c.stats.Misses++
-	if c.closed {
-		c.mu.Unlock()
-		return data, info, nil
+	info = EntryInfo{Cacheability: res.Cacheability, Cost: res.Cost, Expiry: minExpiry(res.Verifiers)}
+	c.stats.misses.Inc()
+	if c.closed.Load() {
+		return data, info, nil, nil
 	}
 	if res.Cacheability == property.Uncacheable {
-		c.stats.Uncacheable++
-		c.mu.Unlock()
-		return data, info, nil
+		c.stats.uncacheable.Inc()
+		return data, info, nil, nil
 	}
-	if c.gens[doc] != gen {
+	c.gensMu.Lock()
+	stale := c.gens[doc] != gen
+	c.gensMu.Unlock()
+	if stale {
 		// Invalidated mid-read: serve the data but do not install a
-		// potentially stale entry.
-		c.mu.Unlock()
-		return data, info, nil
+		// potentially stale entry (and charge no fill cost, since
+		// nothing is filled).
+		return data, info, nil, nil
 	}
 
-	c.clk.Sleep(c.opts.FillCost)
-	k := key(doc, user)
-	c.dropLocked(k) // replace any stale entry
-	s := sig.Of(data)
-	b := c.blobs[s]
-	if b == nil {
-		b = &blob{data: append([]byte{}, data...)}
-		c.blobs[s] = b
-		c.stats.BytesStored += int64(len(data))
+	if c.opts.FillCost > 0 {
+		// Charged outside every lock: on a virtual clock, Sleep can
+		// synchronously fire timer-driven flushes whose notifier
+		// callbacks re-enter the entry table.
+		c.clk.Sleep(c.opts.FillCost)
 	}
-	b.refs++
+	k := key(doc, user)
+	sh := c.idx.shardFor(k)
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
+		return data, info, nil, nil
+	}
+	// Definitive staleness check, atomic with the install under the
+	// shard lock: an invalidation bumps the generation before it scans
+	// the shards, so either we see the bump here and abort, or the
+	// scan sees our entry and drops it.
+	c.gensMu.Lock()
+	stale = c.gens[doc] != gen
+	c.gensMu.Unlock()
+	if stale {
+		sh.mu.Unlock()
+		return data, info, nil, nil
+	}
+	c.dropShardLocked(sh, k) // replace any stale entry
+	s := c.storeBlob(data)
 	e := &entry{
 		doc: doc, user: user,
 		signature:    s,
@@ -475,89 +554,154 @@ func (c *Cache) miss(doc, user string, mayPrefetch bool) ([]byte, EntryInfo, err
 		verifiers:    res.Verifiers,
 		storedAt:     c.clk.Now(),
 	}
-	c.entries[k] = e
-	c.stats.BytesLogical += e.size
+	sh.entries[k] = e
+	c.stats.bytesLogical.Add(e.size)
 	policyCost := e.cost
 	if c.opts.CostSource == CostConstant {
 		policyCost = time.Millisecond
 	}
+	c.policyMu.Lock()
 	c.policy.Insert(k, e.size, policyCost)
-	c.installNotifiersLocked(doc, user)
-	c.evictLocked()
-	c.recountSharedLocked()
-	c.mu.Unlock()
+	c.policyMu.Unlock()
+	sh.mu.Unlock()
 
-	if mayPrefetch && !c.opts.DisablePrefetch {
-		c.prefetch(user, res.Related)
-	}
-	return data, info, nil
+	c.installNotifiers(doc, user)
+	c.evict()
+	return data, info, res.Related, nil
 }
 
 // prefetch warms the cache with the user's views of related documents.
-// Already-cached members and failures are skipped silently; prefetch
-// misses never recurse.
+// Already-cached members, in-flight members, and failures are skipped
+// silently; prefetch misses never recurse.
 func (c *Cache) prefetch(user string, related []string) {
 	for _, doc := range related {
-		c.mu.Lock()
-		_, cached := c.entries[key(doc, user)]
-		closed := c.closed
-		c.mu.Unlock()
-		if cached || closed {
+		if c.closed.Load() {
 			continue
 		}
-		if _, _, err := c.miss(doc, user, false); err != nil {
+		k := key(doc, user)
+		sh := c.idx.shardFor(k)
+		sh.mu.Lock()
+		_, cached := sh.entries[k]
+		sh.mu.Unlock()
+		if cached {
 			continue
 		}
-		c.mu.Lock()
-		c.stats.Prefetches++
-		c.mu.Unlock()
+		f, leader := c.joinOrLead(sh, k)
+		if !leader {
+			// Someone is already fetching this member; the prefetch
+			// goal (a warm entry) is being met without us.
+			<-f.done
+			continue
+		}
+		data, info, _, err := c.miss(doc, user)
+		c.finish(sh, k, f, data, info, err)
+		if err != nil {
+			continue
+		}
+		c.stats.prefetches.Inc()
 	}
 }
 
-// dropLocked removes an entry and releases its blob reference.
-func (c *Cache) dropLocked(k string) {
-	e, ok := c.entries[k]
+// blobData returns the stored bytes for a signature, or nil. Blob data
+// is immutable after creation, so the slice may be read after blobMu
+// is released (callers copy before handing bytes to applications).
+func (c *Cache) blobData(s sig.Signature) []byte {
+	c.blobMu.Lock()
+	defer c.blobMu.Unlock()
+	if b := c.blobs[s]; b != nil {
+		return b.data
+	}
+	return nil
+}
+
+// storeBlob interns data under its signature and takes one reference,
+// maintaining the unique-byte and shared-entry gauges incrementally.
+func (c *Cache) storeBlob(data []byte) sig.Signature {
+	s := sig.Of(data)
+	c.blobMu.Lock()
+	b := c.blobs[s]
+	if b == nil {
+		b = &blob{data: append([]byte{}, data...)}
+		c.blobs[s] = b
+		c.stats.bytesStored.Add(int64(len(data)))
+	}
+	// SharedEntries counts entries whose blob has >1 reference; going
+	// 1→2 makes both sharers shared, each later reference adds one.
+	switch {
+	case b.refs == 1:
+		c.stats.sharedEntries.Add(2)
+	case b.refs >= 2:
+		c.stats.sharedEntries.Add(1)
+	}
+	b.refs++
+	c.blobMu.Unlock()
+	return s
+}
+
+// releaseBlob drops one reference, freeing the blob at zero.
+func (c *Cache) releaseBlob(s sig.Signature) {
+	c.blobMu.Lock()
+	defer c.blobMu.Unlock()
+	b := c.blobs[s]
+	if b == nil {
+		return
+	}
+	b.refs--
+	switch {
+	case b.refs == 1:
+		c.stats.sharedEntries.Add(-2)
+	case b.refs >= 2:
+		c.stats.sharedEntries.Add(-1)
+	}
+	if b.refs <= 0 {
+		delete(c.blobs, s)
+		c.stats.bytesStored.Add(-int64(len(b.data)))
+	}
+}
+
+// dropShardLocked removes an entry and releases its blob reference.
+// The caller holds sh.mu; policyMu and blobMu are taken as nested leaf
+// locks. Reports whether an entry was actually present.
+func (c *Cache) dropShardLocked(sh *shard, k string) bool {
+	e, ok := sh.entries[k]
 	if !ok {
-		return
+		return false
 	}
-	delete(c.entries, k)
+	delete(sh.entries, k)
+	c.policyMu.Lock()
 	c.policy.Remove(k)
-	c.stats.BytesLogical -= e.size
-	if b := c.blobs[e.signature]; b != nil {
-		b.refs--
-		if b.refs <= 0 {
-			delete(c.blobs, e.signature)
-			c.stats.BytesStored -= int64(len(b.data))
-		}
-	}
-	c.recountSharedLocked()
+	c.policyMu.Unlock()
+	c.stats.bytesLogical.Add(-e.size)
+	c.releaseBlob(e.signature)
+	return true
 }
 
-// evictLocked enforces the capacity budget using the replacement
-// policy. Capacity is measured in unique stored bytes, so evicting an
-// entry whose blob is shared may free nothing; the loop continues
-// until under budget or empty.
-func (c *Cache) evictLocked() {
-	if c.opts.Capacity <= 0 {
+// evict enforces the capacity budget using the replacement policy.
+// Capacity is measured in unique stored bytes, so evicting an entry
+// whose blob is shared may free nothing; the loop continues until
+// under budget or empty. Each round takes only the policy lock (to
+// pick the globally best victim) and then that victim's shard lock —
+// never a global lock and never two shard locks, so lookups on other
+// stripes proceed throughout.
+func (c *Cache) evict() {
+	capacity := c.capacity.Load()
+	if capacity <= 0 {
 		return
 	}
-	for c.stats.BytesStored > c.opts.Capacity {
+	for c.stats.bytesStored.Load() > capacity {
+		c.policyMu.Lock()
 		victim, ok := c.policy.Victim()
+		c.policyMu.Unlock()
 		if !ok {
 			return
 		}
-		c.stats.Evictions++
-		c.dropLocked(victim)
-	}
-}
-
-// recountSharedLocked recomputes the shared-entry gauge.
-func (c *Cache) recountSharedLocked() {
-	var shared int64
-	for _, e := range c.entries {
-		if b := c.blobs[e.signature]; b != nil && b.refs > 1 {
-			shared++
+		sh := c.idx.shardFor(victim)
+		sh.mu.Lock()
+		if c.dropShardLocked(sh, victim) {
+			c.stats.evictions.Inc()
 		}
+		// else: a concurrent invalidation beat us to the victim (and
+		// already removed it from the policy); re-check the budget.
+		sh.mu.Unlock()
 	}
-	c.stats.SharedEntries = shared
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFlushTimerDuringMissFillDoesNotDeadlock provokes the
+// flush-during-invalidate schedule on the virtual clock:
+//
+//  1. a read of d installs the cache's base notifier on d,
+//  2. a write-back write of d leaves d dirty,
+//  3. a miss on d2 sleeps FillCost on the virtual clock; the periodic
+//     flush timer (FlushEvery < FillCost) fires synchronously on the
+//     sleeping goroutine, so Flush → WriteDocument(d) → contentWritten
+//     → base notifier → invalidateDoc(d) all run nested inside the
+//     miss that is mid-fill.
+//
+// A cache that sleeps while holding the lock the notifier needs
+// self-deadlocks here (the seed implementation did exactly that). The
+// fix keeps every lock released across clock sleeps and docspace
+// calls; this test pins that, failing by timeout if the schedule ever
+// wedges again.
+func TestFlushTimerDuringMissFillDoesNotDeadlock(t *testing.T) {
+	w := newWorld(t, Options{
+		Mode:       WriteBack,
+		FlushEvery: 10 * time.Millisecond,
+		FillCost:   50 * time.Millisecond,
+	})
+	w.addDoc(t, "d", "eyal", "/d", []byte("original"))
+	w.addDoc(t, "d2", "eyal", "/d2", []byte("other"))
+
+	done := make(chan error, 1)
+	go func() {
+		// Install the base notifier on d, then dirty it.
+		if _, err := w.cache.Read("d", "eyal"); err != nil {
+			done <- err
+			return
+		}
+		if err := w.cache.Write("d", "eyal", []byte("updated")); err != nil {
+			done <- err
+			return
+		}
+		// Miss on d2: the FillCost sleep advances the virtual clock
+		// past the flush deadline, firing Flush (and the nested
+		// invalidation of d) on this very goroutine.
+		_, err := w.cache.Read("d2", "eyal")
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: flush fired during a miss fill never completed")
+	}
+
+	if d := w.cache.Dirty(); d != 0 {
+		t.Fatalf("dirty entries after timer flush: %d", d)
+	}
+	if st := w.cache.Stats(); st.Flushes == 0 {
+		t.Fatalf("flush timer never flushed: %+v", st)
+	}
+	// The flushed content must be what a fresh read observes.
+	if data := w.read(t, "d", "eyal"); string(data) != "updated" {
+		t.Fatalf("post-flush read = %q, want %q", data, "updated")
+	}
+}

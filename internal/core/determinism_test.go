@@ -1,0 +1,166 @@
+package core_test
+
+// Determinism regression: a single-goroutine Zipf trace (the E2
+// replacement workload shape) through the cache must reproduce the
+// exact eviction sequence and hit/miss counts recorded in the golden
+// file. The golden was generated against the pre-sharding seed
+// implementation, so this test pins the refactoring contract from
+// ISSUE 1: under single-threaded access the sharded cache is
+// byte-identical to the global-mutex cache — same policy decisions,
+// same victims in the same order, same counters.
+//
+// Regenerate with: go test ./internal/core -run TestDeterminismGolden -update-golden
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/experiment"
+	"placeless/internal/property"
+	"placeless/internal/replace"
+	"placeless/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the determinism golden file")
+
+// recordingPolicy wraps a replacement policy and logs every call the
+// cache makes, so the golden captures the full policy interaction
+// sequence, not only its outcome.
+type recordingPolicy struct {
+	inner replace.Policy
+	ops   []string
+}
+
+func (r *recordingPolicy) Name() string { return r.inner.Name() }
+func (r *recordingPolicy) Len() int     { return r.inner.Len() }
+
+func (r *recordingPolicy) Insert(key string, size int64, cost time.Duration) {
+	r.ops = append(r.ops, fmt.Sprintf("insert %s size=%d cost=%v", printable(key), size, cost))
+	r.inner.Insert(key, size, cost)
+}
+
+func (r *recordingPolicy) Access(key string) {
+	r.ops = append(r.ops, "access "+printable(key))
+	r.inner.Access(key)
+}
+
+func (r *recordingPolicy) Remove(key string) {
+	r.ops = append(r.ops, "remove "+printable(key))
+	r.inner.Remove(key)
+}
+
+func (r *recordingPolicy) Victim() (string, bool) {
+	k, ok := r.inner.Victim()
+	r.ops = append(r.ops, fmt.Sprintf("victim %s ok=%t", printable(k), ok))
+	return k, ok
+}
+
+// printable makes the NUL-separated (doc, user) key diff-friendly.
+func printable(k string) string { return strings.ReplaceAll(k, "\x00", "/") }
+
+// buildDeterminismWorld mirrors the E2 replacement world: mixed
+// local/LAN/WAN sources, heavy-tailed sizes, an expensive transform on
+// every fourth document, and a cache an order of magnitude smaller
+// than the working set.
+func buildDeterminismWorld(t *testing.T, policy replace.Policy) *experiment.World {
+	t.Helper()
+	const docs = 80
+	sizes := trace.Sizes(docs, 1024, 1)
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	opts := experiment.DefaultCacheOptions()
+	opts.Policy = policy
+	opts.Capacity = total / 10
+	w := experiment.NewWorld(1, opts)
+	for i := 0; i < docs; i++ {
+		id := trace.DocID(i)
+		content := experiment.Content(id, sizes[id])
+		var err error
+		switch i % 3 {
+		case 0:
+			err = w.AddLocalDoc(id, "owner", content)
+		case 1:
+			err = w.AddWebDoc(w.LAN, id, "owner", content)
+		default:
+			err = w.AddWebDoc(w.WAN, id, "owner", content)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Space.AddReference(id, "reader"); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			p := property.NewTranslator(25 * time.Millisecond)
+			if err := w.Space.Attach(id, "reader", docspace.Personal, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return w
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	rec := &recordingPolicy{inner: replace.NewGDS()}
+	w := buildDeterminismWorld(t, rec)
+	accesses := trace.Generate(trace.Config{
+		Docs: 80, Users: 1, Length: 2500, Alpha: 1.1, Seed: 1,
+	})
+	for _, a := range accesses {
+		if _, err := w.Cache.Read(a.Doc, "reader"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Cache.Stats()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "hits %d\n", st.Hits)
+	fmt.Fprintf(&b, "misses %d\n", st.Misses)
+	fmt.Fprintf(&b, "evictions %d\n", st.Evictions)
+	fmt.Fprintf(&b, "bytes-stored %d\n", st.BytesStored)
+	fmt.Fprintf(&b, "bytes-logical %d\n", st.BytesLogical)
+	fmt.Fprintf(&b, "entries %d\n", w.Cache.Len())
+	fmt.Fprintf(&b, "final-sim-time %v\n", w.Clk.Now().UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(&b, "policy-ops %d\n", len(rec.ops))
+	for _, op := range rec.ops {
+		b.WriteString(op)
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "determinism_e2.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first divergence precisely; a full diff of ~10k lines
+	// would drown it.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("divergence at line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("length divergence: got %d lines, want %d lines", len(gl), len(wl))
+}

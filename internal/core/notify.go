@@ -33,24 +33,26 @@ func contentAffecting(e event.Event) bool {
 	}
 }
 
-// installNotifiersLocked attaches the cache's notifiers for (doc,
-// user) if not yet present — the paper's miss-time behaviour: "When
-// Eyal first opens the paper from MS-Word, a notifier property is
-// attached to the base document to invalidate the cache if the file is
-// opened for writing by another user. Another notifier at the base
-// tracks any additions or deletions of active properties... At Eyal's
-// document reference, a third notifier is attached to watch for active
-// property additions, deletions and for changes."
+// installNotifiers attaches the cache's notifiers for (doc, user) if
+// not yet present — the paper's miss-time behaviour: "When Eyal first
+// opens the paper from MS-Word, a notifier property is attached to the
+// base document to invalidate the cache if the file is opened for
+// writing by another user. Another notifier at the base tracks any
+// additions or deletions of active properties... At Eyal's document
+// reference, a third notifier is attached to watch for active property
+// additions, deletions and for changes."
 //
-// Caller holds c.mu; attachment dispatches events, so the actual
-// space calls run after unlock via the returned thunks... attachment
-// here is safe because notifier attachment only dispatches machinery-
-// class events, which no handler re-enters the cache for.
-func (c *Cache) installNotifiersLocked(doc, user string) {
+// The dedup bookkeeping runs under notifMu; the space attachments run
+// with no cache lock held, because attachment dispatches events and
+// user-installed properties may react to them by re-entering the
+// cache. Racing installs attaching the same notifier twice are benign
+// (the registry deduplicates by property name).
+func (c *Cache) installNotifiers(doc, user string) {
 	if c.opts.DisableNotifiers {
 		return
 	}
 	var todo []func() error
+	c.notifMu.Lock()
 	if !c.baseNotif[doc] {
 		c.baseNotif[doc] = true
 		name := fmt.Sprintf("notifier:%s:%s:base", c.opts.Name, doc)
@@ -74,77 +76,71 @@ func (c *Cache) installNotifiersLocked(doc, user string) {
 		d, u := doc, user
 		todo = append(todo, func() error { return c.space.Attach(d, u, docspace.Personal, n) })
 	}
-	if len(todo) == 0 {
-		return
-	}
-	// Attaching dispatches setProperty events; the registry handles
-	// re-entrant subscription and our predicate ignores machinery, so
-	// attaching under c.mu would only deadlock if a handler called
-	// back into this cache synchronously — which contentAffecting
-	// prevents for machinery events. To stay safe against user-
-	// installed properties reacting to machinery attachments, run the
-	// attachments without the cache lock.
-	c.mu.Unlock()
+	c.notifMu.Unlock()
 	for _, fn := range todo {
 		_ = fn() // duplicate attach (racing installs) is benign
 	}
-	c.mu.Lock()
+}
+
+// invalidateDoc bumps the document's generation and drops every user's
+// entry for it, visiting the stripes one lock at a time. The
+// generation bump strictly precedes the stripe scan: an install that
+// read the old generation either completes before the scan reaches its
+// stripe (and is dropped by it) or observes the bump under its stripe
+// lock and aborts — no stale entry can survive.
+func (c *Cache) invalidateDoc(doc string) {
+	c.gensMu.Lock()
+	c.gens[doc]++
+	c.gensMu.Unlock()
+	c.idx.each(func(sh *shard) {
+		for k, ent := range sh.entries {
+			if ent.doc == doc {
+				if c.dropShardLocked(sh, k) {
+					c.stats.invalidations.Inc()
+				}
+			}
+		}
+	})
 }
 
 // onBaseEvent handles notifications from a base-document notifier:
 // anything that changes content for every user invalidates all of the
 // document's entries.
 func (c *Cache) onBaseEvent(e event.Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Notifications++
-	c.gens[e.Doc]++
-	for k, ent := range c.entries {
-		if ent.doc == e.Doc {
-			c.stats.Invalidations++
-			c.dropLocked(k)
-		}
-	}
+	c.stats.notifications.Inc()
+	c.invalidateDoc(e.Doc)
 }
 
 // onRefEvent handles notifications from a reference notifier: personal
 // property changes invalidate only that user's entry.
 func (c *Cache) onRefEvent(e event.Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Notifications++
-	c.gens[e.Doc]++
-	k := key(e.Doc, e.User)
-	if _, ok := c.entries[k]; ok {
-		c.stats.Invalidations++
-		c.dropLocked(k)
+	c.stats.notifications.Inc()
+	c.invalidateUser(e.Doc, e.User)
+}
+
+// invalidateUser bumps the generation and drops one (doc, user) entry.
+func (c *Cache) invalidateUser(doc, user string) {
+	c.gensMu.Lock()
+	c.gens[doc]++
+	c.gensMu.Unlock()
+	k := key(doc, user)
+	sh := c.idx.shardFor(k)
+	sh.mu.Lock()
+	if c.dropShardLocked(sh, k) {
+		c.stats.invalidations.Inc()
 	}
+	sh.mu.Unlock()
 }
 
 // Invalidate drops the entry for (doc, user), if any. It is the
 // programmatic equivalent of a reference-notifier invalidation.
 func (c *Cache) Invalidate(doc, user string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.gens[doc]++
-	k := key(doc, user)
-	if _, ok := c.entries[k]; ok {
-		c.stats.Invalidations++
-		c.dropLocked(k)
-	}
+	c.invalidateUser(doc, user)
 }
 
 // InvalidateDoc drops all entries for doc across users.
 func (c *Cache) InvalidateDoc(doc string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.gens[doc]++
-	for k, ent := range c.entries {
-		if ent.doc == doc {
-			c.stats.Invalidations++
-			c.dropLocked(k)
-		}
-	}
+	c.invalidateDoc(doc)
 }
 
 // Close flushes write-back state, detaches every notifier the cache
@@ -153,22 +149,28 @@ func (c *Cache) Close() error {
 	if err := c.Flush(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
+	c.notifMu.Lock()
 	spots := make([]notifierSpot, 0)
 	for _, list := range c.notifiers {
 		spots = append(spots, list...)
 	}
 	c.notifiers = make(map[string][]notifierSpot)
-	c.entries = make(map[string]*entry)
+	c.notifMu.Unlock()
+	// Clear the stripes; in-flight misses observe the closed flag
+	// under their stripe lock before installing, so nothing leaks in
+	// after the sweep.
+	c.idx.each(func(sh *shard) {
+		sh.entries = make(map[string]*entry)
+	})
+	c.blobMu.Lock()
 	c.blobs = make(map[sig.Signature]*blob)
-	c.stats.BytesStored = 0
-	c.stats.BytesLogical = 0
-	c.mu.Unlock()
+	c.blobMu.Unlock()
+	c.stats.bytesStored.Store(0)
+	c.stats.bytesLogical.Store(0)
+	c.stats.sharedEntries.Store(0)
 	for _, sp := range spots {
 		_ = c.space.Detach(sp.doc, sp.user, sp.level, sp.name)
 	}

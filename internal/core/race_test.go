@@ -1,12 +1,25 @@
 package core
 
-// Regression test for the load/install callback race: a write that
-// lands while a miss is executing the read path must prevent the
-// (already stale) result from being installed, even when verifiers
-// are disabled.
+// Concurrency regression suite for the sharded cache core:
+//
+//   - the load/install callback race (a write landing mid-miss must
+//     not leave a stale entry installed),
+//   - a mixed-operation stress harness exercising concurrent
+//     Read/Write/Invalidate/Resize/Flush across overlapping
+//     (document, user) pairs, meant to run under -race,
+//   - single-flight correctness: K concurrent misses on one key
+//     execute the read path (and hence the bit-provider fetch)
+//     exactly once.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"placeless/internal/docspace"
 	"placeless/internal/property"
@@ -74,5 +87,294 @@ func TestInvalidationDuringMissPreventsStaleInstall(t *testing.T) {
 	}
 	if string(second) != "v2-during-read" {
 		t.Fatalf("second read = %q — stale entry was installed despite mid-read invalidation", second)
+	}
+}
+
+// TestConcurrentStress drives every externally visible cache operation
+// from many goroutines over overlapping (document, user) pairs. It
+// asserts no data corruption (every read returns some complete version
+// of the document, never torn bytes) and that the cache converges to a
+// consistent state; the -race build catches synchronization bugs.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		docs       = 6
+		users      = 4
+		goroutines = 8
+		opsEach    = 400
+	)
+	w := newWorld(t, Options{Mode: WriteBack, Capacity: 1 << 16})
+	versions := make(map[string]bool) // every value ever written, per doc prefix
+	var versionsMu sync.Mutex
+	docID := func(i int) string { return fmt.Sprintf("sd%d", i) }
+	for i := 0; i < docs; i++ {
+		id := docID(i)
+		seedData := []byte(fmt.Sprintf("%s|v0", id))
+		w.addDoc(t, id, "owner", "/"+id, seedData)
+		versions[string(seedData)] = true
+		for u := 1; u < users; u++ {
+			w.space.AddReference(id, fmt.Sprintf("user-%d", u))
+		}
+	}
+	userID := func(i int) string {
+		if i == 0 {
+			return "owner"
+		}
+		return fmt.Sprintf("user-%d", i)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 42))
+			for op := 0; op < opsEach; op++ {
+				doc := docID(rng.Intn(docs))
+				user := userID(rng.Intn(users))
+				switch r := rng.Intn(100); {
+				case r < 55: // read
+					data, err := w.cache.Read(doc, user)
+					if err != nil {
+						t.Errorf("Read(%s,%s): %v", doc, user, err)
+						return
+					}
+					if !bytes.HasPrefix(data, []byte(doc+"|")) {
+						t.Errorf("torn read for %s: %q", doc, data)
+						return
+					}
+					versionsMu.Lock()
+					known := versions[string(data)]
+					versionsMu.Unlock()
+					if !known {
+						t.Errorf("read returned bytes never written: %q", data)
+						return
+					}
+				case r < 70: // write a fresh version
+					v := []byte(fmt.Sprintf("%s|g%d-op%d", doc, g, op))
+					versionsMu.Lock()
+					versions[string(v)] = true
+					versionsMu.Unlock()
+					if err := w.cache.Write(doc, user, v); err != nil {
+						t.Errorf("Write(%s,%s): %v", doc, user, err)
+						return
+					}
+				case r < 80: // invalidate one entry or a whole doc
+					if rng.Intn(2) == 0 {
+						w.cache.Invalidate(doc, user)
+					} else {
+						w.cache.InvalidateDoc(doc)
+					}
+				case r < 90: // flush write-back state
+					if err := w.cache.Flush(); err != nil {
+						t.Errorf("Flush: %v", err)
+						return
+					}
+				case r < 95: // resize provokes eviction churn
+					w.cache.Resize(int64(1<<12 + rng.Intn(1<<16)))
+				default: // metadata probes
+					w.cache.Contains(doc, user)
+					w.cache.Len()
+					_ = w.cache.Stats().HitRatio()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce: flush buffered writes and check convergent bookkeeping.
+	if err := w.cache.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if d := w.cache.Dirty(); d != 0 {
+		t.Fatalf("dirty entries after final flush: %d", d)
+	}
+	st := w.cache.Stats()
+	if st.BytesStored < 0 || st.BytesLogical < 0 || st.SharedEntries < 0 {
+		t.Fatalf("negative gauges after stress: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("stress harness performed no reads")
+	}
+	// Every entry still cached must serve its exact stored bytes.
+	for i := 0; i < docs; i++ {
+		for u := 0; u < users; u++ {
+			data, err := w.cache.Read(docID(i), userID(u))
+			if err != nil {
+				t.Fatalf("post-stress read: %v", err)
+			}
+			if !bytes.HasPrefix(data, []byte(docID(i)+"|")) {
+				t.Fatalf("post-stress torn read: %q", data)
+			}
+		}
+	}
+}
+
+// countingProvider wraps a fixed payload and counts Open calls — the
+// observable "did the read path run" signal for single-flight tests.
+// Open blocks until release is closed so a test can pile up concurrent
+// misses behind one fetch.
+type countingProvider struct {
+	payload []byte
+	opens   atomic.Int64
+	release chan struct{}
+	fail    bool
+}
+
+func (p *countingProvider) Name() string { return "bits:counting" }
+
+func (p *countingProvider) Open(ctx *property.ReadContext) (io.ReadCloser, error) {
+	p.opens.Add(1)
+	if p.release != nil {
+		<-p.release
+	}
+	if p.fail {
+		return nil, fmt.Errorf("counting provider: simulated source failure")
+	}
+	return stream.BytesReader(p.payload), nil
+}
+
+func (p *countingProvider) Create(*property.WriteContext) (io.WriteCloser, error) {
+	return nil, fmt.Errorf("counting provider is read-only")
+}
+
+func (p *countingProvider) ReadCurrent() ([]byte, error) {
+	return append([]byte{}, p.payload...), nil
+}
+
+// TestSingleFlightCoalescesConcurrentMisses is the single-flight
+// correctness test from ISSUE 1: K = 32 concurrent misses on one
+// (document, user) key must trigger exactly one bit-provider fetch —
+// one read-path execution — while the other K−1 callers block and
+// receive the same result.
+func TestSingleFlightCoalescesConcurrentMisses(t *testing.T) {
+	const K = 32
+	w := newWorld(t, Options{})
+	provider := &countingProvider{
+		payload: []byte("coalesced-content"),
+		release: make(chan struct{}),
+	}
+	if _, err := w.space.CreateDocument("d", "u", provider); err != nil {
+		t.Fatal(err)
+	}
+
+	results := make([][]byte, K)
+	errs := make([]error, K)
+	var started, done sync.WaitGroup
+	for i := 0; i < K; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			results[i], errs[i] = w.cache.Read("d", "u")
+		}(i)
+	}
+	started.Wait()
+	// Let every goroutine reach the miss path while the leader is
+	// parked inside the provider, then release the fetch. Stragglers
+	// that arrive after the install turn into hits — either way the
+	// provider must have run exactly once.
+	for deadline := time.Now().Add(5 * time.Second); provider.opens.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("no goroutine reached the bit-provider")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(provider.release)
+	done.Wait()
+
+	if n := provider.opens.Load(); n != 1 {
+		t.Fatalf("bit-provider fetched %d times for %d concurrent misses, want exactly 1", n, K)
+	}
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if string(results[i]) != "coalesced-content" {
+			t.Fatalf("reader %d got %q", i, results[i])
+		}
+	}
+	st := w.cache.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single read-path execution)", st.Misses)
+	}
+	if st.CoalescedMisses+st.Hits != K-1 {
+		t.Fatalf("coalesced(%d) + hits(%d) != %d", st.CoalescedMisses, st.Hits, K-1)
+	}
+}
+
+// TestSingleFlightResultIsPrivateCopy: followers must not share the
+// leader's backing array — mutating one caller's bytes cannot leak
+// into another's.
+func TestSingleFlightResultIsPrivateCopy(t *testing.T) {
+	w := newWorld(t, Options{})
+	provider := &countingProvider{
+		payload: []byte("abc"),
+		release: make(chan struct{}),
+	}
+	if _, err := w.space.CreateDocument("d", "u", provider); err != nil {
+		t.Fatal(err)
+	}
+	const K = 4
+	results := make([][]byte, K)
+	var done sync.WaitGroup
+	for i := 0; i < K; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			results[i], _ = w.cache.Read("d", "u")
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(provider.release)
+	done.Wait()
+	for i := range results {
+		results[i][0] = byte('0' + i) // scribble on the returned slice
+	}
+	if data := w.read(t, "d", "u"); string(data) != "abc" {
+		t.Fatalf("a caller's mutation reached the cache: %q", data)
+	}
+}
+
+// TestSingleFlightPropagatesError: when the coalesced read path fails,
+// every waiter gets the error, the fetch still ran only once, and a
+// later read retries (a failed flight must not wedge the key).
+func TestSingleFlightPropagatesError(t *testing.T) {
+	w := newWorld(t, Options{})
+	provider := &countingProvider{
+		payload: []byte("x"),
+		release: make(chan struct{}),
+		fail:    true,
+	}
+	if _, err := w.space.CreateDocument("d", "u", provider); err != nil {
+		t.Fatal(err)
+	}
+	const K = 8
+	errs := make([]error, K)
+	var done sync.WaitGroup
+	for i := 0; i < K; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			_, errs[i] = w.cache.Read("d", "u")
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(provider.release)
+	done.Wait()
+	if n := provider.opens.Load(); n != 1 {
+		t.Fatalf("failed fetch ran %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("reader %d got nil error from failed flight", i)
+		}
+	}
+	// The key must not be wedged: the next read starts a fresh flight.
+	provider.fail = false
+	provider.release = nil
+	if data := w.read(t, "d", "u"); string(data) != "x" {
+		t.Fatalf("retry after failed flight = %q", data)
 	}
 }

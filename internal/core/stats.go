@@ -1,0 +1,49 @@
+package core
+
+import "placeless/internal/metrics"
+
+// statsCounters is the cache's live bookkeeping: every field is a
+// lock-free atomic counter (metrics.Counter), so the hot hit path
+// records activity without serializing behind any cache lock and
+// Stats() never blocks readers. Byte and shared-entry gauges are
+// maintained incrementally by the blob store under blobMu; they use
+// the same atomic representation so snapshots need no lock either.
+type statsCounters struct {
+	hits            metrics.Counter
+	misses          metrics.Counter
+	coalesced       metrics.Counter
+	verifierRejects metrics.Counter
+	notifications   metrics.Counter
+	invalidations   metrics.Counter
+	evictions       metrics.Counter
+	uncacheable     metrics.Counter
+	eventsForwarded metrics.Counter
+	prefetches      metrics.Counter
+	bytesStored     metrics.Counter
+	bytesLogical    metrics.Counter
+	sharedEntries   metrics.Counter
+	flushes         metrics.Counter
+}
+
+// snapshot assembles the exported Stats view. Counters are read one at
+// a time, so a snapshot taken during concurrent activity is internally
+// consistent per counter but not across counters — same contract as
+// any monitoring scrape.
+func (s *statsCounters) snapshot() Stats {
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		CoalescedMisses: s.coalesced.Load(),
+		VerifierRejects: s.verifierRejects.Load(),
+		Notifications:   s.notifications.Load(),
+		Invalidations:   s.invalidations.Load(),
+		Evictions:       s.evictions.Load(),
+		Uncacheable:     s.uncacheable.Load(),
+		EventsForwarded: s.eventsForwarded.Load(),
+		Prefetches:      s.prefetches.Load(),
+		BytesStored:     s.bytesStored.Load(),
+		BytesLogical:    s.bytesLogical.Load(),
+		SharedEntries:   s.sharedEntries.Load(),
+		Flushes:         s.flushes.Load(),
+	}
+}

@@ -17,15 +17,10 @@ import (
 // operations, so getOutputStream events are forwarded per write while
 // the content itself is deferred until Flush.
 func (c *Cache) Write(doc, user string, data []byte) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return ErrClosed
 	}
-	mode := c.opts.Mode
-	c.mu.Unlock()
-
-	if mode == WriteThrough {
+	if c.opts.Mode == WriteThrough {
 		return c.space.WriteDocument(doc, user, data)
 	}
 
@@ -34,15 +29,19 @@ func (c *Cache) Write(doc, user string, data []byte) error {
 	// requirement for it (paper §3) — "for most properties it is
 	// likely to be sufficient if they execute on the write-back
 	// operation", so the default is no per-write forwarding.
-	c.mu.Lock()
-	c.dirty[key(doc, user)] = &dirtyWrite{data: append([]byte{}, data...)}
+	k := key(doc, user)
+	c.writeMu.Lock()
+	c.dirty[k] = &dirtyWrite{data: append([]byte{}, data...)}
+	overflow := c.opts.MaxDirty > 0 && len(c.dirty) > c.opts.MaxDirty
+	c.writeMu.Unlock()
 	// The locally buffered write makes cached read versions of this
 	// document stale for this user only after flush; conservatively
 	// drop the user's read entry now so reads observe their own
 	// writes once flushed.
-	c.dropLocked(key(doc, user))
-	overflow := c.opts.MaxDirty > 0 && len(c.dirty) > c.opts.MaxDirty
-	c.mu.Unlock()
+	sh := c.idx.shardFor(k)
+	sh.mu.Lock()
+	c.dropShardLocked(sh, k)
+	sh.mu.Unlock()
 	if c.writeVote(doc, user) >= property.CacheWithEvents {
 		c.forward(doc, user, event.GetOutputStream)
 	}
@@ -65,35 +64,43 @@ func (c *Cache) writeVote(doc, user string) property.Cacheability {
 
 // Dirty reports how many write-back entries await flushing.
 func (c *Cache) Dirty() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	return len(c.dirty)
 }
 
 // Flush pushes all buffered write-back content through the Placeless
 // write path. The first error aborts the flush; already-flushed
 // entries stay flushed.
+//
+// Lock ordering: the dirty set is snapshotted under writeMu, and every
+// WriteDocument runs with no cache lock held — the write path
+// dispatches contentWritten, whose notifier callback re-enters the
+// entry table (shard locks). A flush triggered mid-invalidate (or an
+// invalidate landing mid-flush) therefore interleaves freely instead
+// of deadlocking; the dedicated interleaving test provokes exactly
+// that schedule on the virtual clock.
 func (c *Cache) Flush() error {
-	c.mu.Lock()
 	type pending struct {
 		doc, user string
 		data      []byte
 	}
+	c.writeMu.Lock()
 	var todo []pending
 	for k, w := range c.dirty {
 		doc, user := splitKey(k)
 		todo = append(todo, pending{doc: doc, user: user, data: w.data})
 	}
-	c.mu.Unlock()
+	c.writeMu.Unlock()
 
 	for _, p := range todo {
 		if err := c.space.WriteDocument(p.doc, p.user, p.data); err != nil {
 			return err
 		}
-		c.mu.Lock()
+		c.writeMu.Lock()
 		delete(c.dirty, key(p.doc, p.user))
-		c.stats.Flushes++
-		c.mu.Unlock()
+		c.writeMu.Unlock()
+		c.stats.flushes.Inc()
 	}
 	return nil
 }

@@ -399,3 +399,38 @@ func TestFormatHelpers(t *testing.T) {
 		t.Fatalf("table = %q", out)
 	}
 }
+
+func TestParallelShape(t *testing.T) {
+	// Tiny real-clock configuration: the full-size run is plbench's
+	// job; here we assert the shape and the single-flight invariant.
+	cfg := ParallelConfig{
+		Docs:            4,
+		Goroutines:      []int{1, 4},
+		OpsPerGoroutine: 5,
+		HitCost:         50 * time.Microsecond,
+		FillCost:        100 * time.Microsecond,
+		Seed:            1,
+	}
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Goroutines) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Goroutines))
+	}
+	for i, row := range res.Rows {
+		if row.Goroutines != cfg.Goroutines[i] {
+			t.Fatalf("row %d goroutines = %d", i, row.Goroutines)
+		}
+		if row.SeedMutexRate <= 0 || row.ShardedRate <= 0 {
+			t.Fatalf("row %d has nonpositive rates: %+v", i, row)
+		}
+		// Single-flight: concurrent cold misses collapse to one fetch.
+		if row.ColdFetches != 1 {
+			t.Fatalf("row %d cold fetches = %d, want 1", i, row.ColdFetches)
+		}
+		if row.ColdFetches+row.Coalesced > int64(row.Goroutines) {
+			t.Fatalf("row %d fetches+coalesced exceed goroutines: %+v", i, row)
+		}
+	}
+}

@@ -25,6 +25,7 @@ func sampleResults() []Result {
 		CollectionResult{Rows: []CollectionRow{{Config: "prefetch-on", FirstRead: ms(100), MeanSubsequent: ms(1), TotalWalk: ms(110), Prefetches: 7}}},
 		CostAblationResult{Rows: []CostAblationRow{{Config: "full", HitRatio: 0.5, MeanRead: ms(25)}}},
 		PlacementResult{Rows: []PlacementRow{{Placement: "app+server", MeanRead: ms(8), P99Read: ms(190)}}},
+		ParallelResult{Rows: []ParallelRow{{Goroutines: 8, SeedMutexRate: 870, ShardedRate: 7400, Speedup: 8.5, ColdFetches: 1, Coalesced: 7}}},
 	}
 }
 

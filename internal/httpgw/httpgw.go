@@ -14,8 +14,9 @@
 //	GET    /docs?user=U       document ids visible to the user (JSON)
 //	GET    /find?user=U&key=K[&value=V]  property-based search (JSON)
 //
-// Responses carry X-Placeless-Cache: HIT|MISS (per-request delta of
-// the cache counters) and X-Placeless-Cacheability headers.
+// Responses carry X-Placeless-Cache: HIT|MISS (from the read's own
+// entry metadata, so concurrent requests each get their own outcome)
+// and X-Placeless-Cacheability headers.
 package httpgw
 
 import (
@@ -99,15 +100,18 @@ func (g *Gateway) get(w http.ResponseWriter, r *http.Request, id, user string) {
 	var err error
 	outcome := "BYPASS"
 	if g.cache != nil {
-		before := g.cache.Stats()
-		data, err = g.cache.Read(id, user)
-		after := g.cache.Stats()
-		switch {
-		case err != nil:
-		case after.Hits > before.Hits:
-			outcome = "HIT"
-		default:
-			outcome = "MISS"
+		// The hit/miss outcome comes from the read's own EntryInfo, not
+		// from a before/after diff of the global counters — the counter
+		// diff was only correct when requests were serialized, and the
+		// gateway serves concurrent requests against the sharded cache.
+		var info core.EntryInfo
+		data, info, err = g.cache.ReadWithInfo(id, user)
+		if err == nil {
+			if info.Hit {
+				outcome = "HIT"
+			} else {
+				outcome = "MISS"
+			}
 		}
 	} else {
 		data, _, err = g.space.ReadDocument(id, user)

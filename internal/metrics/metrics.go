@@ -8,8 +8,31 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a cumulative counter safe for lock-free concurrent use.
+// Hot cache paths (hit/miss/byte accounting in internal/core) use
+// Counters so bookkeeping never serializes behind a mutex. The zero
+// value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which may be negative for gauge-style counters such
+// as current byte footprints).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value; used when a gauge is recomputed or reset
+// wholesale (e.g. cache Close).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
 
 // Histogram accumulates duration observations. It keeps every sample
 // (experiments here are small enough) so exact percentiles are

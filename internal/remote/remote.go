@@ -46,6 +46,9 @@ type Options struct {
 type Stats struct {
 	// Hits and Misses count read outcomes.
 	Hits, Misses int64
+	// CoalescedMisses counts reads that joined another goroutine's
+	// in-flight fetch instead of issuing their own wire read.
+	CoalescedMisses int64
 	// Uncacheable counts reads whose result was not storable.
 	Uncacheable int64
 	// Invalidations counts entries dropped by server pushes.
@@ -87,11 +90,21 @@ type Cache struct {
 	entries    map[string]*entry
 	blobs      map[sig.Signature]*blob
 	policy     replace.Policy
-	subscribed map[string]bool   // (doc,user) subscription dedup
-	gens       map[string]uint64 // per-doc invalidation generation
+	subscribed map[string]bool    // (doc,user) subscription dedup
+	gens       map[string]uint64  // per-doc invalidation generation
+	flights    map[string]*flight // in-progress misses (single-flight)
 	capacity   int64
 	clk        clock.Clock
 	stats      Stats
+}
+
+// flight is one in-progress wire fetch; concurrent misses on the same
+// key block on done and share the leader's result instead of issuing
+// duplicate remote reads (single-flight, mirroring internal/core).
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
 }
 
 func key(doc, user string) string { return doc + "\x00" + user }
@@ -111,6 +124,7 @@ func New(client *server.Client, opts Options) *Cache {
 		policy:     policy,
 		subscribed: make(map[string]bool),
 		gens:       make(map[string]uint64),
+		flights:    make(map[string]*flight),
 		clk:        opts.Clock,
 	}
 	if c.clk == nil {
@@ -180,7 +194,7 @@ func (c *Cache) Read(doc, user string) ([]byte, error) {
 			c.stats.TTLExpiries++
 			c.dropLocked(k)
 			c.mu.Unlock()
-			return c.miss(doc, user)
+			return c.coalescedMiss(doc, user)
 		}
 		if b := c.blobs[e.signature]; b != nil {
 			c.stats.Hits++
@@ -201,7 +215,43 @@ func (c *Cache) Read(doc, user string) ([]byte, error) {
 		}
 	}
 	c.mu.Unlock()
-	return c.miss(doc, user)
+	return c.coalescedMiss(doc, user)
+}
+
+// coalescedMiss funnels concurrent misses on one key through a single
+// wire fetch: the first caller becomes the leader and runs the real
+// miss; later callers block on the flight and copy its result. A
+// remote read is the most expensive operation in this deployment (a
+// round trip to the Placeless servers), so K simultaneous first
+// accesses to a popular document cost one round trip, not K.
+func (c *Cache) coalescedMiss(doc, user string) ([]byte, error) {
+	k := key(doc, user)
+	c.mu.Lock()
+	if f := c.flights[k]; f != nil {
+		c.stats.CoalescedMisses++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		out := make([]byte, len(f.data))
+		copy(out, f.data)
+		return out, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	data, err := c.miss(doc, user)
+
+	// Deregister before publishing so a post-failure retry starts a
+	// fresh flight rather than joining this dead one.
+	c.mu.Lock()
+	delete(c.flights, k)
+	c.mu.Unlock()
+	f.data, f.err = data, err
+	close(f.done)
+	return data, err
 }
 
 // miss fetches through the wire, subscribes for invalidations, and

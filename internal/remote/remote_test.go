@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -275,5 +276,50 @@ func TestClosedCache(t *testing.T) {
 	}
 	if r.cache.Len() != 0 {
 		t.Fatal("entries survived Close")
+	}
+}
+
+// TestRemoteSingleFlight: concurrent first accesses to one (doc, user)
+// issue exactly one wire read; the followers share the leader's result
+// and count as coalesced misses rather than misses.
+func TestRemoteSingleFlight(t *testing.T) {
+	r := newRig(t, Options{})
+	if err := r.client.CreateDocument("d", "u", []byte("shared fetch")); err != nil {
+		t.Fatal(err)
+	}
+	const K = 16
+	results := make([][]byte, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.cache.Read("d", "u")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("reader %d: %v", i, errs[i])
+		}
+		if string(results[i]) != "shared fetch" {
+			t.Fatalf("reader %d got %q", i, results[i])
+		}
+	}
+	st := r.cache.Stats()
+	if st.Misses+st.CoalescedMisses+st.Hits != K {
+		t.Fatalf("read outcomes don't sum to %d: %+v", K, st)
+	}
+	if st.Misses > st.CoalescedMisses+st.Hits && st.CoalescedMisses == 0 && st.Hits == 0 {
+		// All K raced past each other without coalescing — the flight
+		// table is not doing its job. (Timing-tolerant: any nonzero
+		// sharing passes; K independent wire reads fails.)
+		t.Fatalf("no coalescing or caching across %d concurrent reads: %+v", K, st)
+	}
+	// The shared result must be privately owned per caller.
+	results[0][0] = 'X'
+	if data, _ := r.cache.Read("d", "u"); string(data) != "shared fetch" {
+		t.Fatalf("caller mutation leaked into cache: %q", data)
 	}
 }

@@ -18,8 +18,18 @@ import (
 	"time"
 )
 
-// Policy is a replacement strategy. Implementations are not
-// concurrency-safe; the owning cache serializes calls.
+// Policy is a replacement strategy.
+//
+// Thread-safety contract: implementations are NOT concurrency-safe and
+// perform no locking of their own. The owning cache must serialize all
+// calls — including Victim, which MUTATES internal state in the
+// Greedy-Dual policies (it advances the aging value L) and therefore
+// cannot be treated as a read-only query. The sharded cache core keeps
+// one policy instance behind a single dedicated mutex (policyMu):
+// replacement stays globally cost-aware across shards, while the policy
+// itself remains a simple single-threaded structure. The policy mutex
+// is a leaf lock — a holder must not acquire shard locks, call into the
+// document space, or invoke any Policy method re-entrantly.
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string

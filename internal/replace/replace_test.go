@@ -2,6 +2,7 @@ package replace
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -235,5 +236,77 @@ func TestGDSCostMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVictimMutatesGreedyDualAging pins the reason the thread-safety
+// contract calls Victim a mutating operation: in the Greedy-Dual
+// policies, Victim advances the aging value L to the head priority, so
+// entries inserted after a Victim call start with inflated priority.
+// Treating Victim as a read-only query (e.g. calling it outside the
+// cache's policy lock) would race on L.
+func TestVictimMutatesGreedyDualAging(t *testing.T) {
+	for _, mk := range []Factory{NewGDS, NewGDSF} {
+		p := mk().(*heapPolicy)
+		p.Insert("a", 1, ms(10))
+		before := p.inflate
+		if _, ok := p.Victim(); !ok {
+			t.Fatalf("%s: no victim", p.name)
+		}
+		if p.inflate == before {
+			t.Fatalf("%s: Victim did not advance the aging value L", p.name)
+		}
+	}
+}
+
+// TestPolicySerializedConcurrentUse exercises the documented contract:
+// a Policy shared by many goroutines is safe iff every call — Victim
+// included — runs under one external mutex. Run under -race this
+// verifies the cache's policyMu discipline is sufficient; the final
+// drain checks no internal state was corrupted.
+func TestPolicySerializedConcurrentUse(t *testing.T) {
+	for _, mk := range All() {
+		p := mk()
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := fmt.Sprintf("k%d", (g*31+i)%64)
+					mu.Lock()
+					switch i % 5 {
+					case 0:
+						p.Insert(k, int64(i%7+1), ms(i%9))
+					case 1:
+						p.Access(k)
+					case 2:
+						p.Remove(k)
+					case 3:
+						p.Victim()
+					default:
+						p.Len()
+					}
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+		seen := map[string]bool{}
+		for {
+			v, ok := p.Victim()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				t.Fatalf("%s: duplicate victim %q after concurrent use", p.Name(), v)
+			}
+			seen[v] = true
+			p.Remove(v)
+		}
+		if p.Len() != 0 {
+			t.Fatalf("%s: Len=%d after drain", p.Name(), p.Len())
+		}
 	}
 }
