@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race fuzz bench experiments examples clean
+.PHONY: all build vet test test-race race fuzz bench bench-smoke bench-e12 experiments examples clean
 
 all: build vet test
 
@@ -29,9 +29,19 @@ race:
 fuzz:
 	$(GO) test -run Fuzz ./...
 
-# Full benchmark sweep (Table 1 + E1–E9 + micro-benchmarks).
+# Full benchmark sweep (Table 1 + extension experiments + micro-benchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration benchmark smoke run — the CI guard against benchmark
+# rot (benchmarks that no longer compile or crash on first iteration).
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Machine-readable E12 result: writes BENCH_e12.json in the working
+# directory alongside the table.
+bench-e12:
+	$(GO) run ./cmd/plbench -experiment e12
 
 # Human-readable experiment tables (what EXPERIMENTS.md records).
 experiments:

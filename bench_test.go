@@ -383,6 +383,87 @@ func BenchmarkParallelHitThroughput(b *testing.B) {
 	}
 }
 
+// benchMemoWorld builds the shared-universal-stage scenario: one 64 KiB
+// document with a heavy, memoizable universal chain (spell correct,
+// translate, line number — real byte work, zero simulated cost) and a
+// cheap personal watermark per user. Every user's read shares the
+// universal prefix; only the watermark differs.
+func benchMemoWorld(b *testing.B, users []string, memoize bool) *core.Cache {
+	b.Helper()
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	src := repo.NewMem("m", clk, simnet.NewPath("free", 1))
+	space := docspace.New(clk, nil)
+	content := []byte(strings.Repeat("teh quick document will recieve a seperate update\n", 1340))[:64<<10]
+	src.Store("/d", content)
+	if _, err := space.CreateDocument("d", users[0], &property.RepoBitProvider{Repo: src, Path: "/d"}); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []*property.Transformer{
+		property.NewSpellCorrector(0),
+		property.NewTranslator(0),
+		property.NewLineNumberer(0),
+	} {
+		if err := space.Attach("d", "", docspace.Universal, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, u := range users {
+		if i > 0 {
+			if _, err := space.AddReference("d", u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := space.Attach("d", u, docspace.Personal, property.NewWatermarker(u, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return core.New(space, core.Options{Memoize: memoize})
+}
+
+// BenchmarkSharedUniversalStage is the acceptance benchmark for the
+// intermediate memo store: 8 users repeatedly miss on one document
+// whose universal chain dominates the read cost. Per-user invalidation
+// before each read forces the personal suffix to re-run every time —
+// exactly the fan-out the paper's universal/personal split predicts is
+// redundant. memo=off re-executes the whole chain per user; memo=on
+// executes the universal stage once per (content, chain) key and
+// serves the other reads from the intermediate. The metrics prove the
+// accounting: universal_runs stays at 1 under memo=on while
+// intermediate_hits grows with N.
+func BenchmarkSharedUniversalStage(b *testing.B) {
+	users := make([]string, 8)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%02d", i)
+	}
+	for _, memo := range []bool{false, true} {
+		name := "memo=off"
+		if memo {
+			name = "memo=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cache := benchMemoWorld(b, users, memo)
+			b.SetBytes(int64(len(users)) * 64 << 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, u := range users {
+					cache.Invalidate("d", u)
+					if _, err := cache.Read("d", u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := cache.Stats()
+			b.ReportMetric(float64(st.UniversalStageRuns), "universal_runs")
+			b.ReportMetric(float64(st.IntermediateHits), "intermediate_hits")
+			b.ReportMetric(float64(st.BytesRecomputedSaved)/1e6, "saved_MB")
+			if memo && st.UniversalStageRuns != 1 {
+				b.Fatalf("UniversalStageRuns = %d, want 1 (one run per (content, chain) key)", st.UniversalStageRuns)
+			}
+		})
+	}
+}
+
 // BenchmarkParallelMixedThroughput stresses the sharded cache with a
 // read-heavy mix that includes invalidations (the notifier path takes
 // shard + policy locks only), approximating concurrent application

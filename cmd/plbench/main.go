@@ -20,10 +20,17 @@
 //	cost-ablation      property-cost signal ablation for GDS (E9)
 //	placement          app-side vs server-side cache placement (E10)
 //	parallel           parallel hit throughput + single-flight coalescing (E11)
+//	memo               universal-stage memoization fan-out (E12)
 //	all                run everything
+//
+// Alternatively, -experiment <index> (currently e12) runs one
+// experiment by its DESIGN.md index and additionally writes its result
+// as BENCH_<index>.json in the working directory, for machine
+// consumers (CI trend tracking).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,15 +42,64 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	iters := flag.Int("iters", 5, "iterations per Table 1 cell")
 	format := flag.String("format", "table", "output format: table or csv")
+	expIndex := flag.String("experiment", "", "run one experiment by index (e.g. e12) and write BENCH_<index>.json")
 	flag.Parse()
+	if *expIndex != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment e12")
+			os.Exit(2)
+		}
+		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runIndexed runs one experiment selected by its DESIGN.md index,
+// prints the table, and writes the raw result struct as
+// BENCH_<index>.json.
+func runIndexed(w *os.File, index string, seed int64, format string) error {
+	var res experiment.Result
+	var title string
+	switch index {
+	case "e12":
+		cfg := experiment.DefaultMemoConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunMemo(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, fmt.Sprintf("E12 — universal-stage memoization (doc=%dB chain=3×%v personal=%v rounds=%d)",
+			cfg.DocSize, cfg.PropCost, cfg.PersonalCost, cfg.Rounds)
+	default:
+		return fmt.Errorf("unknown experiment index %q (have: e12)", index)
+	}
+	fmt.Fprintln(w, title)
+	if format == "csv" {
+		fmt.Fprintln(w, res.CSV())
+	} else {
+		fmt.Fprintln(w, res.Table())
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out := "BENCH_" + index + ".json"
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", out)
+	return nil
 }
 
 // run executes the selected experiment(s), writing results to w in the
@@ -183,6 +239,17 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(fmt.Sprintf("E11 — parallel hit throughput, sharded vs seed global mutex (docs=%d ops/goroutine=%d hit-cost=%v, real clock: rates are machine-dependent, compare the speedup column)",
 			cfg.Docs, cfg.OpsPerGoroutine, cfg.HitCost), res)
+	}
+	if all || which == "memo" {
+		ran = true
+		cfg := experiment.DefaultMemoConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunMemo(cfg)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("E12 — universal-stage memoization (doc=%dB chain=3×%v personal=%v rounds=%d)",
+			cfg.DocSize, cfg.PropCost, cfg.PersonalCost, cfg.Rounds), res)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	plgateway [-addr :8099] [-root DIR] [-capacity BYTES]
+//	plgateway [-addr :8099] [-root DIR] [-capacity BYTES] [-memoize]
 //
 // Example session:
 //
@@ -38,6 +38,7 @@ func main() {
 	root := flag.String("root", "", "directory backing document content (default: in-memory)")
 	capacity := flag.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
 	seedDocs := flag.Bool("demo", false, "create demo documents (memo for users alice/bob)")
+	memoize := flag.Bool("memoize", false, "memoize the universal transform stage (MISS responses gain X-Placeless-Universal: MEMO|FULL)")
 	flag.Parse()
 
 	clk := clock.Real{}
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	space := docspace.New(clk, nil)
-	cache := core.New(space, core.Options{Name: "gateway", Capacity: *capacity})
+	cache := core.New(space, core.Options{Name: "gateway", Capacity: *capacity, Memoize: *memoize})
 
 	if *seedDocs {
 		if err := backing.Store("/memo", []byte("teh demo memo\n")); err != nil {
@@ -70,10 +71,13 @@ func main() {
 		if _, err := space.AddReference("memo", "bob"); err != nil {
 			log.Fatal(err)
 		}
+		if err := space.Attach("memo", "", docspace.Universal, property.NewLineNumberer(0)); err != nil {
+			log.Fatal(err)
+		}
 		if err := space.Attach("memo", "alice", docspace.Personal, property.NewSpellCorrector(0)); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("plgateway: demo document 'memo' created (alice sees it spell-corrected)")
+		fmt.Println("plgateway: demo document 'memo' created (line-numbered for everyone, spell-corrected for alice)")
 	}
 
 	fmt.Printf("plgateway: serving on %s (backing: %s)\n", *addr, backing.Name())

@@ -113,6 +113,15 @@ type Options struct {
 	// DisableVerifiers skips verifier execution on hits (notifier-
 	// only consistency), for experiment E1.
 	DisableVerifiers bool
+	// Memoize enables content-addressed memoization of the read
+	// path's universal stage: on a miss, the output of the universal
+	// property chain is cached keyed by (source signature, chain
+	// fingerprint) and reused across users, with only the personal
+	// suffix re-executed per user (see intermediate.go). Off by
+	// default — intermediates consume capacity and skip the universal
+	// transforms' simulated execution time, which would perturb
+	// experiments calibrated against full-chain misses.
+	Memoize bool
 }
 
 // CostSource selects the replacement-cost signal handed to the policy.
@@ -146,10 +155,14 @@ type entry struct {
 	storedAt     time.Time
 }
 
-// blob is signature-shared content storage.
+// blob is signature-shared content storage. refs counts every holder
+// (entries and intermediates); entryRefs counts only (doc, user)
+// entries, because the SharedEntries gauge is defined over entries and
+// an intermediate aliasing an entry's bytes must not distort it.
 type blob struct {
-	data []byte
-	refs int
+	data      []byte
+	refs      int
+	entryRefs int
 }
 
 // dirtyWrite is a buffered write-back entry.
@@ -197,6 +210,24 @@ type Stats struct {
 	SharedEntries int64
 	// Flushes counts write-back flush operations.
 	Flushes int64
+	// IntermediateHits counts misses whose universal stage was served
+	// from the intermediate store (or coalesced onto a concurrent
+	// computation) instead of being re-executed.
+	IntermediateHits int64
+	// UniversalStageRuns counts actual executions of the universal
+	// property chain under memoization — one per (source signature,
+	// chain fingerprint) while the intermediate stays resident.
+	UniversalStageRuns int64
+	// BytesRecomputedSaved accumulates the sizes of intermediates
+	// served without recomputation: bytes the universal chain did not
+	// have to produce again.
+	BytesRecomputedSaved int64
+	// IntermediateEntries is the current number of memoized
+	// universal-stage outputs.
+	IntermediateEntries int64
+	// IntermediateBytes is the current logical footprint of memoized
+	// intermediates (before signature sharing).
+	IntermediateBytes int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 with no traffic.
@@ -235,10 +266,28 @@ type Cache struct {
 	blobMu sync.Mutex
 	blobs  map[sig.Signature]*blob
 
-	// gens carries per-document invalidation generations; the guard
-	// against installing a result that went stale mid-read.
-	gensMu sync.Mutex
-	gens   map[string]uint64
+	// gens carries per-document invalidation generations — the guard
+	// against installing a result that went stale mid-read — as
+	// lock-free atomics (doc → *atomic.Uint64). A mutex-protected map
+	// here was locked three times per miss, the last global hot lock
+	// on the fill path. The install-race invariant survives the move
+	// to atomics: an invalidation bumps the generation before it
+	// scans the stripes, so an installer holding its stripe lock
+	// either finished before the scan reached it (and is dropped) or
+	// acquired the stripe after the scan did, in which case the
+	// stripe mutex carries a happens-before edge from the bump and
+	// the installer's atomic load observes it.
+	gens sync.Map
+
+	// inter is the content-addressed intermediate store for memoized
+	// universal-stage outputs, with its own single-flight table so
+	// concurrent misses from different users coalesce the shared
+	// work. interMu ranks with the shard locks: leaf locks nest under
+	// it, it is never held together with a shard lock, and never held
+	// across docspace calls or clock sleeps (see intermediate.go).
+	interMu      sync.Mutex
+	inter        map[string]*interEntry
+	interFlights map[string]*iflight
 
 	// dirty buffers write-back content.
 	writeMu sync.Mutex
@@ -276,17 +325,18 @@ func New(space *docspace.Space, opts Options) *Cache {
 		policy = replace.NewGDS()
 	}
 	c := &Cache{
-		space:     space,
-		clk:       space.Clock(),
-		opts:      opts,
-		idx:       newShardedIndex(opts.Shards),
-		policy:    policy,
-		blobs:     make(map[sig.Signature]*blob),
-		gens:      make(map[string]uint64),
-		dirty:     make(map[string]*dirtyWrite),
-		baseNotif: make(map[string]bool),
-		refNotif:  make(map[string]bool),
-		notifiers: make(map[string][]notifierSpot),
+		space:        space,
+		clk:          space.Clock(),
+		opts:         opts,
+		idx:          newShardedIndex(opts.Shards),
+		policy:       policy,
+		blobs:        make(map[sig.Signature]*blob),
+		inter:        make(map[string]*interEntry),
+		interFlights: make(map[string]*iflight),
+		dirty:        make(map[string]*dirtyWrite),
+		baseNotif:    make(map[string]bool),
+		refNotif:     make(map[string]bool),
+		notifiers:    make(map[string][]notifierSpot),
 	}
 	c.capacity.Store(opts.Capacity)
 	if opts.Mode == WriteBack && opts.FlushEvery > 0 {
@@ -318,6 +368,9 @@ func (c *Cache) Capacity() int64 { return c.capacity.Load() }
 
 // Policy returns the replacement policy's name.
 func (c *Cache) Policy() string { return c.policy.Name() }
+
+// Memoizing reports whether universal-stage memoization is enabled.
+func (c *Cache) Memoizing() bool { return c.opts.Memoize }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats.snapshot() }
@@ -353,6 +406,10 @@ type EntryInfo struct {
 	// Coalesced misses (reads that received another goroutine's
 	// read-path result) report false.
 	Hit bool
+	// IntermediateHit reports, for misses under Options.Memoize, that
+	// the universal stage was served memoized and only the personal
+	// suffix executed. Always false on hits and coalesced misses.
+	IntermediateHit bool
 }
 
 // minExpiry extracts the earliest TTL deadline from a verifier set.
@@ -484,6 +541,17 @@ func (c *Cache) coalescedMiss(sh *shard, k, doc, user string, mayPrefetch bool) 
 	return data, info, err
 }
 
+// docGen returns the document's invalidation-generation counter,
+// creating it on first use. The fast path is a lock-free sync.Map
+// load; LoadOrStore only runs on a document's first miss.
+func (c *Cache) docGen(doc string) *atomic.Uint64 {
+	if g, ok := c.gens.Load(doc); ok {
+		return g.(*atomic.Uint64)
+	}
+	g, _ := c.gens.LoadOrStore(doc, new(atomic.Uint64))
+	return g.(*atomic.Uint64)
+}
+
 // miss executes the full read path and caches the result according to
 // its cacheability indicator, returning the related-document hints for
 // the caller to prefetch (nil unless an entry was installed).
@@ -492,15 +560,20 @@ func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []s
 	// notification arrives while the read path is executing, the
 	// result may already be stale and must not be cached (the
 	// callback race between load and install).
-	c.gensMu.Lock()
-	gen := c.gens[doc]
-	c.gensMu.Unlock()
+	g := c.docGen(doc)
+	gen := g.Load()
 
-	data, res, err := c.space.ReadDocument(doc, user)
+	var res property.ReadResult
+	var trace docspace.StageTrace
+	if c.opts.Memoize {
+		data, res, trace, err = c.space.ReadDocumentStaged(doc, user, c)
+	} else {
+		data, res, err = c.space.ReadDocument(doc, user)
+	}
 	if err != nil {
 		return nil, EntryInfo{}, nil, err
 	}
-	info = EntryInfo{Cacheability: res.Cacheability, Cost: res.Cost, Expiry: minExpiry(res.Verifiers)}
+	info = EntryInfo{Cacheability: res.Cacheability, Cost: res.Cost, Expiry: minExpiry(res.Verifiers), IntermediateHit: trace.Hit}
 	c.stats.misses.Inc()
 	if c.closed.Load() {
 		return data, info, nil, nil
@@ -509,10 +582,7 @@ func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []s
 		c.stats.uncacheable.Inc()
 		return data, info, nil, nil
 	}
-	c.gensMu.Lock()
-	stale := c.gens[doc] != gen
-	c.gensMu.Unlock()
-	if stale {
+	if g.Load() != gen {
 		// Invalidated mid-read: serve the data but do not install a
 		// potentially stale entry (and charge no fill cost, since
 		// nothing is filled).
@@ -536,10 +606,7 @@ func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []s
 	// shard lock: an invalidation bumps the generation before it scans
 	// the shards, so either we see the bump here and abort, or the
 	// scan sees our entry and drops it.
-	c.gensMu.Lock()
-	stale = c.gens[doc] != gen
-	c.gensMu.Unlock()
-	if stale {
+	if g.Load() != gen {
 		sh.mu.Unlock()
 		return data, info, nil, nil
 	}
@@ -614,9 +681,22 @@ func (c *Cache) blobData(s sig.Signature) []byte {
 	return nil
 }
 
-// storeBlob interns data under its signature and takes one reference,
-// maintaining the unique-byte and shared-entry gauges incrementally.
+// storeBlob interns data under its signature for a (doc, user) entry.
 func (c *Cache) storeBlob(data []byte) sig.Signature {
+	return c.internBlob(data, true)
+}
+
+// releaseBlob drops a (doc, user) entry's reference.
+func (c *Cache) releaseBlob(s sig.Signature) {
+	c.unrefBlob(s, true)
+}
+
+// internBlob interns data under its signature and takes one reference,
+// maintaining the unique-byte and shared-entry gauges incrementally.
+// asEntry distinguishes (doc, user) entries from intermediates: both
+// share storage and lifetime, but only entry references drive the
+// SharedEntries gauge.
+func (c *Cache) internBlob(data []byte, asEntry bool) sig.Signature {
 	s := sig.Of(data)
 	c.blobMu.Lock()
 	b := c.blobs[s]
@@ -625,34 +705,42 @@ func (c *Cache) storeBlob(data []byte) sig.Signature {
 		c.blobs[s] = b
 		c.stats.bytesStored.Add(int64(len(data)))
 	}
-	// SharedEntries counts entries whose blob has >1 reference; going
-	// 1→2 makes both sharers shared, each later reference adds one.
-	switch {
-	case b.refs == 1:
-		c.stats.sharedEntries.Add(2)
-	case b.refs >= 2:
-		c.stats.sharedEntries.Add(1)
+	if asEntry {
+		// SharedEntries counts entries whose blob has >1 entry
+		// reference; going 1→2 makes both sharers shared, each later
+		// reference adds one.
+		switch {
+		case b.entryRefs == 1:
+			c.stats.sharedEntries.Add(2)
+		case b.entryRefs >= 2:
+			c.stats.sharedEntries.Add(1)
+		}
+		b.entryRefs++
 	}
 	b.refs++
 	c.blobMu.Unlock()
 	return s
 }
 
-// releaseBlob drops one reference, freeing the blob at zero.
-func (c *Cache) releaseBlob(s sig.Signature) {
+// unrefBlob drops one reference, freeing the blob when the last holder
+// of either kind lets go.
+func (c *Cache) unrefBlob(s sig.Signature, asEntry bool) {
 	c.blobMu.Lock()
 	defer c.blobMu.Unlock()
 	b := c.blobs[s]
 	if b == nil {
 		return
 	}
-	b.refs--
-	switch {
-	case b.refs == 1:
-		c.stats.sharedEntries.Add(-2)
-	case b.refs >= 2:
-		c.stats.sharedEntries.Add(-1)
+	if asEntry {
+		b.entryRefs--
+		switch {
+		case b.entryRefs == 1:
+			c.stats.sharedEntries.Add(-2)
+		case b.entryRefs >= 2:
+			c.stats.sharedEntries.Add(-1)
+		}
 	}
+	b.refs--
 	if b.refs <= 0 {
 		delete(c.blobs, s)
 		c.stats.bytesStored.Add(-int64(len(b.data)))
@@ -694,6 +782,15 @@ func (c *Cache) evict() {
 		c.policyMu.Unlock()
 		if !ok {
 			return
+		}
+		// Intermediates live in the same policy under prefixed keys,
+		// so cost-aware replacement weighs a memoized universal stage
+		// against full entries on equal terms.
+		if isInterKey(victim) {
+			if c.dropIntermediate(victim) {
+				c.stats.evictions.Inc()
+			}
+			continue
 		}
 		sh := c.idx.shardFor(victim)
 		sh.mu.Lock()

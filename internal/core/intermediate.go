@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/sig"
+)
+
+// Content-addressed memoization of the universal read-path stage
+// (enabled by Options.Memoize). The document space splits the read
+// path at the universal/personal boundary (docspace.ReadDocumentStaged)
+// and hands the cache a compute closure for the universal chain; the
+// cache keys the stage's output by (signature of the raw source bytes,
+// fingerprint of the ordered universal chain) and reuses it across
+// users, so N users missing on one document execute the shared
+// universal prefix once and only their personal suffixes N times.
+//
+// Content addressing makes staleness structural rather than policed:
+//   - cause 1 (content written) changes the source signature,
+//   - causes 2–3 (property add/remove/modify/reorder) change the
+//     fingerprint,
+//   - cause 4 (external information) never reaches this store, because
+//     properties embedding external information are non-memoizable and
+//     disable memoization of their stage.
+// A key can therefore never serve wrong bytes; an invalidation merely
+// strands the old key, and invalidateDoc sweeps stranded intermediates
+// eagerly so they do not have to age out of the policy.
+//
+// Locking: interMu ranks with the shard locks — policyMu and blobMu
+// nest under it, it is never held together with a shard lock, and the
+// compute closure (property transforms, simulated sleeps, possible
+// notifier re-entry) always runs with no cache lock held.
+
+// interPrefix namespaces intermediate keys inside the shared
+// replacement policy. Entry keys are doc + NUL + user, and document
+// ids do not start with a NUL byte, so the namespaces cannot collide.
+const interPrefix = "\x00i\x00"
+
+// interKey builds the policy/store key for a universal-stage output.
+func interKey(src, fp sig.Signature) string {
+	return interPrefix + string(src[:]) + string(fp[:])
+}
+
+// isInterKey reports whether a policy victim is an intermediate.
+func isInterKey(k string) bool { return strings.HasPrefix(k, interPrefix) }
+
+// interEntry is one memoized universal-stage output. doc is recorded
+// only so document-wide invalidation can sweep stranded keys.
+type interEntry struct {
+	doc       string
+	signature sig.Signature
+	size      int64
+}
+
+// iflight is one in-progress universal-stage execution; the per-(doc,
+// fingerprint) single-flight that coalesces concurrent misses from
+// different users. Same protocol as flight: the leader populates
+// data/err and closes done; close(done) is the happens-before edge.
+type iflight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+var _ docspace.Intermediates = (*Cache)(nil)
+
+// Intermediate implements docspace.Intermediates: it returns the
+// memoized universal-stage output for (src, fp), or computes it via
+// compute — exactly once per key under concurrent misses. cost is the
+// simulated recompute cost of the stage (overhead + retrieval +
+// universal transforms), the policy's cost input for the intermediate.
+// The returned slice is the caller's to keep; hit reports whether
+// compute was skipped.
+func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	k := interKey(src, fp)
+	for {
+		c.interMu.Lock()
+		if e := c.inter[k]; e != nil {
+			data := c.blobData(e.signature)
+			if data == nil {
+				// Blob store swept by a concurrent Close; drop the
+				// dangling entry and recompute.
+				c.dropIntermediateLocked(k)
+				c.interMu.Unlock()
+				continue
+			}
+			c.policyMu.Lock()
+			c.policy.Access(k)
+			c.policyMu.Unlock()
+			c.interMu.Unlock()
+			c.stats.intermediateHits.Inc()
+			c.stats.bytesRecomputedSaved.Add(int64(len(data)))
+			out := make([]byte, len(data))
+			copy(out, data)
+			return out, true, nil
+		}
+		if f := c.interFlights[k]; f != nil {
+			c.interMu.Unlock()
+			<-f.done
+			if f.err != nil {
+				// The leader's failure may be transient (and its
+				// sleep costs were charged to the leader); retry
+				// rather than fanning one error out to every waiter.
+				continue
+			}
+			c.stats.intermediateHits.Inc()
+			c.stats.bytesRecomputedSaved.Add(int64(len(f.data)))
+			out := make([]byte, len(f.data))
+			copy(out, f.data)
+			return out, true, nil
+		}
+		f := &iflight{done: make(chan struct{})}
+		c.interFlights[k] = f
+		c.interMu.Unlock()
+
+		c.stats.universalStageRuns.Inc()
+		data, err := compute()
+		f.data, f.err = data, err
+		c.interMu.Lock()
+		delete(c.interFlights, k)
+		if err == nil && !c.closed.Load() {
+			c.storeIntermediateLocked(k, doc, data, cost)
+		}
+		c.interMu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, false, err
+		}
+		c.evict()
+		return data, false, nil
+	}
+}
+
+// storeIntermediateLocked installs a computed universal-stage output.
+// Caller holds interMu; the key is flight-protected, so no entry can
+// already exist, but a racing invalidation sweep between our delete of
+// the flight and this install is impossible because both run under
+// interMu — the sweep either ran before (nothing to remove) or runs
+// after (removes this entry, which is merely a lost memo, not a
+// correctness problem: the key's bytes are right by construction).
+func (c *Cache) storeIntermediateLocked(k, doc string, data []byte, cost time.Duration) {
+	s := c.internBlob(data, false)
+	c.inter[k] = &interEntry{doc: doc, signature: s, size: int64(len(data))}
+	c.stats.intermediateEntries.Inc()
+	c.stats.intermediateBytes.Add(int64(len(data)))
+	c.policyMu.Lock()
+	c.policy.Insert(k, int64(len(data)), cost)
+	c.policyMu.Unlock()
+}
+
+// dropIntermediate removes one intermediate and releases its blob
+// reference, reporting whether it was present.
+func (c *Cache) dropIntermediate(k string) bool {
+	c.interMu.Lock()
+	defer c.interMu.Unlock()
+	return c.dropIntermediateLocked(k)
+}
+
+// dropIntermediateLocked is dropIntermediate under a held interMu.
+func (c *Cache) dropIntermediateLocked(k string) bool {
+	e := c.inter[k]
+	if e == nil {
+		return false
+	}
+	delete(c.inter, k)
+	c.policyMu.Lock()
+	c.policy.Remove(k)
+	c.policyMu.Unlock()
+	c.stats.intermediateEntries.Add(-1)
+	c.stats.intermediateBytes.Add(-e.size)
+	c.unrefBlob(e.signature, false)
+	return true
+}
+
+// sweepIntermediates drops every intermediate recorded for doc —
+// called by document-wide invalidation. The dropped keys are already
+// unreachable (the invalidating change moved the source signature or
+// the fingerprint); sweeping reclaims their bytes immediately instead
+// of waiting for the policy to age them out.
+func (c *Cache) sweepIntermediates(doc string) {
+	c.interMu.Lock()
+	defer c.interMu.Unlock()
+	for k, e := range c.inter {
+		if e.doc == doc {
+			c.dropIntermediateLocked(k)
+		}
+	}
+}
+
+// clearIntermediates empties the store on Close.
+func (c *Cache) clearIntermediates() {
+	c.interMu.Lock()
+	defer c.interMu.Unlock()
+	c.inter = make(map[string]*interEntry)
+	c.stats.intermediateEntries.Store(0)
+	c.stats.intermediateBytes.Store(0)
+}

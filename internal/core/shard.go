@@ -15,14 +15,17 @@ import (
 //
 // Lock ordering (see also DESIGN.md §"Sharded cache core"):
 //
-//	shard.mu  >  policyMu | blobMu | gensMu     (leaf locks)
+//	shard.mu | interMu  >  policyMu | blobMu     (leaf locks)
 //
-// A goroutine may take at most one shard lock at a time, may take any
-// single leaf lock while holding a shard lock, and must never acquire
-// a shard lock while holding a leaf lock. No lock may be held across
-// calls into the document space (attachment, read/write paths, event
-// forwarding) or across clock sleeps — both can synchronously re-enter
-// the cache through notifier callbacks and timer-driven flushes.
+// A goroutine may take at most one of the upper-rank locks at a time
+// (one shard lock or interMu, never both), may take any single leaf
+// lock while holding an upper-rank lock, and must never acquire an
+// upper-rank lock while holding a leaf lock. Per-document invalidation
+// generations are plain atomics (Cache.gens) and sit outside the
+// ordering entirely. No lock may be held across calls into the
+// document space (attachment, read/write paths, event forwarding) or
+// across clock sleeps — both can synchronously re-enter the cache
+// through notifier callbacks and timer-driven flushes.
 
 // shard is one stripe of the (doc, user) index.
 type shard struct {

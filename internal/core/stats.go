@@ -23,6 +23,13 @@ type statsCounters struct {
 	bytesLogical    metrics.Counter
 	sharedEntries   metrics.Counter
 	flushes         metrics.Counter
+
+	// Intermediate-memoization gauges (Options.Memoize).
+	intermediateHits     metrics.Counter
+	universalStageRuns   metrics.Counter
+	bytesRecomputedSaved metrics.Counter
+	intermediateEntries  metrics.Counter
+	intermediateBytes    metrics.Counter
 }
 
 // snapshot assembles the exported Stats view. Counters are read one at
@@ -45,5 +52,11 @@ func (s *statsCounters) snapshot() Stats {
 		BytesLogical:    s.bytesLogical.Load(),
 		SharedEntries:   s.sharedEntries.Load(),
 		Flushes:         s.flushes.Load(),
+
+		IntermediateHits:     s.intermediateHits.Load(),
+		UniversalStageRuns:   s.universalStageRuns.Load(),
+		BytesRecomputedSaved: s.bytesRecomputedSaved.Load(),
+		IntermediateEntries:  s.intermediateEntries.Load(),
+		IntermediateBytes:    s.intermediateBytes.Load(),
 	}
 }

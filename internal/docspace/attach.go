@@ -147,6 +147,7 @@ func (s *Space) Attach(doc, user string, level Level, p property.Active) error {
 	ctx := s.eventContext(doc, user, level, n, b, p.Name())
 	ids := s.subscribe(n, p, ctx)
 	n.actives = append(n.actives, activeEntry{prop: p, subIDs: ids})
+	n.fpValid = false
 	s.mu.Unlock()
 
 	n.registry.Dispatch(event.Event{
@@ -171,6 +172,7 @@ func (s *Space) Detach(doc, user string, level Level, name string) error {
 	}
 	entry := n.actives[i]
 	n.actives = append(n.actives[:i:i], n.actives[i+1:]...)
+	n.fpValid = false
 	class := classOf(entry.prop)
 	s.mu.Unlock()
 
@@ -207,6 +209,7 @@ func (s *Space) Replace(doc, user string, level Level, name string, p property.A
 	ctx := s.eventContext(doc, user, level, n, b, p.Name())
 	ids := s.subscribe(n, p, ctx)
 	n.actives[i] = activeEntry{prop: p, subIDs: ids}
+	n.fpValid = false
 	class := classOf(p)
 	s.mu.Unlock()
 
@@ -275,6 +278,9 @@ func (s *Space) Reorder(doc, user string, level Level, names []string) error {
 		}
 	}
 	n.actives = reordered
+	if changed {
+		n.fpValid = false
+	}
 	s.mu.Unlock()
 
 	if changed {

@@ -22,6 +22,7 @@ import (
 	"placeless/internal/event"
 	"placeless/internal/property"
 	"placeless/internal/repo"
+	"placeless/internal/sig"
 )
 
 // Well-known errors.
@@ -63,6 +64,11 @@ type node struct {
 	actives  []activeEntry
 	statics  []property.Static
 	registry *event.Registry
+	// fp caches the universal-chain fingerprint (see stage.go); only
+	// meaningful on base-document nodes. fpValid is cleared, under
+	// s.mu, by every mutation of the active list.
+	fp      sig.Signature
+	fpValid bool
 }
 
 func newNode() *node { return &node{registry: event.NewRegistry()} }

@@ -1,0 +1,230 @@
+package docspace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"placeless/internal/event"
+	"placeless/internal/property"
+	"placeless/internal/sig"
+	"placeless/internal/stream"
+)
+
+// This file splits the read path into a universal stage (bit-provider
+// plus base-document properties, identical for every user) and a
+// personal suffix (reference properties), so caches can memoize the
+// universal stage's output across users. The memo key is content
+// addressed: (signature of the raw source bytes, fingerprint of the
+// ordered universal chain). The paper's four invalidation causes map
+// onto the key cleanly — cause 1 (content written) changes the source
+// signature, causes 2 and 3 (property add/remove/modify, reorder)
+// change the fingerprint, and cause 4 (external information) is
+// excluded by marking such properties non-memoizable, which disables
+// memoization of any stage containing them.
+
+// Intermediates is the cache-side store for universal-stage outputs.
+// Intermediate returns the memoized stage output for (src, fp) or
+// computes it via compute — exactly once per key under concurrent
+// misses. The returned slice is owned by the caller. hit reports
+// whether compute was skipped (served from the store or coalesced
+// onto another caller's computation).
+type Intermediates interface {
+	Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) (data []byte, hit bool, err error)
+}
+
+// StageTrace reports what the staged read path did, for cache
+// accounting and tests.
+type StageTrace struct {
+	// Attempted reports whether the universal stage was memoizable
+	// (every byte-touching universal property opted in) and an
+	// Intermediates store was consulted.
+	Attempted bool
+	// Hit reports whether the universal stage was served memoized
+	// rather than executed by this read.
+	Hit bool
+	// SourceSig is the signature of the raw source bytes; zero when
+	// the staged path was not attempted.
+	SourceSig sig.Signature
+	// Fingerprint is the universal-chain fingerprint used as the
+	// second key half; zero when not attempted.
+	Fingerprint sig.Signature
+	// SavedBytes counts intermediate bytes served without
+	// recomputation (the intermediate's size on a hit, else 0).
+	SavedBytes int64
+}
+
+// fingerprintLocked returns b's universal-chain fingerprint, computing
+// and caching it on the node if stale. The fingerprint digests the
+// ordered (name, class, memo key) triple of every non-machinery
+// universal property; properties that are not memoizable contribute a
+// marker instead of a key, which is sufficient because their presence
+// disables memoization of the whole stage. Caller holds s.mu.
+func (s *Space) fingerprintLocked(b *Base) sig.Signature {
+	n := b.node
+	if n.fpValid {
+		return n.fp
+	}
+	var sb strings.Builder
+	for _, e := range n.actives {
+		p := e.prop
+		class := classOf(p)
+		if class == ClassMachinery {
+			// Cache machinery (notifiers) never touches content and
+			// comes and goes with cache lifecycles; including it would
+			// invalidate intermediates for no content-visible reason.
+			continue
+		}
+		key := "!nonmemo"
+		if m, ok := p.(property.Memoizable); ok {
+			if k, memoOK := m.MemoKey(); memoOK {
+				key = k
+			}
+		}
+		fmt.Fprintf(&sb, "%s\x00%s\x00%s\n", p.Name(), class, key)
+	}
+	n.fp = sig.Of([]byte(sb.String()))
+	n.fpValid = true
+	return n.fp
+}
+
+// UniversalFingerprint returns the current universal-chain fingerprint
+// for doc. It changes exactly when Attach/Detach/Replace/Reorder
+// change the content-visible universal chain (paper invalidation
+// causes 2 and 3).
+func (s *Space) UniversalFingerprint(doc string) (sig.Signature, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bases[doc]
+	if !ok {
+		return sig.Signature{}, fmt.Errorf("%w: %s", ErrNoDocument, doc)
+	}
+	return s.fingerprintLocked(b), nil
+}
+
+// snapshotUniversal copies b's active list and fingerprint in one
+// critical section, so the fingerprint handed to the cache describes
+// exactly the chain this read executes.
+func (s *Space) snapshotUniversal(b *Base) ([]property.Active, sig.Signature) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	props := make([]property.Active, len(b.node.actives))
+	for i, e := range b.node.actives {
+		props[i] = e.prop
+	}
+	return props, s.fingerprintLocked(b)
+}
+
+// memoOK reports whether p's read-path wrapper may be memoized.
+func memoOK(p property.Active) bool {
+	m, ok := p.(property.Memoizable)
+	if !ok {
+		return false
+	}
+	_, ok = m.MemoKey()
+	return ok
+}
+
+// ReadDocumentStaged executes the read path for user's reference to
+// doc like ReadDocument, but splits it at the universal/personal
+// boundary and consults memo for the universal stage's output.
+//
+// The split preserves read-path semantics exactly:
+//
+//   - Every property's WrapInput still runs on every read, so
+//     cacheability votes, verifiers, and replacement cost accumulate
+//     identically to the unstaged path.
+//   - getInputStream events are still dispatched at both levels on
+//     every read, so event-only properties (audit trails) fire whether
+//     or not the stage is served memoized.
+//   - Only the data flow differs: on an intermediate hit the universal
+//     transforms (and their simulated Sleep costs) are skipped and the
+//     personal suffix runs over the memoized bytes.
+//
+// If memo is nil, or any universal property interposing a stream has
+// not opted into memoizability, the read falls back to the ordinary
+// single-chain execution and the trace reports Attempted=false.
+func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte, property.ReadResult, StageTrace, error) {
+	var trace StageTrace
+
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, property.ReadResult{}, trace, err
+	}
+	b := r.base
+	s.mu.Unlock()
+
+	now := s.clk.Now()
+	rc := &property.ReadContext{Doc: doc, User: user, Now: now, Sleep: s.clk.Sleep}
+	if d := s.AccessOverhead(); d > 0 {
+		s.clk.Sleep(d)
+		rc.AddCost(d)
+	}
+
+	raw, err := b.bits.Open(rc)
+	if err != nil {
+		return nil, property.ReadResult{}, trace, err
+	}
+
+	uProps, fp := s.snapshotUniversal(b)
+	memoizable := memo != nil
+	var uWrappers []stream.InputWrapper
+	for _, p := range uProps {
+		if w := p.WrapInput(rc); w != nil {
+			uWrappers = append(uWrappers, w)
+			if !memoOK(p) {
+				// A byte-touching universal property without a memo
+				// contract (e.g. one embedding external information,
+				// paper cause 4) forces full re-execution every read.
+				memoizable = false
+			}
+		}
+	}
+	// Recompute cost of the intermediate alone: middleware overhead,
+	// bit retrieval, and universal transform costs accumulated so far.
+	uCost := rc.CostSoFar()
+
+	var pWrappers []stream.InputWrapper
+	for _, p := range s.snapshotActives(r.node) {
+		if w := p.WrapInput(rc); w != nil {
+			pWrappers = append(pWrappers, w)
+		}
+	}
+
+	// Events fire on every read, memoized or not — side-effecting
+	// properties like audit trails must observe each access.
+	e := event.Event{Kind: event.GetInputStream, Doc: doc, User: user, Time: now}
+	b.node.registry.Dispatch(e)
+	r.node.registry.Dispatch(e)
+
+	if !memoizable {
+		all := append(append([]stream.InputWrapper{}, uWrappers...), pWrappers...)
+		data, err := stream.ReadAllAndClose(stream.ChainInput(raw, all...))
+		return data, rc.Result(), trace, err
+	}
+
+	rawBytes, err := stream.ReadAllAndClose(raw)
+	if err != nil {
+		return nil, property.ReadResult{}, trace, err
+	}
+	srcSig := sig.Of(rawBytes)
+
+	inter, hit, err := memo.Intermediate(doc, srcSig, fp, uCost, func() ([]byte, error) {
+		return stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(rawBytes), uWrappers...))
+	})
+	if err != nil {
+		return nil, property.ReadResult{}, trace, err
+	}
+	trace.Attempted = true
+	trace.Hit = hit
+	trace.SourceSig = srcSig
+	trace.Fingerprint = fp
+	if hit {
+		trace.SavedBytes = int64(len(inter))
+	}
+
+	data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(inter), pWrappers...))
+	return data, rc.Result(), trace, err
+}

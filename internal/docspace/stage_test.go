@@ -1,0 +1,290 @@
+package docspace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"placeless/internal/property"
+	"placeless/internal/sig"
+)
+
+// fakeMemo is a minimal Intermediates store for exercising the staged
+// read path without a cache.
+type fakeMemo struct {
+	store    map[string][]byte
+	computes int
+}
+
+func newFakeMemo() *fakeMemo { return &fakeMemo{store: make(map[string][]byte)} }
+
+func (m *fakeMemo) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	k := string(src[:]) + string(fp[:])
+	if d, ok := m.store[k]; ok {
+		return append([]byte{}, d...), true, nil
+	}
+	d, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	m.computes++
+	m.store[k] = append([]byte{}, d...)
+	return d, false, nil
+}
+
+// stageFixture builds a document with a memoizable universal chain
+// (spell correct, then summarize) and a personal watermark for each of
+// two users.
+func stageFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	f.addDoc(t, "d", "eyal", "/d", []byte("teh first line is recieve\nsecond line\nthird line\nfourth line\n"))
+	if err := f.space.Attach("d", "", Universal, property.NewSpellCorrector(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.space.Attach("d", "", Universal, property.NewSummarizer(3, time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.space.Attach("d", "eyal", Personal, property.NewWatermarker("eyal", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.space.AddReference("d", "paul"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.space.Attach("d", "paul", Personal, property.NewWatermarker("paul", 0)); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) fingerprint(t *testing.T, doc string) sig.Signature {
+	t.Helper()
+	fp, err := f.space.UniversalFingerprint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintStableAcrossReads(t *testing.T) {
+	f := stageFixture(t)
+	fp1 := f.fingerprint(t, "d")
+	if _, _, err := f.space.ReadDocument("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := f.fingerprint(t, "d"); fp2 != fp1 {
+		t.Fatal("fingerprint changed without a chain mutation")
+	}
+}
+
+// TestFingerprintBumpsOnChainMutations is the regression guard for the
+// paper's invalidation causes 2 and 3: every mutation of the universal
+// chain must move the fingerprint, so previously memoized intermediates
+// become unreachable.
+func TestFingerprintBumpsOnChainMutations(t *testing.T) {
+	f := stageFixture(t)
+	fp := f.fingerprint(t, "d")
+
+	// Cause 2: attach.
+	if err := f.space.Attach("d", "", Universal, property.NewLineNumberer(0)); err != nil {
+		t.Fatal(err)
+	}
+	fpAttach := f.fingerprint(t, "d")
+	if fpAttach == fp {
+		t.Fatal("Attach did not change the fingerprint")
+	}
+
+	// Cause 2: replace (the spelling-corrector upgrade).
+	upgraded := property.NewSpellCorrector(time.Millisecond)
+	upgraded.Version = 2
+	if err := f.space.Replace("d", "", Universal, "spell-correct", upgraded); err != nil {
+		t.Fatal(err)
+	}
+	fpReplace := f.fingerprint(t, "d")
+	if fpReplace == fpAttach {
+		t.Fatal("Replace did not change the fingerprint")
+	}
+
+	// Cause 3: reorder.
+	if err := f.space.Reorder("d", "", Universal, []string{"summarize-3", "spell-correct", "line-number"}); err != nil {
+		t.Fatal(err)
+	}
+	fpReorder := f.fingerprint(t, "d")
+	if fpReorder == fpReplace {
+		t.Fatal("Reorder did not change the fingerprint")
+	}
+
+	// Cause 2: detach.
+	if err := f.space.Detach("d", "", Universal, "line-number"); err != nil {
+		t.Fatal(err)
+	}
+	if f.fingerprint(t, "d") == fpReorder {
+		t.Fatal("Detach did not change the fingerprint")
+	}
+}
+
+func TestFingerprintIsContentDefined(t *testing.T) {
+	// The fingerprint digests the chain, it is not a counter: undoing
+	// a reorder restores the original value, making the old
+	// intermediates correctly reachable again.
+	f := stageFixture(t)
+	fp := f.fingerprint(t, "d")
+	if err := f.space.Reorder("d", "", Universal, []string{"summarize-3", "spell-correct"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.fingerprint(t, "d") == fp {
+		t.Fatal("reorder did not change the fingerprint")
+	}
+	if err := f.space.Reorder("d", "", Universal, []string{"spell-correct", "summarize-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.fingerprint(t, "d") != fp {
+		t.Fatal("restoring the order did not restore the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresPersonalAndMachinery(t *testing.T) {
+	f := stageFixture(t)
+	fp := f.fingerprint(t, "d")
+
+	if err := f.space.Attach("d", "paul", Personal, property.NewUppercaser(0)); err != nil {
+		t.Fatal(err)
+	}
+	if f.fingerprint(t, "d") != fp {
+		t.Fatal("personal attachment changed the universal fingerprint")
+	}
+
+	machinery := testMachinery{property.Base{PropName: "notifier:test"}}
+	if err := f.space.Attach("d", "", Universal, machinery); err != nil {
+		t.Fatal(err)
+	}
+	if f.fingerprint(t, "d") != fp {
+		t.Fatal("cache machinery changed the universal fingerprint")
+	}
+}
+
+// testMachinery is a stand-in for cache-installed plumbing.
+type testMachinery struct{ property.Base }
+
+func (testMachinery) CacheMachinery() {}
+
+func TestStagedReadMatchesPlainRead(t *testing.T) {
+	f := stageFixture(t)
+	memo := newFakeMemo()
+	for _, user := range []string{"eyal", "paul", "eyal"} {
+		plain, plainRes, err := f.space.ReadDocument("d", user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged, stagedRes, trace, err := f.space.ReadDocumentStaged("d", user, memo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, staged) {
+			t.Fatalf("user %s: staged read diverged:\nplain:  %q\nstaged: %q", user, plain, staged)
+		}
+		if !trace.Attempted {
+			t.Fatalf("user %s: memoizable chain not attempted", user)
+		}
+		// WrapInput runs on every read in both modes, so the
+		// cache-facing result must be identical.
+		if plainRes.Cacheability != stagedRes.Cacheability || plainRes.Cost != stagedRes.Cost {
+			t.Fatalf("user %s: read results diverged: %+v vs %+v", user, plainRes, stagedRes)
+		}
+	}
+	if memo.computes != 1 {
+		t.Fatalf("universal stage computed %d times for 3 reads of one (content, chain), want 1", memo.computes)
+	}
+}
+
+func TestStagedReadSavesUniversalTime(t *testing.T) {
+	// On an intermediate hit the universal transforms' simulated
+	// execution time is not charged; the personal suffix's is.
+	f := stageFixture(t)
+	memo := newFakeMemo()
+	if _, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", memo); err != nil || trace.Hit {
+		t.Fatalf("warm-up: trace=%+v err=%v", trace, err)
+	}
+	start := f.clk.Now()
+	_, _, trace, err := f.space.ReadDocumentStaged("d", "paul", memo)
+	if err != nil || !trace.Hit {
+		t.Fatalf("trace=%+v err=%v", trace, err)
+	}
+	elapsedHit := f.clk.Now().Sub(start)
+	// The two universal transforms charge 1ms each when executed;
+	// a hit must skip both.
+	if elapsedHit >= 2*time.Millisecond {
+		t.Fatalf("intermediate hit still charged universal time: %v", elapsedHit)
+	}
+	if trace.SavedBytes <= 0 {
+		t.Fatalf("SavedBytes = %d on a hit", trace.SavedBytes)
+	}
+}
+
+func TestNonMemoizablePropertyDisablesStaging(t *testing.T) {
+	f := stageFixture(t)
+	// A byte-touching universal property without a memo contract: a
+	// hand-built transformer (no MemoID), the cautious default.
+	opaque := &property.Transformer{
+		Base:          property.Base{PropName: "opaque"},
+		ReadTransform: bytes.ToUpper,
+		Version:       1,
+	}
+	if err := f.space.Attach("d", "", Universal, opaque); err != nil {
+		t.Fatal(err)
+	}
+	memo := newFakeMemo()
+	plain, _, err := f.space.ReadDocument("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Attempted || trace.Hit {
+		t.Fatalf("non-memoizable chain was staged: %+v", trace)
+	}
+	if memo.computes != 0 || len(memo.store) != 0 {
+		t.Fatal("memo store consulted for a non-memoizable chain")
+	}
+	if !bytes.Equal(plain, staged) {
+		t.Fatalf("fallback path diverged: %q vs %q", plain, staged)
+	}
+}
+
+func TestExternalInfoDisablesStaging(t *testing.T) {
+	// Paper invalidation cause 4: a property embedding external
+	// information must force full re-execution on every read.
+	f := stageFixture(t)
+	quote := property.NewExternalVar("stock", 42)
+	if err := f.space.Attach("d", "", Universal, property.NewExternalInfo(quote, property.ByVerifier, 0)); err != nil {
+		t.Fatal(err)
+	}
+	memo := newFakeMemo()
+	_, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Attempted {
+		t.Fatal("external-information chain was staged")
+	}
+}
+
+func TestStagedReadWithNilMemoFallsBack(t *testing.T) {
+	f := stageFixture(t)
+	plain, _, err := f.space.ReadDocument("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Attempted {
+		t.Fatal("nil store must disable staging")
+	}
+	if !bytes.Equal(plain, staged) {
+		t.Fatalf("nil-store fallback diverged: %q vs %q", plain, staged)
+	}
+}

@@ -400,6 +400,55 @@ func TestFormatHelpers(t *testing.T) {
 	}
 }
 
+func TestMemoFanOut(t *testing.T) {
+	// Small configuration of E12; plbench runs the full sweep. The
+	// invariants, not the magnitudes, are asserted: the universal
+	// stage runs once per (content, chain) key regardless of fan-out,
+	// and memoized misses are strictly cheaper than full ones.
+	cfg := MemoConfig{
+		Users:        []int{1, 4},
+		DocSize:      4 << 10,
+		PropCost:     time.Millisecond,
+		PersonalCost: 100 * time.Microsecond,
+		Rounds:       2,
+		Seed:         1,
+	}
+	res, err := RunMemo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Users) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Users))
+	}
+	for i, row := range res.Rows {
+		if row.Users != cfg.Users[i] {
+			t.Fatalf("row %d users = %d", i, row.Users)
+		}
+		if row.UniversalRuns != 1 {
+			t.Fatalf("row %d universal runs = %d, want 1", i, row.UniversalRuns)
+		}
+		if row.IntermediateHits != int64(row.Users*cfg.Rounds-1) {
+			t.Fatalf("row %d intermediate hits = %d, want %d", i, row.IntermediateHits, row.Users*cfg.Rounds-1)
+		}
+		if row.MemoMiss >= row.FullMiss {
+			t.Fatalf("row %d: memoized miss %v not cheaper than full miss %v", i, row.MemoMiss, row.FullMiss)
+		}
+		if row.SavedBytes <= 0 {
+			t.Fatalf("row %d saved bytes = %d", i, row.SavedBytes)
+		}
+	}
+	// Determinism (virtual clock): the JSON artifact must be stable.
+	again, err := RunMemo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Fatalf("row %d not deterministic: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}
+
 func TestParallelShape(t *testing.T) {
 	// Tiny real-clock configuration: the full-size run is plbench's
 	// job; here we assert the shape and the single-flight invariant.

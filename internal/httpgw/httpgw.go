@@ -16,7 +16,10 @@
 //
 // Responses carry X-Placeless-Cache: HIT|MISS (from the read's own
 // entry metadata, so concurrent requests each get their own outcome)
-// and X-Placeless-Cacheability headers.
+// and X-Placeless-Cacheability headers. Under a memoizing cache, MISS
+// responses add X-Placeless-Universal: MEMO|FULL — whether the
+// universal transform stage was served from the intermediate store or
+// executed in full.
 package httpgw
 
 import (
@@ -99,6 +102,7 @@ func (g *Gateway) get(w http.ResponseWriter, r *http.Request, id, user string) {
 	var data []byte
 	var err error
 	outcome := "BYPASS"
+	universal := ""
 	if g.cache != nil {
 		// The hit/miss outcome comes from the read's own EntryInfo, not
 		// from a before/after diff of the global counters — the counter
@@ -111,6 +115,11 @@ func (g *Gateway) get(w http.ResponseWriter, r *http.Request, id, user string) {
 				outcome = "HIT"
 			} else {
 				outcome = "MISS"
+				if info.IntermediateHit {
+					universal = "MEMO"
+				} else if g.cache.Memoizing() {
+					universal = "FULL"
+				}
 			}
 		}
 	} else {
@@ -126,6 +135,9 @@ func (g *Gateway) get(w http.ResponseWriter, r *http.Request, id, user string) {
 	// of which user produced it.
 	etag := `"` + sig.Of(data).String() + `"`
 	w.Header().Set("ETag", etag)
+	if universal != "" {
+		w.Header().Set("X-Placeless-Universal", universal)
+	}
 	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
 		w.Header().Set("X-Placeless-Cache", outcome)
 		w.WriteHeader(http.StatusNotModified)

@@ -1,0 +1,127 @@
+package property
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// memoProbe exercises every standard transform: misspellings for the
+// spell corrector, translatable words, multiple lines for the
+// summarizer and line numberer, mixed case for the uppercaser.
+var memoProbe = []byte("Teh document is recieve and seperate.\n" +
+	"hello world of active caching\n" +
+	"the property system is cacheable\n" +
+	"fourth line with a Document\n" +
+	"fifth and final line\n")
+
+// standardMemoizables returns one instance of every standard transform
+// that opts into memoization.
+func standardMemoizables() map[string]*Transformer {
+	return map[string]*Transformer{
+		"spell-correct": NewSpellCorrector(0),
+		"translate-fr":  NewTranslator(0),
+		"summarize":     NewSummarizer(3, 0),
+		"uppercase":     NewUppercaser(0),
+		"watermark":     NewWatermarker("eyal", 0),
+		"rot13":         NewRot13(0),
+		"line-number":   NewLineNumberer(0),
+	}
+}
+
+func TestStandardTransformsOptIntoMemoization(t *testing.T) {
+	for name, tr := range standardMemoizables() {
+		key, ok := tr.MemoKey()
+		if !ok || key == "" {
+			t.Errorf("%s: MemoKey() = (%q, %v), want a non-empty opt-in key", name, key, ok)
+		}
+	}
+}
+
+// TestMemoizableTransformsArePure is the memoizability contract for
+// every standard transform that opts in: the read transform must not
+// mutate its input, must be deterministic, and its output must not
+// alias the input slice (the caller may recycle the input buffer).
+func TestMemoizableTransformsArePure(t *testing.T) {
+	for name, tr := range standardMemoizables() {
+		input := append([]byte{}, memoProbe...)
+		snapshot := append([]byte{}, memoProbe...)
+
+		out1 := tr.ReadTransform(input)
+		if !bytes.Equal(input, snapshot) {
+			t.Errorf("%s: transform mutated its input", name)
+		}
+
+		out2 := tr.ReadTransform(append([]byte{}, memoProbe...))
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("%s: transform is not deterministic: %q vs %q", name, out1, out2)
+		}
+
+		frozen := append([]byte{}, out1...)
+		for i := range input {
+			input[i] = '#'
+		}
+		if !bytes.Equal(out1, frozen) {
+			t.Errorf("%s: transform output aliases its input slice", name)
+		}
+	}
+}
+
+func TestMemoKeyIgnoresExecCost(t *testing.T) {
+	cheap := NewSpellCorrector(time.Microsecond)
+	dear := NewSpellCorrector(5 * time.Second)
+	kc, _ := cheap.MemoKey()
+	kd, _ := dear.MemoKey()
+	if kc != kd {
+		t.Fatalf("ExecCost changed the memo key: %q vs %q (cost shapes replacement, not bytes)", kc, kd)
+	}
+}
+
+func TestMemoKeyTracksVersion(t *testing.T) {
+	tr := NewSpellCorrector(0)
+	k1, _ := tr.MemoKey()
+	tr.Version = 2 // the paper's spelling-corrector upgrade
+	k2, _ := tr.MemoKey()
+	if k1 == k2 {
+		t.Fatal("version upgrade did not change the memo key")
+	}
+}
+
+func TestMemoKeyTracksConfiguration(t *testing.T) {
+	k3, _ := NewSummarizer(3, 0).MemoKey()
+	k5, _ := NewSummarizer(5, 0).MemoKey()
+	if k3 == k5 {
+		t.Fatal("summarizer line count did not change the memo key")
+	}
+	wa, _ := NewWatermarker("eyal", 0).MemoKey()
+	wb, _ := NewWatermarker("paul", 0).MemoKey()
+	if wa == wb {
+		t.Fatal("watermark banner did not change the memo key")
+	}
+	spell, _ := NewSpellCorrector(0).MemoKey()
+	trans, _ := NewTranslator(0).MemoKey()
+	if spell == trans {
+		t.Fatal("different dictionaries share a memo key")
+	}
+}
+
+func TestEmptyMemoIDMeansNotMemoizable(t *testing.T) {
+	// The default for hand-built transformers is NOT memoizable; a
+	// transform must explicitly declare its behaviour digest.
+	tr := &Transformer{Base: Base{PropName: "custom"}, ReadTransform: bytes.ToUpper, Version: 1}
+	if key, ok := tr.MemoKey(); ok {
+		t.Fatalf("MemoKey() = (%q, true) without a MemoID; memoization must be opt-in", key)
+	}
+}
+
+func TestExternalInfoIsNotMemoizable(t *testing.T) {
+	// Properties embedding external information (paper invalidation
+	// cause 4) must never satisfy the memo contract: their output can
+	// change with no property-mutation event.
+	var p Active = NewExternalInfo(NewExternalVar("stock", 42), ByVerifier, 0)
+	if m, ok := p.(Memoizable); ok {
+		if key, memoOK := m.MemoKey(); memoOK {
+			t.Fatalf("ExternalInfo reports memoizable key %q", key)
+		}
+	}
+}

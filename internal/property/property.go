@@ -62,6 +62,34 @@ func Restrict(a, b Cacheability) Cacheability {
 	return a
 }
 
+// Memoizable is the opt-in contract for intermediate memoization of
+// the read path's universal stage. An active property that implements
+// it — and reports ok — declares that its read-path stream wrapper is a
+// pure function of the input bytes: same input, same output, no
+// mutation or retention of the input slice, and no dependence on
+// information outside the property's own configuration. Caches may
+// then reuse the stage's output across users instead of re-executing
+// the transform chain, keyed by (source signature, chain fingerprint).
+//
+// The default is NOT memoizable: a property that does not implement
+// this interface (or reports ok=false) forces the cache to re-run the
+// stage on every read. Properties whose output depends on external
+// information — the paper's invalidation cause 4 (current time,
+// databases, stock quotes) — must stay non-memoizable, because no
+// property-mutation event fires when that information moves.
+//
+// The key must change whenever the property's behaviour changes: it
+// should digest the name, release version, and every configuration
+// input that affects output bytes (dictionaries, line counts,
+// banners). Two properties with equal keys are assumed to produce
+// byte-identical output for equal input.
+type Memoizable interface {
+	Active
+	// MemoKey returns the behaviour digest and whether the read
+	// transform is memoizable at all.
+	MemoKey() (key string, ok bool)
+}
+
 // Verifier is consistency-checking code returned to a cache along with
 // document content (paper §3, Notifiers and Verifiers). The cache runs
 // every verifier on each hit; if any reports invalid, the entry is
@@ -128,6 +156,10 @@ func (rc *ReadContext) AddCost(d time.Duration) {
 		rc.cost += d
 	}
 }
+
+// CostSoFar returns the replacement cost accumulated so far; staged
+// read paths use it to attribute cost deltas to individual stages.
+func (rc *ReadContext) CostSoFar() time.Duration { return rc.cost }
 
 // ScaleCost multiplies the replacement cost accumulated so far by
 // factor; QoS properties use it to inflate cost (paper §5).

@@ -2,8 +2,10 @@ package property
 
 import (
 	"bytes"
+	"crypto/md5"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,9 +36,40 @@ type Transformer struct {
 	// upgrade his spelling corrector to a new release, this would
 	// trigger an invalidation").
 	Version int
+	// MemoID, when non-empty, declares ReadTransform memoizable: a
+	// pure function of the input bytes whose behaviour is fully
+	// captured by (PropName, Version, MemoID). Constructors derive it
+	// from the configuration that shapes output bytes (dictionary
+	// digests, line counts, banners). Leave empty for transforms
+	// whose output depends on anything beyond the input — the cache
+	// then re-executes the stage on every read (paper cause 4).
+	MemoID string
 }
 
-var _ Active = (*Transformer)(nil)
+var (
+	_ Active     = (*Transformer)(nil)
+	_ Memoizable = (*Transformer)(nil)
+)
+
+// MemoKey implements Memoizable. ExecCost is deliberately excluded:
+// it shapes replacement cost, not output bytes.
+func (t *Transformer) MemoKey() (string, bool) {
+	if t.MemoID == "" {
+		return "", false
+	}
+	return t.PropName + "/v" + strconv.Itoa(t.Version) + "/" + t.MemoID, true
+}
+
+// tableDigest summarizes a word-replacement table for memo keys:
+// digests every (word, replacement) pair in sorted order, so two
+// properties share a key exactly when their dictionaries match.
+func tableDigest(table map[string]string) string {
+	h := md5.New()
+	for _, w := range SortedWords(table) {
+		fmt.Fprintf(h, "%s\x00%s\x00", w, table[w])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
 
 // Events implements Active.
 func (t *Transformer) Events() []event.Kind {
@@ -143,6 +176,7 @@ func NewSpellCorrector(cost time.Duration) *Transformer {
 		WriteTransform: f,
 		ExecCost:       cost,
 		Version:        1,
+		MemoID:         "dict:" + tableDigest(DefaultMisspellings),
 	}
 }
 
@@ -175,6 +209,7 @@ func NewTranslator(cost time.Duration) *Transformer {
 		ReadTransform: wordMap(DefaultFrench),
 		ExecCost:      cost,
 		Version:       1,
+		MemoID:        "dict:" + tableDigest(DefaultFrench),
 	}
 }
 
@@ -197,6 +232,7 @@ func NewSummarizer(n int, cost time.Duration) *Transformer {
 		},
 		ExecCost: cost,
 		Version:  1,
+		MemoID:   "head:" + strconv.Itoa(n),
 	}
 }
 
@@ -208,6 +244,7 @@ func NewUppercaser(cost time.Duration) *Transformer {
 		ReadTransform: bytes.ToUpper,
 		ExecCost:      cost,
 		Version:       1,
+		MemoID:        "upper",
 	}
 }
 
@@ -223,6 +260,7 @@ func NewWatermarker(user string, cost time.Duration) *Transformer {
 		},
 		ExecCost: cost,
 		Version:  1,
+		MemoID:   "banner:" + user,
 	}
 }
 
@@ -250,6 +288,7 @@ func NewRot13(cost time.Duration) *Transformer {
 		WriteTransform: rot,
 		ExecCost:       cost,
 		Version:        1,
+		MemoID:         "rot13",
 	}
 }
 
@@ -276,6 +315,7 @@ func NewLineNumberer(cost time.Duration) *Transformer {
 		},
 		ExecCost: cost,
 		Version:  1,
+		MemoID:   "linenum",
 	}
 }
 

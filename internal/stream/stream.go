@@ -17,7 +17,47 @@ package stream
 import (
 	"bytes"
 	"io"
+	"sync"
 )
+
+// bufPool recycles scratch buffers for whole-content staging on the
+// miss path (drain-then-transform readers, whole-content writers,
+// ReadAllAndClose). Buffers that grew past poolBufMax are dropped
+// instead of pooled so one huge document can't pin memory.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// poolBufMax caps the capacity of buffers returned to bufPool.
+const poolBufMax = 1 << 20
+
+// getBuf fetches an empty scratch buffer from the pool.
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// putBuf returns a scratch buffer to the pool unless it is oversized.
+// Callers must not retain any slice aliasing the buffer's storage.
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= poolBufMax {
+		bufPool.Put(b)
+	}
+}
+
+// drainToOwned drains r into a pooled scratch buffer and returns an
+// exact-size copy the caller owns outright; the scratch storage goes
+// back to the pool. This trades one copy for eliminating io.ReadAll's
+// growth reallocations on every miss.
+func drainToOwned(r io.Reader) ([]byte, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
 
 // Transform rewrites a complete document body. Implementations must
 // not retain or mutate the input slice.
@@ -95,7 +135,9 @@ func (w *wholeReader) Read(p []byte) (int, error) {
 		return 0, w.err
 	}
 	if w.buf == nil {
-		data, err := io.ReadAll(w.src)
+		// The drained copy is owned, so the transform receives bytes
+		// it may return as-is without aliasing pooled storage.
+		data, err := drainToOwned(w.src)
 		if err != nil {
 			w.err = err
 			return 0, err
@@ -107,11 +149,12 @@ func (w *wholeReader) Read(p []byte) (int, error) {
 
 func (w *wholeReader) Close() error { return w.src.Close() }
 
-// wholeWriter buffers all writes and applies a Transform when closed.
+// wholeWriter buffers all writes in a pooled buffer and applies a
+// Transform when closed.
 type wholeWriter struct {
 	dst    io.WriteCloser
 	f      Transform
-	buf    bytes.Buffer
+	buf    *bytes.Buffer
 	closed bool
 }
 
@@ -120,7 +163,7 @@ type wholeWriter struct {
 // stream before closing it.
 func WholeOutput(f Transform) OutputWrapper {
 	return func(dst io.WriteCloser) io.WriteCloser {
-		return &wholeWriter{dst: dst, f: f}
+		return &wholeWriter{dst: dst, f: f, buf: getBuf()}
 	}
 }
 
@@ -136,10 +179,17 @@ func (w *wholeWriter) Close() error {
 		return nil
 	}
 	w.closed = true
-	if _, err := w.dst.Write(w.f(w.buf.Bytes())); err != nil {
+	// The transform must not retain its input, and dst.Write must not
+	// retain p (io.Writer contract), so the buffer can be pooled once
+	// the write returns. The transform's *output* may alias its input,
+	// so the Write must complete before putBuf.
+	out := w.f(w.buf.Bytes())
+	if _, err := w.dst.Write(out); err != nil {
+		putBuf(w.buf)
 		w.dst.Close()
 		return err
 	}
+	putBuf(w.buf)
 	return w.dst.Close()
 }
 
@@ -150,6 +200,11 @@ type chunkReader struct {
 	src     io.ReadCloser
 	f       Transform
 	pending []byte
+	// scratch is reused across Reads. The transform may return its
+	// input slice (identity), making pending alias scratch — safe
+	// because scratch is only refilled after pending fully drains,
+	// and per-reader ownership keeps it out of any shared pool.
+	scratch []byte
 }
 
 // ChunkInput returns an InputWrapper applying f independently to each
@@ -164,10 +219,12 @@ func ChunkInput(f Transform) InputWrapper {
 
 func (c *chunkReader) Read(p []byte) (int, error) {
 	for len(c.pending) == 0 {
-		buf := make([]byte, 4096)
-		n, err := c.src.Read(buf)
+		if c.scratch == nil {
+			c.scratch = make([]byte, 4096)
+		}
+		n, err := c.src.Read(c.scratch)
 		if n > 0 {
-			c.pending = c.f(buf[:n])
+			c.pending = c.f(c.scratch[:n])
 			break
 		}
 		if err != nil {
@@ -318,9 +375,11 @@ func (b *BufferCloser) Close() error {
 	return nil
 }
 
-// ReadAllAndClose drains r, closes it, and returns the content.
+// ReadAllAndClose drains r, closes it, and returns the content. The
+// drain stages through a pooled buffer, so the returned slice is an
+// exact-size allocation owned by the caller.
 func ReadAllAndClose(r io.ReadCloser) ([]byte, error) {
-	data, err := io.ReadAll(r)
+	data, err := drainToOwned(r)
 	cerr := r.Close()
 	if err == nil {
 		err = cerr
