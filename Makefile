@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race fuzz bench bench-smoke bench-e12 experiments examples clean
+.PHONY: all build vet test test-race race fuzz bench bench-smoke bench-e12 bench-e13 check-metrics experiments examples clean
 
 all: build vet test
 
@@ -22,7 +22,7 @@ test-race:
 # the sharded cache core and the TCP server/remote-cache pair, twice,
 # so scheduling-order-dependent races get two chances to surface.
 race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/...
+	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/... ./internal/obs/...
 
 # Run the fuzz seed corpora as regression tests (no open-ended
 # fuzzing; use `go test -fuzz=FuzzShardHash ./internal/core/` for that).
@@ -42,6 +42,15 @@ bench-smoke:
 # directory alongside the table.
 bench-e12:
 	$(GO) run ./cmd/plbench -experiment e12
+
+# Machine-readable E13 result: observability overhead + stage timings.
+bench-e13:
+	$(GO) run ./cmd/plbench -experiment e13
+
+# Scrape a briefly-run placelessd and diff the /metrics family set
+# against docs/metric_names.golden (what CI runs).
+check-metrics:
+	sh scripts/check_metrics.sh
 
 # Human-readable experiment tables (what EXPERIMENTS.md records).
 experiments:

@@ -21,6 +21,7 @@ import (
 	"placeless/internal/core"
 	"placeless/internal/docspace"
 	"placeless/internal/experiment"
+	"placeless/internal/obs"
 	"placeless/internal/property"
 	"placeless/internal/repo"
 	"placeless/internal/simnet"
@@ -293,7 +294,7 @@ func BenchmarkWriteThrough(b *testing.B) {
 // reproduces the paper's per-hit access time as an actual sleep, which
 // is where the seed's lock discipline and the sharded core diverge
 // observably: the seed slept while holding its global mutex.
-func benchParallelWorld(b *testing.B, shards, docs int, hitCost time.Duration) *core.Cache {
+func benchParallelWorld(b *testing.B, shards, docs int, hitCost time.Duration, o *obs.Observer) *core.Cache {
 	b.Helper()
 	var clk docspace.TimerClock = clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
 	if hitCost > 0 {
@@ -301,7 +302,7 @@ func benchParallelWorld(b *testing.B, shards, docs int, hitCost time.Duration) *
 	}
 	src := repo.NewMem("m", clk, simnet.NewPath("free", 1))
 	space := docspace.New(clk, nil)
-	cache := core.New(space, core.Options{Shards: shards, HitCost: hitCost})
+	cache := core.New(space, core.Options{Shards: shards, HitCost: hitCost, Observer: o})
 	for i := 0; i < docs; i++ {
 		id := fmt.Sprintf("d%d", i)
 		src.Store("/"+id, experiment.Content(id, 4096))
@@ -341,6 +342,9 @@ func (s *seedMutexCache) Read(doc, user string) ([]byte, error) {
 //   - seedMutex: the seed's discipline — a global mutex held across
 //     the whole read including the hit-cost sleep, serializing all
 //     goroutines end to end.
+//   - observed: sharded with an obs.Observer attached, so the E13
+//     acceptance criterion (instrumentation overhead < 5% vs sharded)
+//     is measurable directly from go test -bench.
 //
 // The acceptance ratio (sharded vs seedMutex ns/op at the same
 // goroutine count) is recorded in EXPERIMENTS.md.
@@ -355,16 +359,22 @@ func BenchmarkParallelHitThroughput(b *testing.B) {
 		return s.Read
 	}
 	for _, cfg := range []struct {
-		name   string
-		shards int
-		reader func(*core.Cache, *seedMutexCache) func(string, string) ([]byte, error)
+		name     string
+		shards   int
+		observed bool
+		reader   func(*core.Cache, *seedMutexCache) func(string, string) ([]byte, error)
 	}{
-		{"sharded", 0, read},
-		{"globalLock", 1, read},
-		{"seedMutex", 1, seedRead},
+		{"sharded", 0, false, read},
+		{"globalLock", 1, false, read},
+		{"seedMutex", 1, false, seedRead},
+		{"observed", 0, true, read},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			cache := benchParallelWorld(b, cfg.shards, docs, hitCost)
+			var o *obs.Observer
+			if cfg.observed {
+				o = obs.NewObserver() // fresh per trial: an Observer serves one cache
+			}
+			cache := benchParallelWorld(b, cfg.shards, docs, hitCost, o)
 			readFn := cfg.reader(cache, &seedMutexCache{})
 			var next atomic.Int64
 			b.SetParallelism(8) // 8× GOMAXPROCS goroutines: contention is the point
@@ -470,7 +480,7 @@ func BenchmarkSharedUniversalStage(b *testing.B) {
 // reads racing server-pushed invalidations.
 func BenchmarkParallelMixedThroughput(b *testing.B) {
 	const docs = 64
-	cache := benchParallelWorld(b, 0, docs, 0)
+	cache := benchParallelWorld(b, 0, docs, 0, nil)
 	var next atomic.Int64
 	b.SetParallelism(8)
 	b.ResetTimer()

@@ -5,23 +5,34 @@
 //
 // Usage:
 //
-//	placelessd [-addr :7999] [-root DIR] [-mem]
+//	placelessd [-addr :7999] [-root DIR] [-mem] [-cache BYTES] [-memoize] [-http ADDR]
 //
 // With -root, documents created through the server are stored as
 // files under DIR, and out-of-band edits to those files are caught by
 // mtime verifiers exactly as the paper describes for file-system
 // repositories. With -mem, an in-memory repository is used instead.
+//
+// With -cache, reads are served through a server-side content cache of
+// the given byte capacity (the paper's server-co-located placement);
+// -memoize additionally enables universal-stage memoization.
+//
+// With -http, an observability endpoint is served on ADDR: /metrics
+// (Prometheus text exposition), /debug/traces (recent per-read traces
+// as JSON) and /debug/pprof/. See docs/OPERATIONS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"placeless/internal/clock"
+	"placeless/internal/core"
 	"placeless/internal/docspace"
+	"placeless/internal/obs"
 	"placeless/internal/repo"
 	"placeless/internal/server"
 	"placeless/internal/simnet"
@@ -32,6 +43,9 @@ func main() {
 	root := flag.String("root", "", "directory backing document content (default: in-memory)")
 	mem := flag.Bool("mem", false, "force the in-memory repository even if -root is set")
 	journalPath := flag.String("journal", "", "configuration journal file; replayed at startup, appended while running")
+	cacheBytes := flag.Int64("cache", 0, "server-side content cache capacity in bytes (0 = no cache)")
+	memoize := flag.Bool("memoize", false, "memoize the universal transform stage (requires -cache)")
+	httpAddr := flag.String("http", "", "HTTP observability address serving /metrics, /debug/traces and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	clk := clock.Real{}
@@ -54,7 +68,49 @@ func main() {
 
 	archive := repo.NewDMS("dms", clk, simnet.NewPath("local", 2))
 	space := docspace.New(clk, archive)
-	srv := server.New(space, backing)
+
+	var observer *obs.Observer
+	if *httpAddr != "" {
+		observer = obs.NewObserver()
+	}
+
+	var srv *server.Server
+	if *cacheBytes > 0 {
+		cache := core.New(space, core.Options{
+			Name:     "placelessd",
+			Capacity: *cacheBytes,
+			Memoize:  *memoize,
+			Observer: observer,
+		})
+		defer cache.Close()
+		srv = server.NewCached(space, backing, cache)
+	} else {
+		if *memoize {
+			log.Fatal("placelessd: -memoize requires -cache")
+		}
+		srv = server.New(space, backing)
+	}
+
+	if observer != nil {
+		reg := observer.Registry()
+		reg.Counter("placeless_server_requests_total",
+			"Wire requests handled by the TCP server.",
+			func() int64 { r, _, _ := srv.Counters(); return r })
+		reg.Counter("placeless_server_notifications_total",
+			"Invalidations pushed to subscribed remote clients.",
+			func() int64 { _, n, _ := srv.Counters(); return n })
+		reg.Gauge("placeless_server_connections",
+			"Currently open client connections.",
+			func() int64 { _, _, c := srv.Counters(); return c })
+		mux := http.NewServeMux()
+		observer.Mount(mux)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Fatalf("placelessd: http: %v", err)
+			}
+		}()
+		fmt.Printf("placelessd: observability on http://%s/metrics\n", *httpAddr)
+	}
 
 	// Durable configuration: replay a prior journal, then append new
 	// configuration operations to it. Combined with -root, a restart

@@ -21,9 +21,10 @@
 //	placement          app-side vs server-side cache placement (E10)
 //	parallel           parallel hit throughput + single-flight coalescing (E11)
 //	memo               universal-stage memoization fan-out (E12)
+//	obs                observability overhead + per-stage timings (E13)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12) runs one
+// Alternatively, -experiment <index> (currently e12, e13) runs one
 // experiment by its DESIGN.md index and additionally writes its result
 // as BENCH_<index>.json in the working directory, for machine
 // consumers (CI trend tracking).
@@ -46,7 +47,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment e12")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -81,8 +82,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 		}
 		res, title = r, fmt.Sprintf("E12 — universal-stage memoization (doc=%dB chain=3×%v personal=%v rounds=%d)",
 			cfg.DocSize, cfg.PropCost, cfg.PersonalCost, cfg.Rounds)
+	case "e13":
+		cfg := experiment.DefaultObsConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunObs(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, obsTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -251,8 +260,24 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		emit(fmt.Sprintf("E12 — universal-stage memoization (doc=%dB chain=3×%v personal=%v rounds=%d)",
 			cfg.DocSize, cfg.PropCost, cfg.PersonalCost, cfg.Rounds), res)
 	}
+	if all || which == "obs" {
+		ran = true
+		cfg := experiment.DefaultObsConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunObs(cfg)
+		if err != nil {
+			return err
+		}
+		emit(obsTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// obsTitle renders E13's parameter line.
+func obsTitle(cfg experiment.ObsConfig) string {
+	return fmt.Sprintf("E13 — observability overhead + stage timings (docs=%d goroutines=%d hit-cost=%v, real clock: rates are machine-dependent, compare the overhead rows)",
+		cfg.Docs, cfg.Goroutines, cfg.HitCost)
 }

@@ -19,8 +19,13 @@
 //	describe <doc>                        print the document's full configuration
 //	find    <user> <key> [value]          list documents carrying a static label
 //	watch   <doc> <user>                  subscribe and print invalidations
-//	stats                                 print server counters
+//	stats                                 print server counters (or /metrics with -http)
+//	trace   [n]                           print recent read traces (requires -http)
 //	specs                                 list attachable property specs
+//
+// With -http set to placelessd's observability address, stats scrapes
+// /metrics instead of the TCP stats op (one line per counter/gauge),
+// and trace renders the last n per-read traces from /debug/traces.
 package main
 
 import (
@@ -28,12 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"placeless/internal/server"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plctl [-addr host:7999] <create|read|write|addref|attach|detach|static|actives|describe|find|watch|stats|specs> [args]")
+	fmt.Fprintln(os.Stderr, "usage: plctl [-addr host:7999] [-http host:port] <create|read|write|addref|attach|detach|static|actives|describe|find|watch|stats|trace|specs> [args]")
 	os.Exit(2)
 }
 
@@ -47,6 +53,7 @@ func level(arg string) (user string, personal bool) {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7999", "placelessd address")
+	httpAddr := flag.String("http", "", "placelessd observability address (enables HTTP-backed stats/trace)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -57,6 +64,31 @@ func main() {
 	if cmd == "specs" {
 		for _, s := range server.KnownPropertySpecs() {
 			fmt.Println(s)
+		}
+		return
+	}
+
+	// Observability commands talk HTTP, not the TCP protocol.
+	if cmd == "trace" || (cmd == "stats" && *httpAddr != "") {
+		if *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "plctl: trace requires -http (placelessd's observability address)")
+			os.Exit(1)
+		}
+		var err error
+		if cmd == "stats" {
+			err = httpStats(*httpAddr, os.Stdout)
+		} else {
+			n := 20
+			if len(rest) > 0 {
+				if n, err = strconv.Atoi(rest[0]); err != nil {
+					usage()
+				}
+			}
+			err = httpTrace(*httpAddr, n, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plctl: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

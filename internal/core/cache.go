@@ -38,6 +38,7 @@ import (
 	"placeless/internal/clock"
 	"placeless/internal/docspace"
 	"placeless/internal/event"
+	"placeless/internal/obs"
 	"placeless/internal/property"
 	"placeless/internal/replace"
 	"placeless/internal/sig"
@@ -122,6 +123,12 @@ type Options struct {
 	// transforms' simulated execution time, which would perturb
 	// experiments calibrated against full-chain misses.
 	Memoize bool
+	// Observer, when non-nil, receives per-read traces and stage
+	// timings, and the cache registers its counters on the observer's
+	// registry under stable placeless_cache_* names (see obs.go). One
+	// Observer serves one cache. Nil disables all instrumentation at
+	// zero cost to the read path.
+	Observer *obs.Observer
 }
 
 // CostSource selects the replacement-cost signal handed to the policy.
@@ -289,6 +296,11 @@ type Cache struct {
 	inter        map[string]*interEntry
 	interFlights map[string]*iflight
 
+	// lastCause remembers, per document, the most recent invalidation
+	// cause (doc → string, obs.Cause* vocabulary) so the next miss can
+	// attribute itself. Only populated when an Observer is attached.
+	lastCause sync.Map
+
 	// dirty buffers write-back content.
 	writeMu sync.Mutex
 	dirty   map[string]*dirtyWrite
@@ -339,6 +351,9 @@ func New(space *docspace.Space, opts Options) *Cache {
 		notifiers:    make(map[string][]notifierSpot),
 	}
 	c.capacity.Store(opts.Capacity)
+	if opts.Observer != nil {
+		c.registerMetrics(opts.Observer)
+	}
 	if opts.Mode == WriteBack && opts.FlushEvery > 0 {
 		c.armFlushTimer()
 	}
@@ -438,7 +453,44 @@ func (c *Cache) Read(doc, user string) ([]byte, error) {
 }
 
 // ReadWithInfo is Read plus the entry metadata a layered cache needs.
+// With an Observer attached it also records the read: verdict and
+// miss-cause counters, per-stage latency histograms, and a ReadTrace
+// in the ring buffer.
 func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
+	o := c.opts.Observer
+	if o == nil {
+		return c.readWithInfo(doc, user, nil)
+	}
+	tr := &obs.ReadTrace{Doc: doc, User: user}
+	t0 := time.Now()
+	data, info, err := c.readWithInfo(doc, user, tr)
+	tr.Total = time.Since(t0)
+	tr.Time = time.Now()
+	switch {
+	case err != nil:
+		tr.Verdict = obs.VerdictError
+		tr.Err = err.Error()
+	case info.Hit:
+		tr.Verdict = obs.VerdictHit
+	case tr.Coalesced:
+		tr.Verdict = obs.VerdictCoalesced
+	case info.IntermediateHit:
+		tr.Verdict = obs.VerdictMemo
+	default:
+		tr.Verdict = obs.VerdictMiss
+	}
+	switch tr.Verdict {
+	case obs.VerdictMiss, obs.VerdictMemo:
+		tr.Cause = c.missCause(doc)
+	}
+	o.ObserveRead(*tr)
+	return data, info, err
+}
+
+// readWithInfo is the read path proper. tr is the per-read trace being
+// assembled, or nil when no Observer is attached — every timing site
+// is gated on it so the uninstrumented path pays nothing.
+func (c *Cache) readWithInfo(doc, user string, tr *obs.ReadTrace) ([]byte, EntryInfo, error) {
 	if c.closed.Load() {
 		return nil, EntryInfo{}, ErrClosed
 	}
@@ -452,6 +504,11 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 		return nil, EntryInfo{}, ErrClosed
 	}
 	k := key(doc, user)
+
+	var tLookup time.Time
+	if tr != nil {
+		tLookup = time.Now()
+	}
 	sh := c.idx.shardFor(k)
 
 	sh.mu.Lock()
@@ -461,6 +518,9 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 		data = c.blobData(e.signature)
 	}
 	sh.mu.Unlock()
+	if tr != nil {
+		tr.Lookup = time.Since(tLookup)
+	}
 
 	if e != nil && data != nil {
 		if c.opts.HitCost > 0 {
@@ -468,6 +528,10 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 		}
 		valid := true
 		if !c.opts.DisableVerifiers {
+			var tVerify time.Time
+			if tr != nil {
+				tVerify = time.Now()
+			}
 			now := c.clk.Now()
 			for _, v := range e.verifiers {
 				ok, err := v.Check(now)
@@ -475,6 +539,9 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 					valid = false
 					break
 				}
+			}
+			if tr != nil {
+				tr.Verify = time.Since(tVerify)
 			}
 		}
 		if valid {
@@ -503,10 +570,13 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 				c.dropShardLocked(sh, k)
 			}
 			sh.mu.Unlock()
+			// The pull-side of paper cause 4: the entry died because a
+			// verifier caught a change notifiers could not see.
+			c.recordCause(doc, obs.CauseVerifier)
 		}
 	}
 
-	return c.coalescedMiss(sh, k, doc, user, true)
+	return c.coalescedMiss(sh, k, doc, user, true, tr)
 }
 
 // forward redelivers an operation event for a CacheWithEvents entry.
@@ -521,10 +591,18 @@ func (c *Cache) forward(doc, user string, kind event.Kind) {
 // result; followers block and share it. Prefetching happens after the
 // flight resolves so a collection that (transitively) references the
 // document being read can never re-enter its own flight.
-func (c *Cache) coalescedMiss(sh *shard, k, doc, user string, mayPrefetch bool) ([]byte, EntryInfo, error) {
+func (c *Cache) coalescedMiss(sh *shard, k, doc, user string, mayPrefetch bool, tr *obs.ReadTrace) ([]byte, EntryInfo, error) {
 	f, leader := c.joinOrLead(sh, k)
 	if !leader {
+		var tWait time.Time
+		if tr != nil {
+			tWait = time.Now()
+		}
 		<-f.done
+		if tr != nil {
+			tr.FlightWait = time.Since(tWait)
+			tr.Coalesced = true
+		}
 		c.stats.coalesced.Inc()
 		if f.err != nil {
 			return nil, EntryInfo{}, f.err
@@ -533,7 +611,7 @@ func (c *Cache) coalescedMiss(sh *shard, k, doc, user string, mayPrefetch bool) 
 		copy(out, f.data)
 		return out, f.info, nil
 	}
-	data, info, related, err := c.miss(doc, user)
+	data, info, related, err := c.miss(doc, user, tr)
 	c.finish(sh, k, f, data, info, err)
 	if err == nil && mayPrefetch && !c.opts.DisablePrefetch {
 		c.prefetch(user, related)
@@ -555,7 +633,7 @@ func (c *Cache) docGen(doc string) *atomic.Uint64 {
 // miss executes the full read path and caches the result according to
 // its cacheability indicator, returning the related-document hints for
 // the caller to prefetch (nil unless an entry was installed).
-func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []string, err error) {
+func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info EntryInfo, related []string, err error) {
 	// Snapshot the document's invalidation generation: if a
 	// notification arrives while the read path is executing, the
 	// result may already be stale and must not be cached (the
@@ -565,10 +643,25 @@ func (c *Cache) miss(doc, user string) (data []byte, info EntryInfo, related []s
 
 	var res property.ReadResult
 	var trace docspace.StageTrace
+	var tChain time.Time
+	if tr != nil {
+		tChain = time.Now()
+	}
 	if c.opts.Memoize {
 		data, res, trace, err = c.space.ReadDocumentStaged(doc, user, c)
 	} else {
 		data, res, err = c.space.ReadDocument(doc, user)
+	}
+	if tr != nil {
+		if trace.BitFetchDur > 0 {
+			// The staged path separated its spans; record them and not
+			// the enclosing chain time, which would double count.
+			tr.BitFetch = trace.BitFetchDur
+			tr.Universal = trace.UniversalDur
+			tr.Personal = trace.PersonalDur
+		} else {
+			tr.FullChain = time.Since(tChain)
+		}
 	}
 	if err != nil {
 		return nil, EntryInfo{}, nil, err
@@ -660,7 +753,7 @@ func (c *Cache) prefetch(user string, related []string) {
 			<-f.done
 			continue
 		}
-		data, info, _, err := c.miss(doc, user)
+		data, info, _, err := c.miss(doc, user, nil)
 		c.finish(sh, k, f, data, info, err)
 		if err != nil {
 			continue

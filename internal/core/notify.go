@@ -110,6 +110,7 @@ func (c *Cache) invalidateDoc(doc string) {
 // document's entries.
 func (c *Cache) onBaseEvent(e event.Event) {
 	c.stats.notifications.Inc()
+	c.observeInvalidation(e)
 	c.invalidateDoc(e.Doc)
 }
 
@@ -117,7 +118,20 @@ func (c *Cache) onBaseEvent(e event.Event) {
 // property changes invalidate only that user's entry.
 func (c *Cache) onRefEvent(e event.Event) {
 	c.stats.notifications.Inc()
+	c.observeInvalidation(e)
 	c.invalidateUser(e.Doc, e.User)
+}
+
+// observeInvalidation counts a notifier-driven invalidation under its
+// paper cause and remembers the cause for subsequent miss attribution.
+func (c *Cache) observeInvalidation(e event.Event) {
+	o := c.opts.Observer
+	if o == nil {
+		return
+	}
+	cause := causeOf(e)
+	o.Invalidation(cause)
+	c.lastCause.Store(e.Doc, cause)
 }
 
 // invalidateUser bumps the generation and drops one (doc, user) entry.

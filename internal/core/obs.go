@@ -1,0 +1,102 @@
+package core
+
+import (
+	"placeless/internal/event"
+	"placeless/internal/obs"
+)
+
+// This file is the cache's side of the observability layer: metric
+// registration under stable placeless_cache_* names, and miss-cause
+// attribution mapping notifier events onto the paper's four
+// invalidation causes.
+
+// registerMetrics publishes the cache's counters on o's registry. The
+// hot paths keep incrementing the same lock-free atomics they always
+// did (statsCounters); the registry holds closures that read them at
+// scrape time, so exposing metrics costs the read path nothing. The
+// names are stable across PRs — scrapers and the CI golden list depend
+// on them. One Observer serves one cache: registering a second cache
+// on the same registry panics on the duplicate names.
+func (c *Cache) registerMetrics(o *obs.Observer) {
+	reg := o.Registry()
+	reg.Counter("placeless_cache_hits_total",
+		"Reads served from the cache with verifiers passing.", c.stats.hits.Load)
+	reg.Counter("placeless_cache_misses_total",
+		"Reads that executed the full Placeless read path.", c.stats.misses.Load)
+	reg.Counter("placeless_cache_coalesced_misses_total",
+		"Reads that joined another goroutine's in-flight miss (single-flight).", c.stats.coalesced.Load)
+	reg.Counter("placeless_cache_verifier_rejects_total",
+		"Hits discarded because a verifier reported the entry invalid.", c.stats.verifierRejects.Load)
+	reg.Counter("placeless_cache_notifications_total",
+		"Invalidations pushed by notifier properties.", c.stats.notifications.Load)
+	reg.Counter("placeless_cache_invalidations_total",
+		"Entries dropped by notifications.", c.stats.invalidations.Load)
+	reg.Counter("placeless_cache_evictions_total",
+		"Entries dropped by the replacement policy.", c.stats.evictions.Load)
+	reg.Counter("placeless_cache_uncacheable_total",
+		"Reads whose result could not be cached.", c.stats.uncacheable.Load)
+	reg.Counter("placeless_cache_events_forwarded_total",
+		"Operation events forwarded for cache-with-events entries.", c.stats.eventsForwarded.Load)
+	reg.Counter("placeless_cache_prefetches_total",
+		"Documents loaded via collection-property prefetch hints.", c.stats.prefetches.Load)
+	reg.Counter("placeless_cache_flushes_total",
+		"Write-back flush operations.", c.stats.flushes.Load)
+	reg.Gauge("placeless_cache_bytes_stored",
+		"Current unique content footprint after signature sharing.", c.stats.bytesStored.Load)
+	reg.Gauge("placeless_cache_bytes_logical",
+		"Current sum of entry sizes before signature sharing.", c.stats.bytesLogical.Load)
+	reg.Gauge("placeless_cache_shared_entries",
+		"Current entries whose blob is shared with at least one other entry.", c.stats.sharedEntries.Load)
+	reg.Gauge("placeless_cache_entries",
+		"Current number of (document, user) entries.",
+		func() int64 { return int64(c.idx.count()) })
+	reg.Counter("placeless_cache_intermediate_hits_total",
+		"Misses whose universal stage was served from the intermediate store.", c.stats.intermediateHits.Load)
+	reg.Counter("placeless_cache_universal_stage_runs_total",
+		"Actual executions of the universal property chain under memoization.", c.stats.universalStageRuns.Load)
+	reg.Counter("placeless_cache_bytes_recomputed_saved_total",
+		"Intermediate bytes served without recomputation.", c.stats.bytesRecomputedSaved.Load)
+	reg.Gauge("placeless_cache_intermediate_entries",
+		"Current number of memoized universal-stage outputs.", c.stats.intermediateEntries.Load)
+	reg.Gauge("placeless_cache_intermediate_bytes",
+		"Current logical footprint of memoized intermediates.", c.stats.intermediateBytes.Load)
+}
+
+// causeOf maps a notifier event onto the paper's invalidation causes:
+// content written through Placeless (cause 1), property set/remove/
+// modify (cause 2), property reorder (cause 3), external change
+// (cause 4).
+func causeOf(e event.Event) string {
+	switch e.Kind {
+	case event.ContentWritten:
+		return obs.CauseContentWrite
+	case event.SetProperty, event.RemoveProperty, event.ModifyProperty:
+		return obs.CauseProperty
+	case event.ReorderProperties:
+		return obs.CauseReorder
+	case event.ExternalChange:
+		return obs.CauseExternal
+	default:
+		return obs.CauseProperty
+	}
+}
+
+// recordCause remembers the most recent invalidation cause for doc so
+// the next miss can attribute itself. Gated on an attached Observer;
+// without one the sync.Map stays empty and costs nothing.
+func (c *Cache) recordCause(doc, cause string) {
+	if c.opts.Observer == nil {
+		return
+	}
+	c.lastCause.Store(doc, cause)
+}
+
+// missCause attributes a miss: the most recent invalidation cause
+// recorded for the document, or cold when the entry was never
+// invalidated (first access, eviction, or restart).
+func (c *Cache) missCause(doc string) string {
+	if v, ok := c.lastCause.Load(doc); ok {
+		return v.(string)
+	}
+	return obs.CauseCold
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/obs"
+)
+
+// TestObserverVerdictsAndCauses walks one document through the paper's
+// invalidation causes and checks that the attached Observer classifies
+// every read and attributes every miss.
+func TestObserverVerdictsAndCauses(t *testing.T) {
+	o := obs.NewObserver()
+	users := memoUsers(2)
+	w := newWorld(t, Options{Memoize: true, Observer: o})
+	setupMemoDoc(t, w, users)
+
+	// Cold miss, warm hit, then a second user served memoized.
+	w.read(t, "d", users[0])
+	w.read(t, "d", users[0])
+	w.read(t, "d", users[1])
+
+	// Cause 1: content written through Placeless.
+	if err := w.cache.Write("d", users[0], []byte("teh new content\nline two\n")); err != nil {
+		t.Fatal(err)
+	}
+	w.read(t, "d", users[0])
+
+	// Cause 3: universal execution order changed.
+	if err := w.space.Reorder("d", "", docspace.Universal, []string{"line-number", "spell-correct"}); err != nil {
+		t.Fatal(err)
+	}
+	w.read(t, "d", users[0])
+
+	// Cause 4: information outside Placeless control changed.
+	if err := w.space.SignalExternalChange("d", "source replaced"); err != nil {
+		t.Fatal(err)
+	}
+	w.read(t, "d", users[0])
+
+	v := o.VerdictCounts()
+	if v[obs.VerdictHit] != 1 {
+		t.Errorf("hit verdicts = %d, want 1", v[obs.VerdictHit])
+	}
+	if v[obs.VerdictMemo] < 1 {
+		t.Errorf("memo verdicts = %d, want >= 1", v[obs.VerdictMemo])
+	}
+	if v[obs.VerdictMiss] < 3 {
+		t.Errorf("miss verdicts = %d, want >= 3", v[obs.VerdictMiss])
+	}
+	c := o.CauseCounts()
+	if c[obs.CauseContentWrite] < 1 {
+		t.Errorf("content-write invalidations = %d, want >= 1", c[obs.CauseContentWrite])
+	}
+	if c[obs.CauseReorder] < 1 {
+		t.Errorf("reorder invalidations = %d, want >= 1", c[obs.CauseReorder])
+	}
+	if c[obs.CauseExternal] < 1 {
+		t.Errorf("external invalidations = %d, want >= 1", c[obs.CauseExternal])
+	}
+
+	// The trace ring saw every read, newest first: the last read was a
+	// miss attributed to the external change.
+	traces := o.Ring().Snapshot(0)
+	if want := int(o.ReadHistogram().Count()); len(traces) != want {
+		t.Fatalf("ring kept %d traces, want %d", len(traces), want)
+	}
+	last := traces[0]
+	if last.Verdict != obs.VerdictMiss && last.Verdict != obs.VerdictMemo {
+		t.Errorf("last trace verdict = %s, want miss or memo", last.Verdict)
+	}
+	if last.Cause != obs.CauseExternal {
+		t.Errorf("last trace cause = %s, want %s", last.Cause, obs.CauseExternal)
+	}
+	if last.Total <= 0 {
+		t.Errorf("last trace Total = %v, want > 0", last.Total)
+	}
+	// Staged misses separate bit-fetch / universal / personal spans.
+	if last.BitFetch <= 0 || last.Universal <= 0 || last.Personal <= 0 {
+		t.Errorf("staged miss spans = %v/%v/%v, want all > 0",
+			last.BitFetch, last.Universal, last.Personal)
+	}
+	if last.FullChain != 0 {
+		t.Errorf("staged miss recorded FullChain = %v, want 0", last.FullChain)
+	}
+}
+
+// TestObserverUnstagedFullChain checks that without Memoize the miss's
+// undivided read path lands under the full_chain stage.
+func TestObserverUnstagedFullChain(t *testing.T) {
+	o := obs.NewObserver()
+	w := newWorld(t, Options{Observer: o})
+	w.addDoc(t, "d", "eyal", "/d", []byte("content"))
+	w.read(t, "d", "eyal")
+
+	tr := o.Ring().Snapshot(1)
+	if len(tr) != 1 || tr[0].Verdict != obs.VerdictMiss {
+		t.Fatalf("trace = %+v, want one miss", tr)
+	}
+	if tr[0].Cause != obs.CauseCold {
+		t.Errorf("cause = %s, want %s", tr[0].Cause, obs.CauseCold)
+	}
+	if tr[0].FullChain <= 0 {
+		t.Errorf("FullChain = %v, want > 0", tr[0].FullChain)
+	}
+	if got := o.StageHistogram(obs.StageFullChain).Count(); got != 1 {
+		t.Errorf("full_chain stage count = %d, want 1", got)
+	}
+}
+
+// TestObserverCoalescedVerdicts checks that single-flight followers are
+// classified coalesced, in agreement with the cache's own counter.
+func TestObserverCoalescedVerdicts(t *testing.T) {
+	o := obs.NewObserver()
+	w := newWorld(t, Options{Observer: o})
+	w.addDoc(t, "d", "eyal", "/d", []byte("content"))
+
+	const readers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.cache.Read("d", "eyal"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := w.cache.Stats()
+	v := o.VerdictCounts()
+	if v[obs.VerdictCoalesced] != st.CoalescedMisses {
+		t.Errorf("coalesced verdicts = %d, cache counter = %d",
+			v[obs.VerdictCoalesced], st.CoalescedMisses)
+	}
+	var total int64
+	for _, n := range v {
+		total += n
+	}
+	if total != readers {
+		t.Errorf("verdict total = %d, want %d", total, readers)
+	}
+	if st.CoalescedMisses > 0 &&
+		o.StageHistogram(obs.StageFlightWait).Count() != st.CoalescedMisses {
+		t.Errorf("flight_wait observations = %d, want %d",
+			o.StageHistogram(obs.StageFlightWait).Count(), st.CoalescedMisses)
+	}
+}
+
+// TestObserverRegistersCacheFamilies pins the stable placeless_cache_*
+// names the CI golden list and scrapers depend on.
+func TestObserverRegistersCacheFamilies(t *testing.T) {
+	o := obs.NewObserver()
+	w := newWorld(t, Options{Observer: o})
+	w.addDoc(t, "d", "eyal", "/d", []byte("content"))
+	w.read(t, "d", "eyal")
+	w.read(t, "d", "eyal")
+
+	names := make(map[string]bool)
+	for _, n := range o.Registry().Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"placeless_cache_hits_total",
+		"placeless_cache_misses_total",
+		"placeless_cache_coalesced_misses_total",
+		"placeless_cache_verifier_rejects_total",
+		"placeless_cache_notifications_total",
+		"placeless_cache_invalidations_total",
+		"placeless_cache_evictions_total",
+		"placeless_cache_uncacheable_total",
+		"placeless_cache_events_forwarded_total",
+		"placeless_cache_prefetches_total",
+		"placeless_cache_flushes_total",
+		"placeless_cache_bytes_stored",
+		"placeless_cache_bytes_logical",
+		"placeless_cache_shared_entries",
+		"placeless_cache_entries",
+		"placeless_cache_intermediate_hits_total",
+		"placeless_cache_universal_stage_runs_total",
+		"placeless_cache_bytes_recomputed_saved_total",
+		"placeless_cache_intermediate_entries",
+		"placeless_cache_intermediate_bytes",
+	} {
+		if !names[want] {
+			t.Errorf("family %s not registered", want)
+		}
+	}
+}
+
+// TestObserverOverheadGate is a sanity bound, not a benchmark: the
+// instrumented hit path must stay in the same order of magnitude as
+// the bare one (the real <5% measurement lives in EXPERIMENTS.md E13).
+func TestObserverOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	run := func(o *obs.Observer) time.Duration {
+		w := newWorld(t, Options{Observer: o})
+		w.addDoc(t, "d", "eyal", "/d", []byte("content"))
+		w.read(t, "d", "eyal") // warm
+		start := time.Now()
+		for i := 0; i < 2000; i++ {
+			w.read(t, "d", "eyal")
+		}
+		return time.Since(start)
+	}
+	bare := run(nil)
+	observed := run(obs.NewObserver())
+	if observed > 10*bare {
+		t.Errorf("observed hits took %v vs bare %v — instrumentation too heavy", observed, bare)
+	}
+}

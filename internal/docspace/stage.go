@@ -52,6 +52,16 @@ type StageTrace struct {
 	// SavedBytes counts intermediate bytes served without
 	// recomputation (the intermediate's size on a hit, else 0).
 	SavedBytes int64
+	// BitFetchDur, UniversalDur and PersonalDur are wall-clock stage
+	// timings of the staged read path — raw source retrieval, the
+	// universal stage (memo lookup on a hit, full execution
+	// otherwise), and the personal suffix — for the observability
+	// layer's per-stage histograms. All zero when the staged split
+	// was not attempted (the fallback path cannot separate its lazy
+	// chain into stages).
+	BitFetchDur  time.Duration
+	UniversalDur time.Duration
+	PersonalDur  time.Duration
 }
 
 // fingerprintLocked returns b's universal-chain fingerprint, computing
@@ -163,10 +173,12 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 		rc.AddCost(d)
 	}
 
+	tOpen := time.Now()
 	raw, err := b.bits.Open(rc)
 	if err != nil {
 		return nil, property.ReadResult{}, trace, err
 	}
+	openDur := time.Since(tOpen)
 
 	uProps, fp := s.snapshotUniversal(b)
 	memoizable := memo != nil
@@ -205,18 +217,22 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 		return data, rc.Result(), trace, err
 	}
 
+	tRaw := time.Now()
 	rawBytes, err := stream.ReadAllAndClose(raw)
 	if err != nil {
 		return nil, property.ReadResult{}, trace, err
 	}
+	trace.BitFetchDur = openDur + time.Since(tRaw)
 	srcSig := sig.Of(rawBytes)
 
+	tUni := time.Now()
 	inter, hit, err := memo.Intermediate(doc, srcSig, fp, uCost, func() ([]byte, error) {
 		return stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(rawBytes), uWrappers...))
 	})
 	if err != nil {
 		return nil, property.ReadResult{}, trace, err
 	}
+	trace.UniversalDur = time.Since(tUni)
 	trace.Attempted = true
 	trace.Hit = hit
 	trace.SourceSig = srcSig
@@ -225,6 +241,8 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 		trace.SavedBytes = int64(len(inter))
 	}
 
+	tPers := time.Now()
 	data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(inter), pWrappers...))
+	trace.PersonalDur = time.Since(tPers)
 	return data, rc.Result(), trace, err
 }

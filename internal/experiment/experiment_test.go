@@ -483,3 +483,56 @@ func TestParallelShape(t *testing.T) {
 		}
 	}
 }
+
+func TestObsShape(t *testing.T) {
+	// Tiny real-clock configuration of E13; plbench runs the full one.
+	// Asserted: rates are positive, the visibility workload produced
+	// every verdict class, and the stage histograms that must be
+	// populated (lookup on every read, the staged miss spans, and
+	// flight_wait from the coalesced storm) are.
+	cfg := ObsConfig{
+		Docs:               8,
+		Goroutines:         2,
+		OpsPerGoroutine:    20,
+		RawOpsPerGoroutine: 200,
+		HitCost:            50 * time.Microsecond,
+		Users:              3,
+		PropCost:           100 * time.Microsecond,
+		PersonalCost:       50 * time.Microsecond,
+		Seed:               1,
+	}
+	res, err := RunObs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rate := range map[string]float64{
+		"bare": res.BareRate, "observed": res.ObservedRate,
+		"raw bare": res.RawBareRate, "raw observed": res.RawObservedRate,
+	} {
+		if rate <= 0 {
+			t.Fatalf("%s rate = %f, want > 0", name, rate)
+		}
+	}
+	if res.Verdicts["hit"] == 0 || res.Verdicts["miss"] == 0 || res.Verdicts["memo"] == 0 {
+		t.Fatalf("verdicts = %v, want hit, miss and memo all > 0", res.Verdicts)
+	}
+	stages := make(map[string]ObsStageRow)
+	for _, s := range res.Stages {
+		stages[s.Stage] = s
+	}
+	for _, want := range []string{"shard_lookup", "verify", "bit_fetch", "universal", "personal"} {
+		if stages[want].Count == 0 {
+			t.Fatalf("stage %s not populated; stages = %v", want, stages)
+		}
+	}
+	if stages["universal"].Mean <= 0 {
+		t.Fatalf("universal stage mean = %v, want > 0", stages["universal"].Mean)
+	}
+	header, rows := res.TableData()
+	if len(header) != 2 || len(rows) < 8 {
+		t.Fatalf("table shape: header=%v rows=%d", header, len(rows))
+	}
+	if !strings.Contains(res.Table(), "instrumentation overhead") {
+		t.Fatalf("table missing overhead row:\n%s", res.Table())
+	}
+}

@@ -14,6 +14,10 @@
 //	GET    /docs?user=U       document ids visible to the user (JSON)
 //	GET    /find?user=U&key=K[&value=V]  property-based search (JSON)
 //
+// EnableObservability additionally mounts /metrics (Prometheus text),
+// /debug/traces (JSON read-trace ring) and /debug/pprof/ on the same
+// mux.
+//
 // Responses carry X-Placeless-Cache: HIT|MISS (from the read's own
 // entry metadata, so concurrent requests each get their own outcome)
 // and X-Placeless-Cacheability headers. Under a memoizing cache, MISS
@@ -32,6 +36,7 @@ import (
 
 	"placeless/internal/core"
 	"placeless/internal/docspace"
+	"placeless/internal/obs"
 	"placeless/internal/sig"
 )
 
@@ -50,6 +55,14 @@ func New(space *docspace.Space, cache *core.Cache) *Gateway {
 	g.mux.HandleFunc("/find", g.handleFind)
 	g.mux.HandleFunc("/stats", g.handleStats)
 	return g
+}
+
+// EnableObservability mounts o's endpoints — /metrics, /debug/traces,
+// /debug/pprof/ — on the gateway's mux. Pass the same Observer the
+// cache was built with so the scrape covers the cache's counters. Call
+// at most once.
+func (g *Gateway) EnableObservability(o *obs.Observer) {
+	o.Mount(g.mux)
 }
 
 // ServeHTTP implements http.Handler.

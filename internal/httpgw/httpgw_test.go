@@ -12,6 +12,7 @@ import (
 	"placeless/internal/clock"
 	"placeless/internal/core"
 	"placeless/internal/docspace"
+	"placeless/internal/obs"
 	"placeless/internal/property"
 	"placeless/internal/repo"
 	"placeless/internal/simnet"
@@ -304,5 +305,79 @@ func TestInvalidationVisibleThroughGateway(t *testing.T) {
 	body, hdr, _ := e.get(t, "d", "alice")
 	if body != "v2 by bob" || hdr != "MISS" {
 		t.Fatalf("alice got %q (%s)", body, hdr)
+	}
+}
+
+// TestMetricsScrapeEndToEnd drives reads through the gateway and then
+// scrapes /metrics and /debug/traces over HTTP — the full path an
+// operator's Prometheus scrape takes.
+func TestMetricsScrapeEndToEnd(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	o := obs.NewObserver()
+	e := &env{
+		src:   repo.NewMem("disk", clk, simnet.Local(1)),
+		space: docspace.New(clk, nil),
+	}
+	e.cache = core.New(e.space, core.Options{Name: "gw", Observer: o})
+	gw := New(e.space, e.cache)
+	gw.EnableObservability(o)
+	e.ts = httptest.NewServer(gw)
+	t.Cleanup(e.ts.Close)
+
+	e.addDoc(t, "d", "eyal", []byte("content"))
+	for i := 0; i < 3; i++ {
+		if _, hdr, code := e.get(t, "d", "eyal"); code != http.StatusOK {
+			t.Fatalf("GET %d: status %d, header %s", i, code, hdr)
+		}
+	}
+
+	resp, err := http.Get(e.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, want := range []string{
+		"placeless_cache_hits_total 2",
+		"placeless_cache_misses_total 1",
+		`placeless_reads_total{verdict="hit"} 2`,
+		`placeless_reads_total{verdict="miss"} 1`,
+		"placeless_read_duration_seconds_count 3",
+		`placeless_read_stage_duration_seconds_count{stage="full_chain"} 1`,
+		"placeless_stream_pool_gets_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	tresp, err := http.Get(e.ts.URL + "/debug/traces?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var dump obs.TraceDump
+	if err := json.NewDecoder(tresp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Total != 3 || len(dump.Traces) != 3 {
+		t.Fatalf("trace dump total=%d len=%d, want 3/3", dump.Total, len(dump.Traces))
+	}
+	if dump.Traces[0].Verdict != "hit" || dump.Traces[2].Verdict != "miss" {
+		t.Errorf("trace verdicts newest-first = %s..%s, want hit..miss",
+			dump.Traces[0].Verdict, dump.Traces[2].Verdict)
+	}
+
+	presp, err := http.Get(e.ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", presp.StatusCode)
 	}
 }

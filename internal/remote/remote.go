@@ -20,6 +20,7 @@ import (
 
 	"placeless/internal/clock"
 	"placeless/internal/event"
+	"placeless/internal/obs"
 	"placeless/internal/property"
 	"placeless/internal/replace"
 	"placeless/internal/server"
@@ -40,6 +41,10 @@ type Options struct {
 	// assumed synchronized (true in simulation, NTP-close in
 	// production).
 	Clock clock.Clock
+	// Observer, when non-nil, receives the wire round-trip latency of
+	// every miss (stage remote_rtt) and the cache registers its
+	// counters under stable placeless_remote_* names.
+	Observer *obs.Observer
 }
 
 // Stats counts remote-cache activity.
@@ -95,6 +100,7 @@ type Cache struct {
 	flights    map[string]*flight // in-progress misses (single-flight)
 	capacity   int64
 	clk        clock.Clock
+	obs        *obs.Observer
 	stats      Stats
 }
 
@@ -126,13 +132,52 @@ func New(client *server.Client, opts Options) *Cache {
 		gens:       make(map[string]uint64),
 		flights:    make(map[string]*flight),
 		clk:        opts.Clock,
+		obs:        opts.Observer,
 	}
 	if c.clk == nil {
 		c.clk = clock.Real{}
 	}
 	c.capacity = opts.Capacity
+	if c.obs != nil {
+		c.registerMetrics(c.obs)
+	}
 	client.OnInvalidate(c.onInvalidate)
 	return c
+}
+
+// registerMetrics publishes the remote cache's counters on o's
+// registry under stable placeless_remote_* names. The closures take
+// the cache mutex at scrape time; the read path is untouched.
+func (c *Cache) registerMetrics(o *obs.Observer) {
+	reg := o.Registry()
+	counter := func(read func(*Stats) int64) func() int64 {
+		return func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return read(&c.stats)
+		}
+	}
+	reg.Counter("placeless_remote_hits_total",
+		"Remote-cache reads served locally.", counter(func(s *Stats) int64 { return s.Hits }))
+	reg.Counter("placeless_remote_misses_total",
+		"Remote-cache reads that went over the wire.", counter(func(s *Stats) int64 { return s.Misses }))
+	reg.Counter("placeless_remote_coalesced_misses_total",
+		"Reads that joined another goroutine's in-flight wire fetch.", counter(func(s *Stats) int64 { return s.CoalescedMisses }))
+	reg.Counter("placeless_remote_uncacheable_total",
+		"Wire reads whose result was not storable.", counter(func(s *Stats) int64 { return s.Uncacheable }))
+	reg.Counter("placeless_remote_invalidations_total",
+		"Entries dropped by server invalidation pushes.", counter(func(s *Stats) int64 { return s.Invalidations }))
+	reg.Counter("placeless_remote_evictions_total",
+		"Capacity-driven removals.", counter(func(s *Stats) int64 { return s.Evictions }))
+	reg.Counter("placeless_remote_events_forwarded_total",
+		"Hit-time operation events forwarded to the server.", counter(func(s *Stats) int64 { return s.EventsForwarded }))
+	reg.Counter("placeless_remote_ttl_expiries_total",
+		"Entries dropped because their server-issued TTL deadline passed.", counter(func(s *Stats) int64 { return s.TTLExpiries }))
+	reg.Gauge("placeless_remote_bytes_stored",
+		"Current unique content footprint of the remote cache.", counter(func(s *Stats) int64 { return s.BytesStored }))
+	reg.Gauge("placeless_remote_entries",
+		"Current number of remote-cache entries.",
+		func() int64 { return int64(c.Len()) })
 }
 
 // onInvalidate handles a server push: user == "" invalidates every
@@ -265,7 +310,14 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 	gen := c.gens[doc]
 	c.mu.Unlock()
 
+	var tWire time.Time
+	if c.obs != nil {
+		tWire = time.Now()
+	}
 	data, meta, err := c.client.Read(doc, user)
+	if c.obs != nil {
+		c.obs.ObserveStage(obs.StageRemoteRTT, time.Since(tWire))
+	}
 	if err != nil {
 		return nil, err
 	}

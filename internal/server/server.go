@@ -114,6 +114,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// Counters returns a snapshot of the server's wire-level counters:
+// requests handled, notifications pushed, and currently open
+// connections. It is the in-process accessor behind OpStats, used by
+// the observability registry.
+func (s *Server) Counters() (requests, notifications, connections int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, s.notifies, int64(len(s.conns))
+}
+
 // Addr returns the listening address (nil before Serve).
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()

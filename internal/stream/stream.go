@@ -18,19 +18,35 @@ import (
 	"bytes"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // bufPool recycles scratch buffers for whole-content staging on the
 // miss path (drain-then-transform readers, whole-content writers,
 // ReadAllAndClose). Buffers that grew past poolBufMax are dropped
 // instead of pooled so one huge document can't pin memory.
-var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var bufPool = sync.Pool{New: func() any { poolNews.Add(1); return new(bytes.Buffer) }}
 
 // poolBufMax caps the capacity of buffers returned to bufPool.
 const poolBufMax = 1 << 20
 
+// Pool activity counters, exported through PoolStats so the
+// observability registry can tell whether the staging pool is actually
+// recycling (gets far above news) or thrashing on oversized documents
+// (drops climbing).
+var poolGets, poolNews, poolDrops atomic.Int64
+
+// PoolStats reports cumulative scratch-pool activity: buffers fetched,
+// buffers newly allocated because the pool was empty, and oversized
+// buffers dropped instead of returned. The counters are process-wide,
+// like the pool itself.
+func PoolStats() (gets, news, drops int64) {
+	return poolGets.Load(), poolNews.Load(), poolDrops.Load()
+}
+
 // getBuf fetches an empty scratch buffer from the pool.
 func getBuf() *bytes.Buffer {
+	poolGets.Add(1)
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
 	return b
@@ -39,9 +55,11 @@ func getBuf() *bytes.Buffer {
 // putBuf returns a scratch buffer to the pool unless it is oversized.
 // Callers must not retain any slice aliasing the buffer's storage.
 func putBuf(b *bytes.Buffer) {
-	if b.Cap() <= poolBufMax {
-		bufPool.Put(b)
+	if b.Cap() > poolBufMax {
+		poolDrops.Add(1)
+		return
 	}
+	bufPool.Put(b)
 }
 
 // drainToOwned drains r into a pooled scratch buffer and returns an

@@ -31,6 +31,7 @@ import (
 	"placeless/internal/clock"
 	"placeless/internal/core"
 	"placeless/internal/docspace"
+	"placeless/internal/obs"
 	"placeless/internal/property"
 	"placeless/internal/remote"
 	"placeless/internal/repo"
@@ -180,6 +181,22 @@ var (
 	LANPath   = simnet.LAN
 	WANPath   = simnet.WAN
 )
+
+// Observability (internal/obs).
+type (
+	// Observer instruments one cache's read path: per-stage latency
+	// histograms, verdict and invalidation-cause counters, and a ring
+	// of per-read traces, all scrapeable in Prometheus text format.
+	Observer = obs.Observer
+	// ReadTrace is one read's record in the Observer's trace ring.
+	ReadTrace = obs.ReadTrace
+)
+
+// NewObserver returns an Observer with the read-path metric families
+// registered. Attach it via CacheOptions.Observer (or
+// RemoteCacheOptions.Observer) and serve it with Observer.Mount; each
+// Observer instruments exactly one cache.
+var NewObserver = obs.NewObserver
 
 // Client/server deployment (internal/server, internal/remote).
 type (

@@ -1,0 +1,49 @@
+#!/bin/sh
+# check_metrics.sh — guard the observability surface against silent
+# drift. Builds placelessd, runs it briefly with a server-side
+# memoizing cache and the -http endpoint enabled, scrapes /metrics,
+# extracts the metric family names and types from the `# TYPE` lines,
+# and diffs the set against docs/metric_names.golden.
+#
+# A metric rename, removal, or type change fails this check; adding a
+# family fails it too until the golden (and docs/METRICS.md) are
+# updated — which is the point: the exposition is an operator-facing
+# API and changes to it must be deliberate.
+#
+# Usage: scripts/check_metrics.sh  (from the repository root)
+set -eu
+
+GOLDEN=docs/metric_names.golden
+TCP_PORT=${PLACELESS_CHECK_TCP_PORT:-17891}
+HTTP_PORT=${PLACELESS_CHECK_HTTP_PORT:-17892}
+WORK=$(mktemp -d)
+trap 'kill $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/placelessd" ./cmd/placelessd
+
+"$WORK/placelessd" -mem -cache 1048576 -memoize \
+	-addr "127.0.0.1:$TCP_PORT" -http "127.0.0.1:$HTTP_PORT" \
+	>"$WORK/placelessd.log" 2>&1 &
+PID=$!
+
+# Wait for the observability endpoint to come up (placelessd serves it
+# before the TCP accept loop, so a successful scrape is enough).
+i=0
+until curl -sf "http://127.0.0.1:$HTTP_PORT/metrics" >"$WORK/metrics.txt" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "check_metrics: placelessd never served /metrics" >&2
+		cat "$WORK/placelessd.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+grep '^# TYPE' "$WORK/metrics.txt" | awk '{print $3, $4}' | sort >"$WORK/names.txt"
+
+if ! diff -u "$GOLDEN" "$WORK/names.txt"; then
+	echo "check_metrics: /metrics family set drifted from $GOLDEN" >&2
+	echo "check_metrics: if the change is intentional, update the golden and docs/METRICS.md" >&2
+	exit 1
+fi
+echo "check_metrics: $(wc -l <"$GOLDEN" | tr -d ' ') metric families match $GOLDEN"
