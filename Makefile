@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race fuzz bench bench-smoke bench-e12 bench-e13 check-metrics experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
 
 all: build vet test
 
@@ -23,6 +23,12 @@ test-race:
 # so scheduling-order-dependent races get two chances to surface.
 race:
 	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/... ./internal/obs/...
+
+# Fault-injection suite: wedged servers, kill/restart cycles, degraded
+# modes, reconnect/resubscribe/flush. The short timeout is part of the
+# contract — a chaos test that hangs IS the failure it hunts.
+chaos:
+	$(GO) test -race -run Chaos -timeout 120s ./internal/server/... ./internal/remote/...
 
 # Run the fuzz seed corpora as regression tests (no open-ended
 # fuzzing; use `go test -fuzz=FuzzShardHash ./internal/core/` for that).
@@ -46,6 +52,11 @@ bench-e12:
 # Machine-readable E13 result: observability overhead + stage timings.
 bench-e13:
 	$(GO) run ./cmd/plbench -experiment e13
+
+# Machine-readable E14 result: connection resilience (crash/restart
+# per degraded-mode policy + wedged-server call deadlines).
+bench-e14:
+	$(GO) run ./cmd/plbench -experiment e14
 
 # Scrape a briefly-run placelessd and diff the /metrics family set
 # against docs/metric_names.golden (what CI runs).

@@ -22,9 +22,10 @@
 //	parallel           parallel hit throughput + single-flight coalescing (E11)
 //	memo               universal-stage memoization fan-out (E12)
 //	obs                observability overhead + per-stage timings (E13)
+//	resilience         connection resilience: crash/restart + deadlines (E14)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12, e13) runs one
+// Alternatively, -experiment <index> (currently e12, e13, e14) runs one
 // experiment by its DESIGN.md index and additionally writes its result
 // as BENCH_<index>.json in the working directory, for machine
 // consumers (CI trend tracking).
@@ -47,7 +48,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13>")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -57,7 +58,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -90,8 +91,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 			return err
 		}
 		res, title = r, obsTitle(cfg)
+	case "e14":
+		cfg := experiment.DefaultResilienceConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunResilience(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, resilienceTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12, e13)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -270,10 +279,26 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(obsTitle(cfg), res)
 	}
+	if all || which == "resilience" {
+		ran = true
+		cfg := experiment.DefaultResilienceConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunResilience(cfg)
+		if err != nil {
+			return err
+		}
+		emit(resilienceTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
 	return nil
+}
+
+// resilienceTitle renders E14's parameter line.
+func resilienceTitle(cfg experiment.ResilienceConfig) string {
+	return fmt.Sprintf("E14 — connection resilience: crash/restart per degraded policy + wedged-server deadlines (docs=%d backoff=%v..%v wedged-deadline=%v, real TCP/clock: compare counters and the deadline ratio)",
+		cfg.Docs, cfg.BackoffBase, cfg.BackoffMax, cfg.WedgedTimeout)
 }
 
 // obsTitle renders E13's parameter line.

@@ -1,0 +1,174 @@
+// Command plcached runs a client-side Placeless document cache as a
+// sidecar daemon: the paper's "cache on the machine where applications
+// are run", exposed to local applications over HTTP. It dials a
+// placelessd server with the full resilience configuration — call
+// deadlines, automatic reconnection with backoff, subscription replay
+// and epoch flush — and serves reads from its cache, falling into an
+// explicit degraded mode (fail-fast or bounded serve-stale) while the
+// server is unreachable.
+//
+// Usage:
+//
+//	plcached -server HOST:7999 [-addr :7998] [-capacity BYTES]
+//	         [-policy fail-fast|serve-stale] [-stale-ttl 5m]
+//	         [-call-timeout 10s] [-backoff-base 50ms] [-backoff-max 5s]
+//
+// Endpoints:
+//
+//	GET /doc/<id>?user=U     read a document view (503 while degraded)
+//	PUT /doc/<id>?user=U     write document content through the wire
+//	GET /status              connection state, epoch, counters (JSON)
+//	GET /metrics             Prometheus text exposition
+//	GET /debug/traces        recent per-read traces (JSON)
+//	GET /debug/pprof/        standard pprof handlers
+//
+// While the server is unreachable, reads answer 503 Service Unavailable
+// with a Retry-After hint (fail-fast), or keep serving cached content
+// inside the staleness bound (serve-stale). See DESIGN.md §9 and
+// docs/OPERATIONS.md for the failure model and the operator runbook.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"placeless/internal/obs"
+	"placeless/internal/remote"
+	"placeless/internal/server"
+)
+
+func main() {
+	serverAddr := flag.String("server", "", "placelessd TCP address to dial (required)")
+	addr := flag.String("addr", ":7998", "HTTP listen address for the data plane and observability")
+	capacity := flag.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
+	policy := flag.String("policy", "fail-fast", "degraded-mode policy: fail-fast or serve-stale")
+	staleTTL := flag.Duration("stale-ttl", 5*time.Minute, "serve-stale staleness bound, measured from disconnect (0 = unbounded)")
+	callTimeout := flag.Duration("call-timeout", 10*time.Second, "per-call deadline on the wire (0 = none)")
+	backoffBase := flag.Duration("backoff-base", 50*time.Millisecond, "initial reconnect backoff")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling")
+	flag.Parse()
+	if *serverAddr == "" {
+		fmt.Fprintln(os.Stderr, "plcached: -server is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var degraded remote.DegradedPolicy
+	switch *policy {
+	case "fail-fast":
+		degraded = remote.FailFast
+	case "serve-stale":
+		degraded = remote.ServeStale
+	default:
+		log.Fatalf("plcached: unknown -policy %q (fail-fast or serve-stale)", *policy)
+	}
+
+	client, err := server.Dial(*serverAddr,
+		server.WithCallTimeout(*callTimeout),
+		server.WithReconnect(*backoffBase, *backoffMax))
+	if err != nil {
+		log.Fatalf("plcached: dial %s: %v", *serverAddr, err)
+	}
+	defer client.Close()
+
+	observer := obs.NewObserver()
+	cache := remote.New(client, remote.Options{
+		Capacity:       *capacity,
+		Observer:       observer,
+		DegradedPolicy: degraded,
+		StaleTTL:       *staleTTL,
+	})
+
+	mux := http.NewServeMux()
+	observer.Mount(mux)
+	mux.HandleFunc("/doc/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/doc/")
+		user := r.URL.Query().Get("user")
+		if id == "" {
+			http.Error(w, "missing document id", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, err := cache.Read(id, user)
+			if err != nil {
+				writeDocError(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		case http.MethodPut, http.MethodPost:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := cache.Write(id, user, body); err != nil {
+				writeDocError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st := cache.Stats()
+		var down string
+		if t := client.DownSince(); !t.IsZero() {
+			down = t.Format(time.RFC3339)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"server":          *serverAddr,
+			"state":           client.State().String(),
+			"epoch":           client.Epoch(),
+			"reconnects":      st.Reconnects,
+			"epoch_flushes":   st.EpochFlushes,
+			"stale_served":    st.StaleServed,
+			"degraded_errors": st.DegradedErrors,
+			"degraded_policy": degraded.String(),
+			"down_since":      down,
+			"entries":         cache.Len(),
+		})
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "plcached: shutting down")
+		cache.Close()
+		client.Close()
+		os.Exit(0)
+	}()
+
+	fmt.Printf("plcached: caching %s on http://%s (policy %s)\n", *serverAddr, *addr, degraded)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatalf("plcached: http: %v", err)
+	}
+}
+
+// writeDocError maps cache errors to HTTP statuses: degraded mode is
+// the load-shedding 503 (the client should retry after the reconnect),
+// everything else is a document-level failure.
+func writeDocError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, remote.ErrDegraded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, remote.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+}

@@ -536,3 +536,57 @@ func TestObsShape(t *testing.T) {
 		t.Fatalf("table missing overhead row:\n%s", res.Table())
 	}
 }
+
+func TestResilienceShape(t *testing.T) {
+	// Tiny real-TCP configuration of E14; plbench runs the full one.
+	cfg := ResilienceConfig{
+		Docs:          3,
+		CallTimeout:   2 * time.Second,
+		BackoffBase:   2 * time.Millisecond,
+		BackoffMax:    20 * time.Millisecond,
+		StaleTTL:      time.Minute,
+		WedgedCalls:   5,
+		WedgedTimeout: 30 * time.Millisecond,
+		Seed:          1,
+	}
+	res, err := RunResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		if p.Reconnects != 1 {
+			t.Fatalf("%s reconnects = %d, want 1", p.Policy, p.Reconnects)
+		}
+		if p.EpochFlushes != int64(cfg.Docs) {
+			t.Fatalf("%s epoch flushes = %d, want %d", p.Policy, p.EpochFlushes, cfg.Docs)
+		}
+		if p.StaleAfterReconnect != 0 {
+			t.Fatalf("%s served %d stale reads after reconnect", p.Policy, p.StaleAfterReconnect)
+		}
+		if p.PostReconnectReads != int64(cfg.Docs) {
+			t.Fatalf("%s post-reconnect reads = %d", p.Policy, p.PostReconnectReads)
+		}
+	}
+	ff, ss := res.Phases[0], res.Phases[1]
+	if ff.Policy != "fail-fast" || ss.Policy != "serve-stale" {
+		t.Fatalf("phase order = %q, %q", ff.Policy, ss.Policy)
+	}
+	if ff.StaleServed != 0 || ff.DegradedErrors < int64(cfg.Docs) {
+		t.Fatalf("fail-fast phase = %+v", ff)
+	}
+	if ss.StaleServed != int64(cfg.Docs) {
+		t.Fatalf("serve-stale phase = %+v", ss)
+	}
+	if res.WedgedP50 < cfg.WedgedTimeout || res.WedgedP99 < res.WedgedP50 {
+		t.Fatalf("wedged p50=%v p99=%v vs deadline %v", res.WedgedP50, res.WedgedP99, cfg.WedgedTimeout)
+	}
+	if res.WedgedP99 > 10*cfg.WedgedTimeout {
+		t.Fatalf("wedged p99 = %v: deadline not enforced tightly", res.WedgedP99)
+	}
+	if !strings.Contains(res.Table(), "stale after reconnect") {
+		t.Fatalf("table missing acceptance row:\n%s", res.Table())
+	}
+}

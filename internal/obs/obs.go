@@ -73,10 +73,11 @@ func Verdicts() []string {
 	return []string{VerdictHit, VerdictMiss, VerdictMemo, VerdictCoalesced, VerdictError}
 }
 
-// Causes returns the paper's four invalidation causes (the label set
-// of placeless_invalidation_causes_total).
+// Causes returns the paper's four invalidation causes plus the
+// degraded-mode cause (the label set of
+// placeless_invalidation_causes_total).
 func Causes() []string {
-	return []string{CauseContentWrite, CauseProperty, CauseReorder, CauseExternal}
+	return []string{CauseContentWrite, CauseProperty, CauseReorder, CauseExternal, CauseDegraded}
 }
 
 // Observer bundles the registry, the read-path histograms, the
@@ -159,6 +160,14 @@ func (o *Observer) CauseCounts() map[string]int64 { return o.causes.Values() }
 // Invalidation counts one notifier-driven invalidation under its
 // paper cause.
 func (o *Observer) Invalidation(cause string) { o.causes.Inc(cause) }
+
+// Invalidations counts n invalidations under one cause (used by bulk
+// events such as the remote cache's reconnect epoch flush).
+func (o *Observer) Invalidations(cause string, n int64) {
+	if n > 0 {
+		o.causes.Add(cause, n)
+	}
+}
 
 // ObserveRead records a completed read: verdict counter, end-to-end
 // histogram, each non-zero stage timing, and the trace ring.

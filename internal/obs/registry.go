@@ -148,6 +148,9 @@ type CounterVec struct {
 // Inc adds one to the counter for value, creating it on first use.
 func (v *CounterVec) Inc(value string) { v.counter(value).Inc() }
 
+// Add adds delta to the counter for value, creating it on first use.
+func (v *CounterVec) Add(value string, delta int64) { v.counter(value).Add(delta) }
+
 // Value returns the current count for value (0 if never touched).
 func (v *CounterVec) Value(value string) int64 {
 	v.mu.RLock()

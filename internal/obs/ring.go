@@ -44,6 +44,12 @@ const (
 	// CauseCold attributes a miss to the entry never having been
 	// cached (first access, eviction, or restart).
 	CauseCold = "cold"
+	// CauseDegraded attributes an invalidation (or refused read) to a
+	// lost invalidation stream: entries cached under a connection
+	// epoch that ended are flushed at reconnect because pushes may
+	// have been missed while disconnected (the remote cache's
+	// degraded-mode cause).
+	CauseDegraded = "degraded"
 )
 
 // ReadTrace is one read's record: identity, outcome, attribution, and

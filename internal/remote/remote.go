@@ -11,10 +11,21 @@
 // re-executes the read path on a miss). Cacheability indicators are
 // honored: Uncacheable results are never stored, and CacheWithEvents
 // entries forward a getInputStream event to the server on every hit.
+//
+// Because consistency leans entirely on the push stream, a broken
+// connection is a correctness event, not just an availability one:
+// while disconnected the cache is in an explicit degraded mode
+// (DegradedPolicy: fail-fast, or serve-stale within a bounded
+// staleness TTL), and on reconnect it replays its subscription set
+// and flushes everything cached under the old connection epoch,
+// because invalidations may have been lost in between. See DESIGN.md
+// §9 for the failure model.
 package remote
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +40,38 @@ import (
 
 // ErrClosed is returned by operations on a closed cache.
 var ErrClosed = errors.New("remote: cache is closed")
+
+// ErrDegraded is returned while the server is unreachable and the
+// degraded-mode policy refuses the read: always for misses, and for
+// hits under FailFast or past the ServeStale bound. Callers can
+// errors.Is against it to distinguish "the cache is degraded" from
+// document-level errors.
+var ErrDegraded = errors.New("remote: degraded: server unreachable")
+
+// DegradedPolicy selects what the cache does with reads while the
+// connection to the server is down — the consistency-vs-availability
+// choice the paper's disconnected-operation motivation leaves to the
+// deployment.
+type DegradedPolicy int
+
+const (
+	// FailFast (the default) refuses every read with ErrDegraded
+	// while disconnected: without the invalidation stream no cached
+	// entry can be proven fresh, so none is served.
+	FailFast DegradedPolicy = iota
+	// ServeStale serves cached hits while disconnected, accepting a
+	// staleness window bounded by Options.StaleTTL (measured from the
+	// moment of disconnect). Misses still fail with ErrDegraded.
+	ServeStale
+)
+
+// String names the policy ("fail-fast"/"serve-stale").
+func (p DegradedPolicy) String() string {
+	if p == ServeStale {
+		return "serve-stale"
+	}
+	return "fail-fast"
+}
 
 // Options configures a Cache.
 type Options struct {
@@ -45,6 +88,15 @@ type Options struct {
 	// every miss (stage remote_rtt) and the cache registers its
 	// counters under stable placeless_remote_* names.
 	Observer *obs.Observer
+	// DegradedPolicy selects fail-fast vs serve-stale behavior while
+	// the server is unreachable (default FailFast).
+	DegradedPolicy DegradedPolicy
+	// StaleTTL bounds the staleness window ServeStale accepts,
+	// measured from the disconnect: hits older than that fail with
+	// ErrDegraded. Zero means no bound — every cached entry is
+	// servable for the whole outage, which trades unbounded staleness
+	// for availability; set a bound in production.
+	StaleTTL time.Duration
 }
 
 // Stats counts remote-cache activity.
@@ -67,6 +119,20 @@ type Stats struct {
 	TTLExpiries int64
 	// BytesStored is the current unique content footprint.
 	BytesStored int64
+	// Reconnects counts connection epochs after the first: each is
+	// one successful reconnect the cache observed (resubscribe +
+	// epoch flush).
+	Reconnects int64
+	// EpochFlushes counts entries flushed at reconnect because they
+	// were cached under a connection epoch whose invalidation stream
+	// was interrupted.
+	EpochFlushes int64
+	// StaleServed counts hits served while disconnected under the
+	// ServeStale policy (within the StaleTTL bound).
+	StaleServed int64
+	// DegradedErrors counts reads and writes refused or failed with
+	// ErrDegraded while the server was unreachable.
+	DegradedErrors int64
 }
 
 // entry is one cached (doc, user) version.
@@ -90,18 +156,23 @@ type blob struct {
 type Cache struct {
 	client *server.Client
 
-	mu         sync.Mutex
-	closed     bool
-	entries    map[string]*entry
-	blobs      map[sig.Signature]*blob
-	policy     replace.Policy
-	subscribed map[string]bool    // (doc,user) subscription dedup
-	gens       map[string]uint64  // per-doc invalidation generation
-	flights    map[string]*flight // in-progress misses (single-flight)
-	capacity   int64
-	clk        clock.Clock
-	obs        *obs.Observer
-	stats      Stats
+	mu            sync.Mutex
+	closed        bool
+	entries       map[string]*entry
+	blobs         map[sig.Signature]*blob
+	policy        replace.Policy
+	subscribed    map[string]bool    // (doc,user) subscription dedup
+	gens          map[string]uint64  // per-doc invalidation generation
+	flights       map[string]*flight // in-progress misses (single-flight)
+	capacity      int64
+	clk           clock.Clock
+	obs           *obs.Observer
+	degraded      DegradedPolicy
+	staleTTL      time.Duration
+	degradedSince time.Time // when the current outage began (zero = up)
+	connEpoch     uint64    // cache-side epoch, bumped per observed reconnect
+	suspect       bool      // conn dropped; entries unservable until the epoch flush
+	stats         Stats
 }
 
 // flight is one in-progress wire fetch; concurrent misses on the same
@@ -115,9 +186,11 @@ type flight struct {
 
 func key(doc, user string) string { return doc + "\x00" + user }
 
-// New wraps client with a cache and registers the invalidation
-// handler. The caller must not install its own OnInvalidate handler on
-// the client afterwards.
+// New wraps client with a cache and registers the invalidation,
+// reconnect, and connection-state handlers. The caller must not
+// install its own OnInvalidate handler on the client afterwards. For
+// the resilience machinery to matter, dial the client with
+// server.WithReconnect (and ideally server.WithCallTimeout).
 func New(client *server.Client, opts Options) *Cache {
 	policy := opts.Policy
 	if policy == nil {
@@ -133,6 +206,8 @@ func New(client *server.Client, opts Options) *Cache {
 		flights:    make(map[string]*flight),
 		clk:        opts.Clock,
 		obs:        opts.Observer,
+		degraded:   opts.DegradedPolicy,
+		staleTTL:   opts.StaleTTL,
 	}
 	if c.clk == nil {
 		c.clk = clock.Real{}
@@ -142,7 +217,89 @@ func New(client *server.Client, opts Options) *Cache {
 		c.registerMetrics(c.obs)
 	}
 	client.OnInvalidate(c.onInvalidate)
+	client.OnStateChange(c.onConnState)
+	client.OnReconnect(c.onReconnect)
 	return c
+}
+
+// onConnState tracks outage boundaries so serve-stale reads can bound
+// their staleness window from the moment of disconnect.
+func (c *Cache) onConnState(s server.ConnState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch s {
+	case server.StateDisconnected:
+		if c.degradedSince.IsZero() {
+			c.degradedSince = c.clk.Now()
+		}
+		// Everything cached so far belongs to an epoch whose
+		// invalidation stream just broke; nothing may be served as a
+		// normal hit again until the reconnect flush has run.
+		c.suspect = true
+	case server.StateConnected:
+		c.degradedSince = time.Time{}
+	}
+}
+
+// onReconnect runs after the client re-established its connection:
+// the invalidation stream was interrupted, so every entry cached
+// under the previous epoch is suspect. The cache bumps its epoch and
+// all per-doc generations (so in-flight misses from before the drop
+// cannot install), flushes the whole entry set (re-verification by
+// re-read: the next access re-fetches and re-caches under the new
+// epoch), and replays its subscription set on the new connection —
+// the server-side notifiers died with the old one.
+func (c *Cache) onReconnect(epoch uint64) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.connEpoch++
+	myEpoch := c.connEpoch
+	c.stats.Reconnects++
+	flushed := int64(len(c.entries))
+	for k := range c.entries {
+		c.dropLocked(k)
+	}
+	c.stats.EpochFlushes += flushed
+	for doc := range c.gens {
+		c.gens[doc]++
+	}
+	subs := make([]string, 0, len(c.subscribed))
+	for k := range c.subscribed {
+		subs = append(subs, k)
+	}
+	o := c.obs
+	c.mu.Unlock()
+	// The subscription replay below races with new misses; the suspect
+	// flag stays up until it finishes, so reads keep going to the (now
+	// live) wire without installing entries that might lack a live
+	// server-side notifier.
+	defer func() {
+		c.mu.Lock()
+		// A drop during the replay re-arms the flag; only clear it if
+		// no newer epoch has superseded this one and the wire is
+		// still up.
+		if c.connEpoch == myEpoch && c.client.State() == server.StateConnected {
+			c.suspect = false
+		}
+		c.mu.Unlock()
+	}()
+	if o != nil {
+		o.Invalidations(obs.CauseDegraded, flushed)
+	}
+	for _, k := range subs {
+		doc, user, _ := strings.Cut(k, "\x00")
+		if err := c.client.Subscribe(doc, user); err != nil {
+			// Forget the failed subscription so the next miss on this
+			// key re-subscribes before caching; an entry cached
+			// without a live subscription would be unboundedly stale.
+			c.mu.Lock()
+			delete(c.subscribed, k)
+			c.mu.Unlock()
+		}
+	}
 }
 
 // registerMetrics publishes the remote cache's counters on o's
@@ -173,6 +330,26 @@ func (c *Cache) registerMetrics(o *obs.Observer) {
 		"Hit-time operation events forwarded to the server.", counter(func(s *Stats) int64 { return s.EventsForwarded }))
 	reg.Counter("placeless_remote_ttl_expiries_total",
 		"Entries dropped because their server-issued TTL deadline passed.", counter(func(s *Stats) int64 { return s.TTLExpiries }))
+	reg.Counter("placeless_remote_reconnects_total",
+		"Successful reconnects observed (resubscribe + epoch flush each).", counter(func(s *Stats) int64 { return s.Reconnects }))
+	reg.Counter("placeless_remote_epoch_flushes_total",
+		"Entries flushed at reconnect because their epoch's invalidation stream was interrupted.", counter(func(s *Stats) int64 { return s.EpochFlushes }))
+	reg.Counter("placeless_remote_stale_served_total",
+		"Hits served while disconnected under the serve-stale policy.", counter(func(s *Stats) int64 { return s.StaleServed }))
+	reg.Counter("placeless_remote_degraded_errors_total",
+		"Reads/writes refused or failed with ErrDegraded while the server was unreachable.", counter(func(s *Stats) int64 { return s.DegradedErrors }))
+	reg.Gauge("placeless_remote_connection_state",
+		"State of the wire behind the remote cache: 1 connected, 0 disconnected, -1 closed.",
+		func() int64 {
+			switch c.client.State() {
+			case server.StateConnected:
+				return 1
+			case server.StateDisconnected:
+				return 0
+			default:
+				return -1
+			}
+		})
 	reg.Gauge("placeless_remote_bytes_stored",
 		"Current unique content footprint of the remote cache.", counter(func(s *Stats) int64 { return s.BytesStored }))
 	reg.Gauge("placeless_remote_entries",
@@ -224,24 +401,51 @@ func (c *Cache) Contains(doc, user string) bool {
 }
 
 // Read returns the user's view of the document, served locally when a
-// valid entry exists.
+// valid entry exists. While the server is unreachable the cache is in
+// degraded mode: under FailFast every read returns ErrDegraded; under
+// ServeStale cached hits are served within the StaleTTL bound and
+// everything else returns ErrDegraded.
 func (c *Cache) Read(doc, user string) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
+	degraded := c.client.State() != server.StateConnected
+	if degraded && c.degradedSince.IsZero() {
+		// The cache missed the transition (e.g. it was constructed
+		// over an already-down client); the outage starts now.
+		c.degradedSince = c.clk.Now()
+	}
 	k := key(doc, user)
 	if e := c.entries[k]; e != nil {
 		// Server-issued TTL deadlines are the one verifier that can
-		// cross the wire; honor them before serving.
+		// cross the wire; honor them before serving — degraded or not.
 		if !e.expires.IsZero() && c.clk.Now().After(e.expires) {
 			c.stats.TTLExpiries++
 			c.dropLocked(k)
-			c.mu.Unlock()
-			return c.coalescedMiss(doc, user)
-		}
-		if b := c.blobs[e.signature]; b != nil {
+		} else if degraded {
+			if c.degraded == ServeStale && c.withinStaleBoundLocked() {
+				if b := c.blobs[e.signature]; b != nil {
+					c.stats.Hits++
+					c.stats.StaleServed++
+					c.policy.Access(k)
+					data := b.data
+					c.mu.Unlock()
+					// No hit-time event forwarding while disconnected:
+					// the wire is down and the forward would only fail.
+					out := make([]byte, len(data))
+					copy(out, data)
+					return out, nil
+				}
+			}
+			return nil, c.degradedErrLocked()
+		} else if c.suspect {
+			// The wire is back up but this entry predates the reconnect
+			// epoch flush (or the flush is still running): treat it as
+			// a miss and re-fetch rather than risk serving content
+			// invalidated during the outage.
+		} else if b := c.blobs[e.signature]; b != nil {
 			c.stats.Hits++
 			c.policy.Access(k)
 			data := b.data
@@ -259,8 +463,31 @@ func (c *Cache) Read(doc, user string) ([]byte, error) {
 			return out, nil
 		}
 	}
+	if degraded {
+		// Miss with the wire down: nothing local to serve under
+		// either policy — fail fast instead of paying a doomed call.
+		return nil, c.degradedErrLocked()
+	}
 	c.mu.Unlock()
 	return c.coalescedMiss(doc, user)
+}
+
+// degradedErrLocked counts and builds the degraded-mode refusal; it
+// releases the cache lock.
+func (c *Cache) degradedErrLocked() error {
+	c.stats.DegradedErrors++
+	since := c.degradedSince
+	c.mu.Unlock()
+	return fmt.Errorf("%w (policy %v, down since %v)", ErrDegraded, c.degraded, since)
+}
+
+// withinStaleBoundLocked reports whether a serve-stale hit is still
+// inside the bounded staleness window.
+func (c *Cache) withinStaleBoundLocked() bool {
+	if c.staleTTL <= 0 {
+		return true // unbounded by configuration
+	}
+	return !c.clk.Now().After(c.degradedSince.Add(c.staleTTL))
 }
 
 // coalescedMiss funnels concurrent misses on one key through a single
@@ -302,12 +529,14 @@ func (c *Cache) coalescedMiss(doc, user string) ([]byte, error) {
 // miss fetches through the wire, subscribes for invalidations, and
 // stores the entry per its cacheability.
 func (c *Cache) miss(doc, user string) ([]byte, error) {
-	// Snapshot the invalidation generation so a push arriving while
-	// the remote read is in flight prevents installing a stale entry
-	// (the load/install race; see internal/core's equivalent guard
-	// and its regression test).
+	// Snapshot the invalidation generation and connection epoch so a
+	// push — or a disconnect/reconnect cycle — while the remote read
+	// is in flight prevents installing a stale entry (the
+	// load/install race; see internal/core's equivalent guard and its
+	// regression test).
 	c.mu.Lock()
 	gen := c.gens[doc]
+	ep := c.connEpoch
 	c.mu.Unlock()
 
 	var tWire time.Time
@@ -319,6 +548,18 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 		c.obs.ObserveStage(obs.StageRemoteRTT, time.Since(tWire))
 	}
 	if err != nil {
+		if errors.Is(err, server.ErrDisconnected) || errors.Is(err, server.ErrTimeout) {
+			// The wire died under this read: surface it as the typed
+			// degraded error so callers can distinguish an outage
+			// from a document-level failure.
+			c.mu.Lock()
+			c.stats.DegradedErrors++
+			if c.degradedSince.IsZero() {
+				c.degradedSince = c.clk.Now()
+			}
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
 		return nil, err
 	}
 
@@ -353,8 +594,11 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 		c.stats.Uncacheable++
 		return data, nil
 	}
-	if c.gens[doc] != gen {
-		// Invalidated mid-read: serve uncached.
+	if c.gens[doc] != gen || c.connEpoch != ep || c.suspect {
+		// Invalidated mid-read, the connection was lost and
+		// re-established underneath us (pushes may have been missed),
+		// or the post-reconnect subscription replay has not finished:
+		// serve uncached.
 		return data, nil
 	}
 	c.dropLocked(k)
@@ -378,7 +622,9 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 }
 
 // Write pushes content through the wire; the server's notifiers push
-// back the invalidation for our own cached entries.
+// back the invalidation for our own cached entries. While the server
+// is unreachable writes fail with ErrDegraded (there is no write-back
+// buffering).
 func (c *Cache) Write(doc, user string, data []byte) error {
 	c.mu.Lock()
 	if c.closed {
@@ -386,7 +632,14 @@ func (c *Cache) Write(doc, user string, data []byte) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	return c.client.Write(doc, user, data)
+	err := c.client.Write(doc, user, data)
+	if err != nil && (errors.Is(err, server.ErrDisconnected) || errors.Is(err, server.ErrTimeout)) {
+		c.mu.Lock()
+		c.stats.DegradedErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return err
 }
 
 // dropLocked removes an entry and its blob reference.

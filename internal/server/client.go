@@ -3,16 +3,136 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
-	"strings"
 	"sync"
 	"time"
 
 	"placeless/internal/property"
 )
 
-// ErrClientClosed is returned by calls on a closed client.
+// ErrClientClosed is returned by calls on a client that was closed
+// locally via Close.
 var ErrClientClosed = errors.New("server: client closed")
+
+// ErrTimeout is returned when a call's deadline expires before the
+// server responds — including the wedged-connection case where the
+// server accepted the request but never answers. The connection is
+// considered broken afterwards (a response that never comes means the
+// demultiplexer behind it cannot be trusted), so the reconnect
+// machinery takes over.
+var ErrTimeout = errors.New("server: call deadline exceeded")
+
+// ErrDisconnected is returned by calls issued while the connection to
+// the server is down. With reconnection enabled the client is dialing
+// in the background; callers decide between failing fast and retrying
+// (the remote cache's degraded-mode policy).
+var ErrDisconnected = errors.New("server: connection down")
+
+// ConnState is the client's connection lifecycle state.
+type ConnState int32
+
+const (
+	// StateConnected means the wire is up and calls flow.
+	StateConnected ConnState = iota
+	// StateDisconnected means the wire is down; with reconnection
+	// enabled a background dialer is running backoff attempts.
+	StateDisconnected
+	// StateClosed means Close was called; the client is dead for good.
+	StateClosed
+)
+
+// String names the state ("connected"/"disconnected"/"closed").
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateDisconnected:
+		return "disconnected"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// dialConfig collects the per-client resilience knobs.
+type dialConfig struct {
+	callTimeout     time.Duration
+	dialTimeout     time.Duration
+	writeTimeout    time.Duration
+	readIdleTimeout time.Duration
+	reconnect       bool
+	backoffBase     time.Duration
+	backoffMax      time.Duration
+	maxAttempts     int
+}
+
+func defaultDialConfig() dialConfig {
+	return dialConfig{
+		dialTimeout:  5 * time.Second,
+		writeTimeout: 10 * time.Second,
+		backoffBase:  50 * time.Millisecond,
+		backoffMax:   5 * time.Second,
+	}
+}
+
+// DialOption configures a Client at Dial time.
+type DialOption func(*dialConfig)
+
+// WithCallTimeout bounds every request/response round trip. When the
+// deadline expires the call returns ErrTimeout and the connection is
+// reset (a server that accepts requests but never answers is
+// indistinguishable from a dead one). Zero disables the bound.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.callTimeout = d }
+}
+
+// WithDialTimeout bounds each TCP dial, both the initial one and every
+// reconnection attempt. Default 5s.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.dialTimeout = d }
+}
+
+// WithWriteTimeout sets the per-frame write deadline on the
+// connection, so a peer that stops draining its socket fails the
+// sender instead of wedging it. Default 10s; zero disables.
+func WithWriteTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.writeTimeout = d }
+}
+
+// WithReadIdleTimeout sets a read deadline on the connection: if no
+// frame (response or invalidation push) arrives for d, the connection
+// is treated as dead. Only enable this against servers that push
+// regularly — an idle but healthy subscription stream would otherwise
+// be torn down and redialed. Zero (the default) disables it.
+func WithReadIdleTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.readIdleTimeout = d }
+}
+
+// WithReconnect enables automatic reconnection with exponential
+// backoff plus jitter: after a connection failure the client redials
+// in the background, starting at base and doubling up to max per
+// attempt. Each successful reconnect increments the connection epoch
+// (see Epoch) and fires the OnReconnect hooks, which is how the remote
+// cache resubscribes and flushes entries cached under the old epoch.
+func WithReconnect(base, max time.Duration) DialOption {
+	return func(c *dialConfig) {
+		c.reconnect = true
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithMaxReconnectAttempts bounds how many consecutive failed dials
+// the background reconnector tries before giving up (the client then
+// stays disconnected until Close). Zero means retry forever.
+func WithMaxReconnectAttempts(n int) DialOption {
+	return func(c *dialConfig) { c.maxAttempts = n }
+}
 
 // ReadMeta is the cache-facing metadata a remote read returns.
 type ReadMeta struct {
@@ -25,108 +145,425 @@ type ReadMeta struct {
 	Expiry time.Time
 }
 
-// Client is a connection to a Placeless server mirroring the local
-// Space API. Safe for concurrent use.
-type Client struct {
-	fc *frameConn
-
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *Response
-	closed  bool
-	onInval func(doc, user string)
-	readErr error
+// pendingCall is one in-flight request. On success the response is
+// delivered on ch; on connection failure err is set (typed) and ch is
+// closed.
+type pendingCall struct {
+	ch  chan *Response
+	err error
 }
 
-// Dial connects to a Placeless server at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// inval is one queued invalidation push.
+type inval struct{ doc, user string }
+
+// Client is a connection to a Placeless server mirroring the local
+// Space API. Safe for concurrent use.
+//
+// Failure model: when the connection breaks, every pending call fails
+// with ErrDisconnected and — with WithReconnect — a background dialer
+// re-establishes the wire. Each new connection bumps the epoch;
+// consumers that depend on the server-push invalidation stream (the
+// remote cache) must treat everything learned under an older epoch as
+// suspect, because pushes may have been lost while disconnected.
+type Client struct {
+	addr string
+	cfg  dialConfig
+	rng  *rand.Rand // backoff jitter; only touched by the single reconnect loop
+
+	mu           sync.Mutex
+	fc           *frameConn // nil while disconnected
+	state        ConnState
+	epoch        uint64
+	nextID       uint64
+	pending      map[uint64]*pendingCall
+	closed       bool
+	reconnecting bool
+	reconnects   int64
+	timeouts     int64
+	downSince    time.Time
+	readErr      error
+	onInval      func(doc, user string)
+	onReconnect  []func(epoch uint64)
+	onState      []func(ConnState)
+
+	// Invalidation dispatch queue: pushes are decoupled from the read
+	// loop so a slow handler cannot stall RPC responses (see
+	// dispatchInvals for the ordering guarantee).
+	invalMu   sync.Mutex
+	invalCond *sync.Cond
+	invals    []inval
+	invalStop bool
+}
+
+// Dial connects to a Placeless server at addr. With no options the
+// client behaves conservatively: no call deadline, no reconnection —
+// the first connection failure leaves it disconnected for good.
+// Production callers should enable WithCallTimeout and WithReconnect.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := defaultDialConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{fc: newFrameConn(conn), pending: make(map[uint64]chan *Response)}
-	go c.readLoop()
+	c := &Client{
+		addr:    addr,
+		cfg:     cfg,
+		fc:      newFrameConn(conn),
+		state:   StateConnected,
+		epoch:   1,
+		pending: make(map[uint64]*pendingCall),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.invalCond = sync.NewCond(&c.invalMu)
+	go c.dispatchInvals()
+	go c.readLoop(c.fc)
 	return c, nil
 }
 
 // OnInvalidate registers the handler for server-pushed invalidations.
-// user == "" means every user's version of doc is affected.
+// user == "" means every user's version of doc is affected. The
+// handler runs on a dedicated dispatch goroutine (never on the read
+// loop), so it may block or re-enter the client without stalling RPC
+// responses.
 func (c *Client) OnInvalidate(fn func(doc, user string)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onInval = fn
 }
 
-// readLoop demultiplexes responses and notifications.
-func (c *Client) readLoop() {
+// OnReconnect registers fn to run after every successful automatic
+// reconnection, with the new connection epoch. Hooks run on the
+// reconnect goroutine, after the new read loop is live, so they can
+// issue calls (e.g. re-Subscribe) on the fresh connection.
+func (c *Client) OnReconnect(fn func(epoch uint64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onReconnect = append(c.onReconnect, fn)
+}
+
+// OnStateChange registers fn to run on every connection state
+// transition (connected → disconnected → connected …, and finally
+// closed). Hooks must not block for long; they run outside the client
+// lock.
+func (c *Client) OnStateChange(fn func(ConnState)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onState = append(c.onState, fn)
+}
+
+// State reports the current connection state.
+func (c *Client) State() ConnState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Epoch returns the connection epoch: 1 for the initial connection,
+// incremented by every successful reconnect.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Reconnects returns how many times the client successfully
+// re-established the connection.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Timeouts returns how many calls failed with ErrTimeout.
+func (c *Client) Timeouts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timeouts
+}
+
+// DownSince returns when the current disconnection began (zero time
+// while connected or closed-before-ever-disconnecting).
+func (c *Client) DownSince() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateDisconnected {
+		return c.downSince
+	}
+	return time.Time{}
+}
+
+// enqueueInval appends one push to the dispatch queue. The queue is
+// unbounded: invalidations must never be dropped (a lost push is
+// unbounded staleness), and per (doc, user) they are idempotent, so
+// memory is bounded by the working set even under a stuck handler.
+func (c *Client) enqueueInval(doc, user string) {
+	c.invalMu.Lock()
+	c.invals = append(c.invals, inval{doc: doc, user: user})
+	c.invalMu.Unlock()
+	c.invalCond.Signal()
+}
+
+// dispatchInvals delivers invalidation pushes to the OnInvalidate
+// handler on a dedicated goroutine. Ordering guarantee: pushes are
+// delivered one at a time, in wire arrival order; delivery is
+// asynchronous with respect to RPC responses, which are never blocked
+// by a slow or re-entrant handler.
+func (c *Client) dispatchInvals() {
+	c.invalMu.Lock()
 	for {
+		for len(c.invals) == 0 && !c.invalStop {
+			c.invalCond.Wait()
+		}
+		if len(c.invals) == 0 && c.invalStop {
+			c.invalMu.Unlock()
+			return
+		}
+		iv := c.invals[0]
+		c.invals = c.invals[1:]
+		c.invalMu.Unlock()
+
+		c.mu.Lock()
+		fn := c.onInval
+		c.mu.Unlock()
+		if fn != nil {
+			fn(iv.doc, iv.user)
+		}
+
+		c.invalMu.Lock()
+	}
+}
+
+// readLoop demultiplexes responses and notifications for one
+// connection; it exits (via connFailed) when the connection dies.
+func (c *Client) readLoop(fc *frameConn) {
+	for {
+		if c.cfg.readIdleTimeout > 0 {
+			_ = fc.c.SetReadDeadline(time.Now().Add(c.cfg.readIdleTimeout))
+		}
 		var resp Response
-		if err := c.fc.dec.Decode(&resp); err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			c.closed = true
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+		if err := fc.dec.Decode(&resp); err != nil {
+			c.connFailed(fc, err)
 			return
 		}
 		if resp.ID == 0 {
-			c.mu.Lock()
-			fn := c.onInval
-			c.mu.Unlock()
-			if fn != nil {
-				fn(resp.NotifyDoc, resp.NotifyUser)
-			}
+			c.enqueueInval(resp.NotifyDoc, resp.NotifyUser)
 			continue
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		pc := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
-		if ch != nil {
+		if pc != nil {
 			r := resp
-			ch <- &r
+			pc.ch <- &r
 		}
 	}
 }
 
-// call performs one request/response round trip.
+// connFailed retires a broken connection: pending calls fail with a
+// typed error, the state flips to disconnected, and (when enabled) the
+// background reconnector starts. Safe to call from multiple goroutines
+// and multiple times; only the first caller for a given connection
+// does the work.
+func (c *Client) connFailed(fc *frameConn, err error) {
+	c.mu.Lock()
+	if c.fc != fc {
+		c.mu.Unlock()
+		fc.close()
+		return
+	}
+	c.fc = nil
+	c.readErr = err
+	failErr := error(ErrDisconnected)
+	newState := StateDisconnected
+	if c.closed {
+		failErr = ErrClientClosed
+		newState = StateClosed
+	}
+	for id, pc := range c.pending {
+		pc.err = failErr
+		close(pc.ch)
+		delete(c.pending, id)
+	}
+	var stateFns []func(ConnState)
+	if c.state != newState {
+		c.state = newState
+		c.downSince = time.Now()
+		stateFns = append(stateFns, c.onState...)
+	}
+	startReconnect := !c.closed && c.cfg.reconnect && !c.reconnecting
+	if startReconnect {
+		c.reconnecting = true
+	}
+	c.mu.Unlock()
+	fc.close()
+	for _, fn := range stateFns {
+		fn(newState)
+	}
+	if startReconnect {
+		go c.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials with exponential backoff plus jitter until a
+// connection is established, the attempt budget is exhausted, or the
+// client is closed.
+func (c *Client) reconnectLoop() {
+	backoff := c.cfg.backoffBase
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.reconnecting = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout)
+		if err == nil {
+			fc := newFrameConn(conn)
+			c.mu.Lock()
+			if c.closed {
+				c.reconnecting = false
+				c.mu.Unlock()
+				fc.close()
+				return
+			}
+			c.fc = fc
+			c.epoch++
+			epoch := c.epoch
+			c.state = StateConnected
+			c.reconnects++
+			c.reconnecting = false
+			reconFns := append([]func(uint64){}, c.onReconnect...)
+			stateFns := append([]func(ConnState){}, c.onState...)
+			c.mu.Unlock()
+			go c.readLoop(fc)
+			for _, fn := range stateFns {
+				fn(StateConnected)
+			}
+			for _, fn := range reconFns {
+				fn(epoch)
+			}
+			return
+		}
+
+		if c.cfg.maxAttempts > 0 && attempt >= c.cfg.maxAttempts {
+			c.mu.Lock()
+			c.reconnecting = false
+			c.mu.Unlock()
+			return
+		}
+		// Full jitter on top of the exponential base spreads a fleet
+		// of clients reconnecting to a restarted server over time.
+		sleep := backoff + time.Duration(c.rng.Int63n(int64(backoff)+1))
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > c.cfg.backoffMax {
+			backoff = c.cfg.backoffMax
+		}
+	}
+}
+
+// call performs one request/response round trip, honoring the
+// configured call deadline even when the connection is wedged (the
+// server accepted the request but will never answer).
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
+	fc := c.fc
+	if fc == nil {
+		c.mu.Unlock()
+		return nil, ErrDisconnected
+	}
 	c.nextID++
 	req.ID = c.nextID
-	ch := make(chan *Response, 1)
-	c.pending[req.ID] = ch
+	pc := &pendingCall{ch: make(chan *Response, 1)}
+	c.pending[req.ID] = pc
 	c.mu.Unlock()
 
-	if err := c.fc.send(req); err != nil {
+	if err := fc.send(req, c.cfg.writeTimeout); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
+		closed := c.closed
 		c.mu.Unlock()
-		return nil, err
+		c.connFailed(fc, err)
+		if closed {
+			return nil, ErrClientClosed
+		}
+		return nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
 	}
-	resp, ok := <-ch
-	if !ok {
-		return nil, ErrClientClosed
+
+	var timeout <-chan time.Time
+	if c.cfg.callTimeout > 0 {
+		t := time.NewTimer(c.cfg.callTimeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("server: %s", resp.Err)
+	select {
+	case resp, ok := <-pc.ch:
+		if !ok {
+			if pc.err != nil {
+				return nil, pc.err
+			}
+			return nil, ErrClientClosed
+		}
+		if resp.Err != "" {
+			return resp, fmt.Errorf("server: %s", resp.Err)
+		}
+		return resp, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.timeouts++
+		c.mu.Unlock()
+		// A response that never arrives means the connection cannot
+		// be trusted (responses and invalidation pushes share it):
+		// reset it so the reconnect path takes over instead of
+		// leaving a zombie link up.
+		c.connFailed(fc, ErrTimeout)
+		return nil, ErrTimeout
 	}
-	return resp, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection and stops the background machinery.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	c.state = StateClosed
+	fc := c.fc
+	c.fc = nil
+	for id, pc := range c.pending {
+		pc.err = ErrClientClosed
+		close(pc.ch)
+		delete(c.pending, id)
+	}
+	stateFns := append([]func(ConnState){}, c.onState...)
 	c.mu.Unlock()
-	return c.fc.close()
+
+	c.invalMu.Lock()
+	c.invalStop = true
+	c.invalMu.Unlock()
+	c.invalCond.Broadcast()
+
+	var err error
+	if fc != nil {
+		err = fc.close()
+	}
+	for _, fn := range stateFns {
+		fn(StateClosed)
+	}
+	return err
 }
 
 // Read executes the remote read path.
@@ -184,6 +621,8 @@ func (c *Client) AttachStatic(doc, user string, personal bool, key, value string
 }
 
 // Subscribe registers for invalidation pushes for (doc, user).
+// Subscriptions are per connection: after a reconnect they must be
+// replayed (the remote cache does this from its OnReconnect hook).
 func (c *Client) Subscribe(doc, user string) error {
 	_, err := c.call(&Request{Op: OpSubscribe, Doc: doc, User: user})
 	return err
@@ -214,38 +653,16 @@ func (c *Client) Describe(doc string) (string, error) {
 	return resp.Text, nil
 }
 
-// Match is one property-search hit.
-type Match struct {
-	// Doc is the matched document id.
-	Doc string
-	// Value is the matched static property's value.
-	Value string
-	// Level reports where the property is attached
-	// ("universal"/"personal").
-	Level string
-}
-
 // Find lists documents visible to user carrying the static property
 // key (and value, when non-empty) — Placeless's property-based
-// document organization over the wire.
+// document organization over the wire. Matches travel as struct
+// fields, so values containing tabs or newlines round-trip intact.
 func (c *Client) Find(user, key, value string) ([]Match, error) {
 	resp, err := c.call(&Request{Op: OpFind, User: user, Property: key, Value: value})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, 0, len(resp.Matches))
-	for _, m := range resp.Matches {
-		parts := strings.SplitN(m, "\t", 3)
-		match := Match{Doc: parts[0]}
-		if len(parts) > 1 {
-			match.Value = parts[1]
-		}
-		if len(parts) > 2 {
-			match.Level = parts[2]
-		}
-		out = append(out, match)
-	}
-	return out, nil
+	return resp.Matches, nil
 }
 
 // Stats returns server counters.

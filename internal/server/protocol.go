@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Op identifies a request type.
@@ -123,8 +124,22 @@ type Response struct {
 	Stats map[string]int64
 	// Text carries a rendered description for OpDescribe.
 	Text string
-	// Matches carries "doc\tvalue\tlevel" rows for OpFind.
-	Matches []string
+	// Matches carries the OpFind hits as structured fields, so static
+	// property values containing tabs or newlines survive the wire
+	// (the old format packed "doc\tvalue\tlevel" into one string and
+	// corrupted such values on split).
+	Matches []Match
+}
+
+// Match is one property-search hit (OpFind).
+type Match struct {
+	// Doc is the matched document id.
+	Doc string
+	// Value is the matched static property's value.
+	Value string
+	// Level reports where the property is attached
+	// ("universal"/"personal").
+	Level string
 }
 
 // frame writes/reads gob values over a connection with a lock for
@@ -141,9 +156,16 @@ func newFrameConn(c net.Conn) *frameConn {
 	return &frameConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
 
-func (f *frameConn) send(v interface{}) error {
+// send encodes one frame. writeTimeout > 0 arms a write deadline on
+// the connection first, so a peer that stops draining its socket
+// fails the writer instead of wedging it; zero leaves the connection
+// deadline-free.
+func (f *frameConn) send(v interface{}, writeTimeout time.Duration) error {
 	f.wmu.Lock()
 	defer f.wmu.Unlock()
+	if writeTimeout > 0 {
+		_ = f.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
 	return f.enc.Encode(v)
 }
 

@@ -85,7 +85,7 @@ func TestFrameConnConcurrentSenders(t *testing.T) {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < n; i++ {
-				if err := fa.send(&Response{ID: 1}); err != nil {
+				if err := fa.send(&Response{ID: 1}, 0); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}

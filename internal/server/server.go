@@ -14,6 +14,12 @@ import (
 	"placeless/internal/repo"
 )
 
+// serverWriteTimeout bounds every server→client frame write, so one
+// wedged client (accepted socket, never drained) cannot stall the
+// notifier callbacks that push invalidations from inside the space's
+// event dispatch.
+const serverWriteTimeout = 10 * time.Second
+
 // Server exposes one document space over TCP.
 type Server struct {
 	space   *docspace.Space
@@ -167,7 +173,7 @@ func (c *serverConn) serve() {
 		}
 		resp := c.handle(&req)
 		resp.ID = req.ID
-		if err := c.fc.send(resp); err != nil {
+		if err := c.fc.send(resp, serverWriteTimeout); err != nil {
 			return
 		}
 	}
@@ -335,9 +341,9 @@ func (s *Server) apply(req *Request) *Response {
 		return &Response{Text: d.String()}
 
 	case OpFind:
-		var matches []string
+		var matches []Match
 		for _, m := range s.space.FindByStatic(req.User, req.Property, req.Value) {
-			matches = append(matches, fmt.Sprintf("%s\t%s\t%s", m.Doc, m.Value, m.Level))
+			matches = append(matches, Match{Doc: m.Doc, Value: m.Value, Level: fmt.Sprint(m.Level)})
 		}
 		return &Response{Matches: matches}
 
@@ -354,7 +360,7 @@ func (c *serverConn) subscribe(req *Request) *Response {
 		s.mu.Lock()
 		s.notifies++
 		s.mu.Unlock()
-		_ = c.fc.send(&Response{ID: 0, NotifyDoc: doc, NotifyUser: user})
+		_ = c.fc.send(&Response{ID: 0, NotifyDoc: doc, NotifyUser: user}, serverWriteTimeout)
 	}
 	c.mu.Lock()
 	if c.baseSubs == nil {

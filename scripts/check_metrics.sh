@@ -1,9 +1,10 @@
 #!/bin/sh
 # check_metrics.sh — guard the observability surface against silent
-# drift. Builds placelessd, runs it briefly with a server-side
-# memoizing cache and the -http endpoint enabled, scrapes /metrics,
-# extracts the metric family names and types from the `# TYPE` lines,
-# and diffs the set against docs/metric_names.golden.
+# drift. Builds placelessd and plcached, runs both briefly (a server
+# with a memoizing cache, and the client-side cache daemon dialed into
+# it), scrapes both /metrics endpoints, extracts the metric family
+# names and types from the `# TYPE` lines, and diffs the merged set
+# against docs/metric_names.golden.
 #
 # A metric rename, removal, or type change fails this check; adding a
 # family fails it too until the golden (and docs/METRICS.md) are
@@ -16,10 +17,12 @@ set -eu
 GOLDEN=docs/metric_names.golden
 TCP_PORT=${PLACELESS_CHECK_TCP_PORT:-17891}
 HTTP_PORT=${PLACELESS_CHECK_HTTP_PORT:-17892}
+CACHE_PORT=${PLACELESS_CHECK_CACHE_PORT:-17893}
 WORK=$(mktemp -d)
-trap 'kill $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+trap 'kill $PID $CPID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
 
 go build -o "$WORK/placelessd" ./cmd/placelessd
+go build -o "$WORK/plcached" ./cmd/plcached
 
 "$WORK/placelessd" -mem -cache 1048576 -memoize \
 	-addr "127.0.0.1:$TCP_PORT" -http "127.0.0.1:$HTTP_PORT" \
@@ -39,7 +42,40 @@ until curl -sf "http://127.0.0.1:$HTTP_PORT/metrics" >"$WORK/metrics.txt" 2>/dev
 	sleep 0.1
 done
 
-grep '^# TYPE' "$WORK/metrics.txt" | awk '{print $3, $4}' | sort >"$WORK/names.txt"
+# The client-side cache daemon exports the placeless_remote_* families;
+# dial it into the placelessd instance just started. Retry the launch
+# briefly: the TCP accept loop comes up after the HTTP endpoint.
+CPID=""
+i=0
+while :; do
+	"$WORK/plcached" -server "127.0.0.1:$TCP_PORT" \
+		-addr "127.0.0.1:$CACHE_PORT" >"$WORK/plcached.log" 2>&1 &
+	CPID=$!
+	sleep 0.2
+	if kill -0 "$CPID" 2>/dev/null; then
+		break
+	fi
+	i=$((i + 1))
+	if [ "$i" -ge 25 ]; then
+		echo "check_metrics: plcached never started" >&2
+		cat "$WORK/plcached.log" >&2
+		exit 1
+	fi
+done
+
+i=0
+until curl -sf "http://127.0.0.1:$CACHE_PORT/metrics" >"$WORK/cache_metrics.txt" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "check_metrics: plcached never served /metrics" >&2
+		cat "$WORK/plcached.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+grep -h '^# TYPE' "$WORK/metrics.txt" "$WORK/cache_metrics.txt" |
+	awk '{print $3, $4}' | sort -u >"$WORK/names.txt"
 
 if ! diff -u "$GOLDEN" "$WORK/names.txt"; then
 	echo "check_metrics: /metrics family set drifted from $GOLDEN" >&2
