@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos fuzz bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz sim sim-seed bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
 
 all: build vet test
 
@@ -34,6 +34,18 @@ chaos:
 # fuzzing; use `go test -fuzz=FuzzShardHash ./internal/core/` for that).
 fuzz:
 	$(GO) test -run Fuzz ./...
+
+# Deterministic whole-stack simulation sweep: 1200 seeded schedules
+# through the full stack (docspace, core cache, server, remote cache)
+# with fault injection, every read checked against the stale-read
+# oracle. A failure prints the seed and a replay command; see
+# docs/TESTING.md.
+sim:
+	$(GO) test -race -timeout 45m -run TestSimSweep ./internal/sim -args -sim.seeds=1200 -sim.ops=350
+
+# Replay one failing seed with full -v output: make sim-seed SEED=1234
+sim-seed:
+	$(GO) test -race -run 'TestSimSeed' -v ./internal/sim -args -sim.seed=$(SEED) -sim.ops=350
 
 # Full benchmark sweep (Table 1 + extension experiments + micro-benchmarks).
 bench:

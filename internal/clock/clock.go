@@ -173,3 +173,32 @@ func (v *Virtual) PendingTimers() int {
 	defer v.mu.Unlock()
 	return len(v.timers)
 }
+
+// NextTimer returns the deadline of the earliest pending timer, or
+// ok=false when nothing is scheduled. Simulation watchdogs use it to
+// decide how far time must move to unstick a blocked operation.
+func (v *Virtual) NextTimer() (at time.Time, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].at, true
+}
+
+// AdvanceToNextTimer advances simulated time exactly to the earliest
+// pending timer, firing it (and any callbacks it schedules at or
+// before that instant). It reports whether a timer was pending; when
+// none is, time does not move.
+func (v *Virtual) AdvanceToNextTimer() bool {
+	at, ok := v.NextTimer()
+	if !ok {
+		return false
+	}
+	d := at.Sub(v.Now())
+	if d < 0 {
+		d = 0 // a due timer still fires via Advance(0)
+	}
+	v.Advance(d)
+	return true
+}

@@ -156,6 +156,56 @@ func TestVirtualConcurrentAccess(t *testing.T) {
 	}
 }
 
+func TestNextTimerAndAdvanceToNextTimer(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextTimer(); ok {
+		t.Fatal("NextTimer reported a timer on an empty clock")
+	}
+	if v.AdvanceToNextTimer() {
+		t.Fatal("AdvanceToNextTimer advanced an empty clock")
+	}
+	if !v.Now().Equal(epoch) {
+		t.Fatal("empty AdvanceToNextTimer moved time")
+	}
+
+	var got []int
+	v.AfterFunc(30*time.Millisecond, func(time.Time) { got = append(got, 2) })
+	v.AfterFunc(10*time.Millisecond, func(time.Time) { got = append(got, 1) })
+	at, ok := v.NextTimer()
+	if !ok || !at.Equal(epoch.Add(10*time.Millisecond)) {
+		t.Fatalf("NextTimer = %v,%v; want %v", at, ok, epoch.Add(10*time.Millisecond))
+	}
+	if !v.AdvanceToNextTimer() {
+		t.Fatal("AdvanceToNextTimer found no timer")
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after first step got %v, want [1]", got)
+	}
+	if want := epoch.Add(10 * time.Millisecond); !v.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", v.Now(), want)
+	}
+	if !v.AdvanceToNextTimer() {
+		t.Fatal("second AdvanceToNextTimer found no timer")
+	}
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("after second step got %v, want [1 2]", got)
+	}
+}
+
+func TestAdvanceToNextTimerFiresDueTimer(t *testing.T) {
+	// A timer scheduled with d=0 is due at the current instant;
+	// stepping to it must fire it rather than spin.
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(0, func(time.Time) { fired = true })
+	if !v.AdvanceToNextTimer() {
+		t.Fatal("due timer not seen")
+	}
+	if !fired {
+		t.Fatal("due timer did not fire")
+	}
+}
+
 func TestRealClock(t *testing.T) {
 	var c Clock = Real{}
 	before := time.Now()

@@ -301,8 +301,12 @@ type Cache struct {
 	// attribute itself. Only populated when an Observer is attached.
 	lastCause sync.Map
 
-	// dirty buffers write-back content.
+	// dirty buffers write-back content. flushMu serializes whole Flush
+	// runs (timer-driven and explicit) so an older snapshot can never
+	// land in the repository after a newer one; it is taken before
+	// writeMu and never held by Write itself.
 	writeMu sync.Mutex
+	flushMu sync.Mutex
 	dirty   map[string]*dirtyWrite
 
 	// Notifier bookkeeping: which attachment points already carry the
@@ -375,7 +379,7 @@ func (c *Cache) armFlushTimer() {
 // if the cache is now over budget. capacity <= 0 means unlimited.
 func (c *Cache) Resize(capacity int64) {
 	c.capacity.Store(capacity)
-	c.evict()
+	c.evict("")
 }
 
 // Capacity returns the current byte budget (0 = unlimited).
@@ -726,7 +730,7 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 	sh.mu.Unlock()
 
 	c.installNotifiers(doc, user)
-	c.evict()
+	c.evict(k)
 	return data, info, res.Related, nil
 }
 
@@ -864,11 +868,21 @@ func (c *Cache) dropShardLocked(sh *shard, k string) bool {
 // pick the globally best victim) and then that victim's shard lock —
 // never a global lock and never two shard locks, so lookups on other
 // stripes proceed throughout.
-func (c *Cache) evict() {
+//
+// An entry whose key has an in-flight single-flight read is pinned: a
+// reader is mid-verify or mid-install on it, and evicting underneath
+// would throw away bytes about to be revalidated (thrash at best). A
+// pinned victim is taken out of the policy for this pass and put back
+// afterwards if it survived. exempt names the one key the caller's own
+// flight covers — the leader installing a fresh entry must still be
+// able to evict itself when a huge insert blows the budget.
+func (c *Cache) evict(exempt string) {
 	capacity := c.capacity.Load()
 	if capacity <= 0 {
 		return
 	}
+	var pinned []string
+	defer func() { c.reinsertPinned(pinned) }()
 	for c.stats.bytesStored.Load() > capacity {
 		c.policyMu.Lock()
 		victim, ok := c.policy.Victim()
@@ -887,11 +901,47 @@ func (c *Cache) evict() {
 		}
 		sh := c.idx.shardFor(victim)
 		sh.mu.Lock()
+		if victim != exempt && sh.flights[victim] != nil {
+			// Pinned. Victim only peeks, so take the key out of the
+			// policy ourselves — each pass over a pinned key shrinks
+			// the policy, which keeps the loop terminating when only
+			// pinned entries remain.
+			c.policyMu.Lock()
+			c.policy.Remove(victim)
+			c.policyMu.Unlock()
+			if _, present := sh.entries[victim]; present {
+				pinned = append(pinned, victim)
+			}
+			sh.mu.Unlock()
+			continue
+		}
 		if c.dropShardLocked(sh, victim) {
 			c.stats.evictions.Inc()
 		}
 		// else: a concurrent invalidation beat us to the victim (and
 		// already removed it from the policy); re-check the budget.
+		sh.mu.Unlock()
+	}
+}
+
+// reinsertPinned puts keys skipped by evict back into the policy, but
+// only when the entry is still installed — the flight that pinned a
+// key may have finished and replaced (or an invalidation removed) the
+// entry, and a policy key with no entry behind it would make future
+// Victim calls spin on a ghost.
+func (c *Cache) reinsertPinned(keys []string) {
+	for _, k := range keys {
+		sh := c.idx.shardFor(k)
+		sh.mu.Lock()
+		if e, ok := sh.entries[k]; ok {
+			policyCost := e.cost
+			if c.opts.CostSource == CostConstant {
+				policyCost = time.Millisecond
+			}
+			c.policyMu.Lock()
+			c.policy.Insert(k, e.size, policyCost)
+			c.policyMu.Unlock()
+		}
 		sh.mu.Unlock()
 	}
 }

@@ -128,7 +128,7 @@ func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Durati
 		if err != nil {
 			return nil, false, err
 		}
-		c.evict()
+		c.evict("")
 		return data, false, nil
 	}
 }

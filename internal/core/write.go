@@ -69,6 +69,16 @@ func (c *Cache) Dirty() int {
 	return len(c.dirty)
 }
 
+// DirtyFor reports whether (doc, user) has a buffered write-back write
+// that has not been flushed. The simulation oracle uses it to resolve
+// which side of a Flush/Write race a buffered write landed on.
+func (c *Cache) DirtyFor(doc, user string) bool {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, ok := c.dirty[key(doc, user)]
+	return ok
+}
+
 // Flush pushes all buffered write-back content through the Placeless
 // write path. The first error aborts the flush; already-flushed
 // entries stay flushed.
@@ -80,25 +90,37 @@ func (c *Cache) Dirty() int {
 // invalidate landing mid-flush) therefore interleaves freely instead
 // of deadlocking; the dedicated interleaving test provokes exactly
 // that schedule on the virtual clock.
+//
+// Two guards keep a Write racing a Flush from being lost (found by the
+// simulation harness's stale-read oracle):
+//   - flushMu serializes whole flush runs, so a flush carrying an older
+//     snapshot can never store on top of a newer one;
+//   - the dirty entry is removed only if it is still the exact buffer
+//     the snapshot captured — a Write that replaced it mid-flush stays
+//     buffered for the next cycle instead of being silently dropped.
 func (c *Cache) Flush() error {
 	type pending struct {
 		doc, user string
-		data      []byte
+		w         *dirtyWrite
 	}
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
 	c.writeMu.Lock()
 	var todo []pending
 	for k, w := range c.dirty {
 		doc, user := splitKey(k)
-		todo = append(todo, pending{doc: doc, user: user, data: w.data})
+		todo = append(todo, pending{doc: doc, user: user, w: w})
 	}
 	c.writeMu.Unlock()
 
 	for _, p := range todo {
-		if err := c.space.WriteDocument(p.doc, p.user, p.data); err != nil {
+		if err := c.space.WriteDocument(p.doc, p.user, p.w.data); err != nil {
 			return err
 		}
 		c.writeMu.Lock()
-		delete(c.dirty, key(p.doc, p.user))
+		if cur := c.dirty[key(p.doc, p.user)]; cur == p.w {
+			delete(c.dirty, key(p.doc, p.user))
+		}
 		c.writeMu.Unlock()
 		c.stats.flushes.Inc()
 	}

@@ -122,8 +122,13 @@ func (s *Space) subscribe(n *node, prop property.Active, ctx *property.EventCont
 	ids := make([]uint64, 0, len(kinds))
 	for _, k := range kinds {
 		ids = append(ids, n.registry.Subscribe(k, func(e event.Event) {
-			ctx.Now = e.Time
-			prop.OnEvent(ctx, e)
+			// Events for one node can be dispatched from several
+			// goroutines at once (driver ops, server connections, timer
+			// callbacks), so stamping Now on the shared context would
+			// race; each delivery gets its own copy.
+			c := *ctx
+			c.Now = e.Time
+			prop.OnEvent(&c, e)
 		}))
 	}
 	return ids

@@ -385,6 +385,17 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
+// Suspect reports whether the cache is inside the post-reconnect
+// suspect window: the connection came back but the epoch flush and
+// subscription replay have not yet completed, so cached entries are
+// not trusted. Simulations wait for this to clear (together with a
+// drained push queue) before asserting freshness.
+func (c *Cache) Suspect() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.suspect
+}
+
 // Len reports cached entry count.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -529,15 +540,45 @@ func (c *Cache) coalescedMiss(doc, user string) ([]byte, error) {
 // miss fetches through the wire, subscribes for invalidations, and
 // stores the entry per its cacheability.
 func (c *Cache) miss(doc, user string) ([]byte, error) {
-	// Snapshot the invalidation generation and connection epoch so a
-	// push — or a disconnect/reconnect cycle — while the remote read
-	// is in flight prevents installing a stale entry (the
-	// load/install race; see internal/core's equivalent guard and its
-	// regression test).
+	// Snapshot the invalidation generation, connection epoch, and
+	// suspect flag so a push — or a disconnect/reconnect cycle —
+	// while the remote read is in flight prevents installing a stale
+	// entry (the load/install race; see internal/core's equivalent
+	// guard and its regression test). The suspect flag must be
+	// sampled here, not only at install time: while the
+	// post-reconnect subscription replay runs, this read's request
+	// can reach the server BEFORE the replayed Subscribe for its own
+	// key, and a change in that gap is pushed to no one — by install
+	// time the replay has finished and suspect is down again, but
+	// the fetched bytes predate a push that never came.
 	c.mu.Lock()
 	gen := c.gens[doc]
 	ep := c.connEpoch
+	sus := c.suspect
+	k := key(doc, user)
+	needSub := !c.subscribed[k]
+	if needSub {
+		c.subscribed[k] = true
+	}
 	c.mu.Unlock()
+
+	// Subscribe before fetching, not after: the connection is one
+	// FIFO stream, so once the Subscribe's response is in, the
+	// server-side notifier provably predates the Read below — every
+	// change after the fetched snapshot is pushed to us. Subscribing
+	// after the fetch leaves the classic callback-race window (a
+	// change between the server processing the Read and processing
+	// the Subscribe is pushed to no one) and the entry would be
+	// stale until the NEXT change, not just by one access.
+	subLive := true
+	if needSub {
+		if err := c.client.Subscribe(doc, user); err != nil {
+			c.mu.Lock()
+			delete(c.subscribed, k)
+			c.mu.Unlock()
+			subLive = false // fetch anyway, serve uncached
+		}
+	}
 
 	var tWire time.Time
 	if c.obs != nil {
@@ -563,27 +604,6 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 		return nil, err
 	}
 
-	// Subscribe before storing so no invalidation window is missed
-	// for subsequent changes. (A change racing between the Read and
-	// the Subscribe is the classic callback race; the paper's
-	// prototype has the same window, and it only widens staleness by
-	// one access.)
-	c.mu.Lock()
-	k := key(doc, user)
-	needSub := !c.subscribed[k]
-	if needSub {
-		c.subscribed[k] = true
-	}
-	c.mu.Unlock()
-	if needSub {
-		if err := c.client.Subscribe(doc, user); err != nil {
-			c.mu.Lock()
-			delete(c.subscribed, k)
-			c.mu.Unlock()
-			return data, nil // serve uncached rather than fail
-		}
-	}
-
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Misses++
@@ -594,10 +614,11 @@ func (c *Cache) miss(doc, user string) ([]byte, error) {
 		c.stats.Uncacheable++
 		return data, nil
 	}
-	if c.gens[doc] != gen || c.connEpoch != ep || c.suspect {
-		// Invalidated mid-read, the connection was lost and
-		// re-established underneath us (pushes may have been missed),
-		// or the post-reconnect subscription replay has not finished:
+	if !subLive || sus || c.gens[doc] != gen || c.connEpoch != ep || c.suspect {
+		// No live subscription, the fetch started inside the suspect
+		// window, it was invalidated mid-read, the connection was
+		// lost and re-established underneath us (pushes may have
+		// been missed), or the subscription replay has not finished:
 		// serve uncached.
 		return data, nil
 	}

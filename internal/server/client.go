@@ -55,6 +55,14 @@ func (s ConnState) String() string {
 	return fmt.Sprintf("state(%d)", int32(s))
 }
 
+// Dialer establishes the client's underlying connection. The default
+// dials TCP; simulations inject an in-process transport (simnet.Net).
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+func tcpDialer(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // dialConfig collects the per-client resilience knobs.
 type dialConfig struct {
 	callTimeout     time.Duration
@@ -65,6 +73,9 @@ type dialConfig struct {
 	backoffBase     time.Duration
 	backoffMax      time.Duration
 	maxAttempts     int
+	dialer          Dialer
+	jitterSeed      int64
+	jitterSeeded    bool
 }
 
 func defaultDialConfig() dialConfig {
@@ -73,6 +84,7 @@ func defaultDialConfig() dialConfig {
 		writeTimeout: 10 * time.Second,
 		backoffBase:  50 * time.Millisecond,
 		backoffMax:   5 * time.Second,
+		dialer:       tcpDialer,
 	}
 }
 
@@ -132,6 +144,31 @@ func WithReconnect(base, max time.Duration) DialOption {
 // stays disconnected until Close). Zero means retry forever.
 func WithMaxReconnectAttempts(n int) DialOption {
 	return func(c *dialConfig) { c.maxAttempts = n }
+}
+
+// WithDialer replaces the transport used for the initial connection
+// and every reconnect attempt. The simulation harness injects an
+// in-process network here so the whole wire protocol runs under
+// deterministic fault schedules; production code keeps the TCP
+// default.
+func WithDialer(d Dialer) DialOption {
+	return func(c *dialConfig) {
+		if d != nil {
+			c.dialer = d
+		}
+	}
+}
+
+// WithJitterSeed fixes the PRNG behind reconnect backoff jitter so a
+// simulation run is reproducible from a single seed. Without it the
+// jitter is seeded from the wall clock, which is what a production
+// fleet wants (clients spread out) and exactly what a deterministic
+// replay cannot tolerate.
+func WithJitterSeed(seed int64) DialOption {
+	return func(c *dialConfig) {
+		c.jitterSeed = seed
+		c.jitterSeeded = true
+	}
 }
 
 // ReadMeta is the cache-facing metadata a remote read returns.
@@ -204,9 +241,13 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
+	conn, err := cfg.dialer(addr, cfg.dialTimeout)
 	if err != nil {
 		return nil, err
+	}
+	jitterSeed := cfg.jitterSeed
+	if !cfg.jitterSeeded {
+		jitterSeed = time.Now().UnixNano()
 	}
 	c := &Client{
 		addr:    addr,
@@ -215,7 +256,7 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 		state:   StateConnected,
 		epoch:   1,
 		pending: make(map[uint64]*pendingCall),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:     rand.New(rand.NewSource(jitterSeed)),
 	}
 	c.invalCond = sync.NewCond(&c.invalMu)
 	go c.dispatchInvals()
@@ -293,6 +334,17 @@ func (c *Client) DownSince() time.Time {
 		return c.downSince
 	}
 	return time.Time{}
+}
+
+// PendingInvalidations reports how many server pushes are queued but
+// not yet delivered to the OnInvalidate handler. Simulations drain
+// this to zero (together with the network's in-flight count) before
+// trusting a consistency check; operators can poll it to see whether
+// a slow handler is falling behind the push stream.
+func (c *Client) PendingInvalidations() int {
+	c.invalMu.Lock()
+	defer c.invalMu.Unlock()
+	return len(c.invals)
 }
 
 // enqueueInval appends one push to the dispatch queue. The queue is
@@ -422,7 +474,7 @@ func (c *Client) reconnectLoop() {
 		}
 		c.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout)
+		conn, err := c.cfg.dialer(c.addr, c.cfg.dialTimeout)
 		if err == nil {
 			fc := newFrameConn(conn)
 			c.mu.Lock()

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"net"
 	"strings"
 	"testing"
+	"time"
 )
 
 // FuzzParsePropertySpec checks the spec parser never panics and that
@@ -28,6 +30,68 @@ func FuzzParsePropertySpec(f *testing.F) {
 		for _, k := range p.Events() {
 			if k.String() == "" {
 				t.Fatalf("spec %q: bad event kind", spec)
+			}
+		}
+	})
+}
+
+// FuzzProtocolRoundTrip checks the Match struct framing introduced for
+// OpFind: static property values are arbitrary user strings, so tabs,
+// newlines, empty values, and multi-byte UTF-8 must survive a full
+// frameConn encode/decode (the pre-struct format packed matches into a
+// tab-separated string and corrupted exactly these inputs).
+func FuzzProtocolRoundTrip(f *testing.F) {
+	f.Add("doc", "value", "universal", uint8(1))
+	f.Add("d\tmid", "tab\tseparated", "personal", uint8(2))
+	f.Add("d\nnl", "line\none\nline two", "universal", uint8(3))
+	f.Add("", "", "", uint8(0))
+	f.Add("δοc", "значение → 値", "universal", uint8(5))
+	f.Add("d", "trailing\t\n", "personal", uint8(7))
+	f.Fuzz(func(t *testing.T, doc, value, level string, n uint8) {
+		matches := make([]Match, int(n)%5)
+		for i := range matches {
+			matches[i] = Match{
+				Doc:   doc + strings.Repeat("x", i),
+				Value: value,
+				Level: level,
+			}
+		}
+		want := Response{
+			ID:         42,
+			Body:       []byte(value),
+			NotifyDoc:  doc,
+			NotifyUser: value,
+			Matches:    matches,
+		}
+
+		// Drive the real framing layer over an in-memory pipe, exactly
+		// as serverConn.send / Client.readLoop do over TCP.
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		fcA, fcB := newFrameConn(a), newFrameConn(b)
+		sendErr := make(chan error, 1)
+		go func() { sendErr <- fcA.send(&want, time.Second) }()
+		var got Response
+		if err := fcB.dec.Decode(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := <-sendErr; err != nil {
+			t.Fatalf("send: %v", err)
+		}
+
+		if got.ID != want.ID || got.NotifyDoc != want.NotifyDoc || got.NotifyUser != want.NotifyUser {
+			t.Fatalf("header fields corrupted: got %+v want %+v", got, want)
+		}
+		if string(got.Body) != string(want.Body) {
+			t.Fatalf("body corrupted: %q != %q", got.Body, want.Body)
+		}
+		if len(got.Matches) != len(want.Matches) {
+			t.Fatalf("match count %d != %d", len(got.Matches), len(want.Matches))
+		}
+		for i, m := range got.Matches {
+			if m != want.Matches[i] {
+				t.Fatalf("match %d corrupted: %+v != %+v", i, m, want.Matches[i])
 			}
 		}
 	})

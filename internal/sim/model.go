@@ -1,0 +1,323 @@
+// Package sim is a deterministic whole-stack simulation harness for
+// the Placeless caching system. One seeded run builds the full stack —
+// document space, core cache (either write mode, memoization on or
+// off), TCP server, resilient client, and remote cache — on a virtual
+// clock and a fault-injecting in-process network, drives it with a
+// pseudo-random workload schedule, and checks every simulated read
+// against a sequential reference model of
+//
+//	transform-chain(user)(bits)
+//
+// A read is legal only if the bytes it returned correspond to a model
+// state that was legal at some instant of the read; stale reads, lost
+// writes, and deadlocks (detected as virtual-clock stalls) fail the
+// run and dump a replayable event trace keyed by the seed.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// farFuture stands in for "still current" when comparing intervals.
+var farFuture = time.Date(3000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// version is one (doc, user) view the model has seen. A zero `to`
+// means the version is still open (possibly current). Several versions
+// of one key may be open at once when the harness cannot know which
+// side of a race the real system landed on (e.g. a periodic write-back
+// flush racing a buffer overwrite): the legal-state set then contains
+// every open version until a definite transition closes them.
+type version struct {
+	seq  uint64
+	data []byte
+	from time.Time
+	to   time.Time
+}
+
+func (v *version) open() bool { return v.to.IsZero() }
+
+// chainProp mirrors one attached read-path transformer: its docspace
+// name, release version, and the pure byte transform it applies.
+type chainProp struct {
+	name    string
+	version int
+	fn      func([]byte) []byte
+	// kind and memo carry the workload generator's catalog bookkeeping
+	// so Replace can re-derive the same transform family at the next
+	// version.
+	kind int
+	memo string
+}
+
+// modelDoc is the reference state of one document.
+type modelDoc struct {
+	id    string
+	users []string // users[0] is the owner and the only writer
+
+	// sources is the set of byte strings that may currently be stored
+	// in the backing repository. Usually one; a write-back buffer
+	// overwrite racing a timer flush makes the outcome ambiguous and
+	// temporarily widens the set.
+	sources [][]byte
+	// buffered is write-back content not yet flushed (nil = clean).
+	buffered []byte
+
+	universal []chainProp
+	personal  map[string][]chainProp
+}
+
+// model is the sequential reference implementation plus the legality
+// oracle.
+type model struct {
+	seq      uint64
+	docs     map[string]*modelDoc
+	order    []string
+	history  map[string][]version // key(doc,user) → versions
+	minLegal map[string]uint64    // remote reads: lowest legal seq
+}
+
+func mkey(doc, user string) string { return doc + "\x00" + user }
+
+func newModel() *model {
+	return &model{
+		docs:     make(map[string]*modelDoc),
+		history:  make(map[string][]version),
+		minLegal: make(map[string]uint64),
+	}
+}
+
+// addDoc registers a document with its initial repository content and
+// user set, opening the first version of every user's view at `at`.
+func (m *model) addDoc(id string, users []string, content []byte, at time.Time) {
+	d := &modelDoc{
+		id:       id,
+		users:    append([]string{}, users...),
+		sources:  [][]byte{append([]byte{}, content...)},
+		personal: make(map[string][]chainProp),
+	}
+	m.docs[id] = d
+	m.order = append(m.order, id)
+	m.syncOpens(id, users, at, at)
+}
+
+// render applies the user's transform chain (universal prefix, then
+// personal suffix — the read-path order) to one candidate source.
+func (d *modelDoc) render(src []byte, user string) []byte {
+	out := append([]byte{}, src...)
+	for _, p := range d.universal {
+		out = p.fn(out)
+	}
+	for _, p := range d.personal[user] {
+		out = p.fn(out)
+	}
+	return out
+}
+
+// syncOpens recomputes the legal-state set for the given users of doc:
+// the renders of every possible source. Open versions whose bytes are
+// no longer renderable are closed at hi (they may have been legal up
+// to that instant); renders with no open version get a fresh one
+// starting at lo. lo ≤ hi bound when the transition really happened.
+func (m *model) syncOpens(doc string, users []string, lo, hi time.Time) {
+	d := m.docs[doc]
+	for _, user := range users {
+		var datas [][]byte
+		for _, src := range d.sources {
+			r := d.render(src, user)
+			dup := false
+			for _, e := range datas {
+				if bytes.Equal(e, r) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				datas = append(datas, r)
+			}
+		}
+		m.setOpens(mkey(doc, user), datas, lo, hi)
+	}
+}
+
+// setOpens reconciles the open-version set of one key with datas.
+func (m *model) setOpens(k string, datas [][]byte, lo, hi time.Time) {
+	h := m.history[k]
+	inDatas := func(b []byte) bool {
+		for _, d := range datas {
+			if bytes.Equal(d, b) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range h {
+		if h[i].open() && !inDatas(h[i].data) {
+			h[i].to = hi
+		}
+	}
+	for _, data := range datas {
+		found := false
+		for i := range h {
+			if h[i].open() && bytes.Equal(h[i].data, data) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			m.seq++
+			h = append(h, version{seq: m.seq, data: append([]byte{}, data...), from: lo})
+		}
+	}
+	m.history[k] = h
+}
+
+// applyWrite records a definite write-through store: the repository
+// now holds exactly data.
+func (m *model) applyWrite(doc string, data []byte, lo, hi time.Time) {
+	d := m.docs[doc]
+	d.sources = [][]byte{append([]byte{}, data...)}
+	m.syncOpens(doc, d.users, lo, hi)
+}
+
+// bufferWrite records a write-back Write: content is buffered, the
+// repository is untouched. timerArmed tells the model whether a
+// periodic flush can race the buffer: overwriting a still-dirty buffer
+// then leaves the old data possibly-flushed, so it joins the source
+// set until the next definite flush resolves the ambiguity.
+func (m *model) bufferWrite(doc string, data []byte, timerArmed bool, lo, hi time.Time) {
+	d := m.docs[doc]
+	if d.buffered != nil && timerArmed {
+		dup := false
+		for _, s := range d.sources {
+			if bytes.Equal(s, d.buffered) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.sources = append(d.sources, d.buffered)
+			m.syncOpens(doc, d.users, lo, hi)
+		}
+	}
+	d.buffered = append([]byte{}, data...)
+}
+
+// applyFlush records that the buffered write-back content definitely
+// reached the repository somewhere in [lo, hi].
+func (m *model) applyFlush(doc string, lo, hi time.Time) {
+	d := m.docs[doc]
+	if d.buffered == nil {
+		return
+	}
+	d.sources = [][]byte{d.buffered}
+	d.buffered = nil
+	m.syncOpens(doc, d.users, lo, hi)
+}
+
+// dirty reports whether the model expects buffered write-back content.
+func (m *model) dirty(doc string) bool { return m.docs[doc].buffered != nil }
+
+// legalLocal reports whether a strongly-consistent (in-process) read
+// of (doc, user) spanning [t0, t1] of virtual time may legally have
+// returned got: some version with matching bytes must have been live
+// during the read. want describes the expected state for diagnostics.
+func (m *model) legalLocal(doc, user string, got []byte, t0, t1 time.Time) (bool, string) {
+	k := mkey(doc, user)
+	for i := range m.history[k] {
+		v := &m.history[k][i]
+		to := v.to
+		if to.IsZero() {
+			to = farFuture
+		}
+		if !v.from.After(t1) && !to.Before(t0) && bytes.Equal(v.data, got) {
+			return true, ""
+		}
+	}
+	return false, m.describe(k, t0, t1)
+}
+
+// legalRemote reports whether a push-invalidated remote read may
+// legally have returned got. Remote staleness is bounded by causality,
+// not by intervals: the cache may serve any version at least as new as
+// the newest one it has provably observed (minLegal), which advances
+// monotonically — per key, a remote reader never travels back in time.
+// On a match the bound tightens to the version observed.
+func (m *model) legalRemote(doc, user string, got []byte) (bool, string) {
+	k := mkey(doc, user)
+	min := m.minLegal[k]
+	for i := range m.history[k] {
+		v := &m.history[k][i]
+		if v.seq < min {
+			continue
+		}
+		if bytes.Equal(v.data, got) {
+			m.minLegal[k] = v.seq
+			return true, ""
+		}
+	}
+	return false, m.describe(k, time.Time{}, time.Time{})
+}
+
+// settleKey records that the remote cache has provably caught up on
+// this key (pushes drained, connection up, suspect window closed): all
+// versions older than the current legal-state set become illegal. With
+// several versions still open (unresolved flush race) the bound stops
+// at the oldest open one.
+func (m *model) settleKey(doc, user string) {
+	k := mkey(doc, user)
+	min := uint64(0)
+	for i := range m.history[k] {
+		v := &m.history[k][i]
+		if v.open() && (min == 0 || v.seq < min) {
+			min = v.seq
+		}
+	}
+	if min > m.minLegal[k] {
+		m.minLegal[k] = min
+	}
+}
+
+// current returns the single open version's bytes, or ok=false while
+// the legal-state set is ambiguous.
+func (m *model) current(doc, user string) ([]byte, bool) {
+	k := mkey(doc, user)
+	var cur []byte
+	n := 0
+	for i := range m.history[k] {
+		if m.history[k][i].open() {
+			cur = m.history[k][i].data
+			n++
+		}
+	}
+	return cur, n == 1
+}
+
+// describe summarizes a key's version history for failure reports.
+func (m *model) describe(k string, t0, t1 time.Time) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "history of %q", k)
+	if !t0.IsZero() {
+		fmt.Fprintf(&b, " (read interval [%s, %s])", t0.Format("15:04:05.000000"), t1.Format("15:04:05.000000"))
+	}
+	for i := range m.history[k] {
+		v := &m.history[k][i]
+		to := "open"
+		if !v.open() {
+			to = v.to.Format("15:04:05.000000")
+		}
+		fmt.Fprintf(&b, "\n    seq=%d from=%s to=%s data=%q",
+			v.seq, v.from.Format("15:04:05.000000"), to, truncate(v.data))
+	}
+	fmt.Fprintf(&b, "\n    minLegalSeq=%d", m.minLegal[k])
+	return b.String()
+}
+
+func truncate(b []byte) string {
+	const max = 48
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + fmt.Sprintf("…(%d bytes)", len(b))
+}

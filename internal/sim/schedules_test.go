@@ -1,0 +1,262 @@
+package sim
+
+// Named regression schedules: each test pins one historically subtle
+// interleaving as a deterministic scenario through the sim harness, so
+// a reintroduced bug fails a test with a name instead of a seed sweep.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/event"
+	"placeless/internal/property"
+)
+
+// scheduleWorld builds a pinned world for a scripted schedule: remote
+// off unless asked, periodic/overflow flushing off unless asked.
+func scheduleWorld(t *testing.T, seed int64, mut func(*Config)) *World {
+	t.Helper()
+	off := false
+	zero := 0
+	d0 := time.Duration(0)
+	cfg := Config{Seed: seed, Remote: &off, MaxDirty: &zero, FlushEvery: &d0}
+	if mut != nil {
+		mut(&cfg)
+	}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+// expect renders what a read of (doc, user) must return once src is
+// the document's stored content.
+func expect(w *World, doc, user string, src []byte) []byte {
+	return w.model.docs[doc].render(src, user)
+}
+
+// raceWriter is a test property that fires a callback the first time
+// content is written through the Placeless system. The callback runs
+// inside WriteDocument's event dispatch — i.e. exactly between Flush's
+// dirty-table snapshot and its cleanup — which turns a nanosecond-wide
+// race window into a deterministic schedule.
+type raceWriter struct {
+	property.Base
+	fire func()
+}
+
+func (r *raceWriter) Events() []event.Kind { return []event.Kind{event.ContentWritten} }
+
+func (r *raceWriter) OnEvent(_ *property.EventContext, e event.Event) {
+	if e.Kind == event.ContentWritten && r.fire != nil {
+		f := r.fire
+		r.fire = nil
+		f()
+	}
+}
+
+// TestScheduleFlushRacingWrite pins the write-back lost-update race:
+// a Write landing while Flush is storing the previous buffer must
+// survive to the next flush cycle — Flush may only clear the dirty
+// entry it actually stored. The racing write is injected from a
+// contentWritten handler, so it always lands mid-flush. Catches
+// regressions of Flush's snapshot-identity guard.
+func TestScheduleFlushRacingWrite(t *testing.T) {
+	wb := core.WriteBack
+	w := scheduleWorld(t, 11, func(c *Config) { c.Mode = &wb })
+	doc := w.model.order[0]
+	owner := w.model.docs[doc].users[0]
+
+	hook := &raceWriter{Base: property.Base{PropName: "race-writer"}}
+	if err := w.space.Attach(doc, "", docspace.Universal, hook); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		vA := []byte(fmt.Sprintf("a%04d", i))
+		vB := []byte(fmt.Sprintf("b%04d", i))
+		if err := w.cache.Write(doc, owner, vA); err != nil {
+			t.Fatal(err)
+		}
+		var hookErr error
+		hook.fire = func() { hookErr = w.cache.Write(doc, owner, vB) }
+		if err := w.cache.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if hookErr != nil {
+			t.Fatal(hookErr)
+		}
+		// vA was stored and vB landed mid-flush: vB must still be
+		// buffered, not silently discarded by the flush's cleanup.
+		if !w.cache.DirtyFor(doc, owner) {
+			t.Fatalf("iter %d: flush dropped the racing write from its dirty table", i)
+		}
+		if err := w.cache.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.cache.Read(doc, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := expect(w, doc, owner, vB); !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: write racing flush was lost: read %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestScheduleMaxDirtyOverflowOrdering pins the overflow flush: the
+// write that pushes the dirty set past MaxDirty must synchronously
+// flush everything, and every buffered write must reach the
+// repository.
+func TestScheduleMaxDirtyOverflowOrdering(t *testing.T) {
+	wb := core.WriteBack
+	two := 2
+	var w *World
+	// Deterministically find a seed whose world has ≥ 3 documents.
+	for seed := int64(1); ; seed++ {
+		w = scheduleWorld(t, seed, func(c *Config) { c.Mode = &wb; c.MaxDirty = &two })
+		if len(w.model.order) >= 3 {
+			break
+		}
+	}
+	writes := map[string][]byte{}
+	for i, doc := range w.model.order[:3] {
+		data := []byte(fmt.Sprintf("ov%d", i))
+		writes[doc] = data
+		if err := w.cache.Write(doc, w.model.docs[doc].users[0], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third write exceeded MaxDirty=2 and must have flushed inline.
+	if n := w.cache.Dirty(); n != 0 {
+		t.Fatalf("after overflow, %d entries still dirty, want 0", n)
+	}
+	for doc, data := range writes {
+		owner := w.model.docs[doc].users[0]
+		got, err := w.cache.Read(doc, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := expect(w, doc, owner, data); !bytes.Equal(got, want) {
+			t.Fatalf("overflow flush lost %s: read %q, want %q", doc, got, want)
+		}
+	}
+}
+
+// TestScheduleReadYourWritesAfterDrop pins write-back visibility: a
+// buffered Write drops the writer's cached read entry, but the repo
+// still holds the old bits, so reads return the old content until the
+// flush — and must observe the write immediately after it.
+func TestScheduleReadYourWritesAfterDrop(t *testing.T) {
+	wb := core.WriteBack
+	w := scheduleWorld(t, 13, func(c *Config) { c.Mode = &wb })
+	doc := w.model.order[0]
+	owner := w.model.docs[doc].users[0]
+
+	before, err := w.cache.Read(doc, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := []byte("ryw-next")
+	if err := w.cache.Write(doc, owner, next); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately pre-flush: the buffered write is not yet readable.
+	mid, err := w.cache.Read(doc, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid, before) {
+		t.Fatalf("pre-flush read changed: got %q, want the old content %q", mid, before)
+	}
+	if err := w.cache.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.cache.Read(doc, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expect(w, doc, owner, next); !bytes.Equal(after, want) {
+		t.Fatalf("read-your-writes after flush: got %q, want %q", after, want)
+	}
+}
+
+// TestKillRestartFreshness pins reconnect freshness: a remote cache
+// whose connection was killed while a write landed must, after
+// reconnect and settling, serve the new content — the resubscribe +
+// suspect-window logic may not let the pre-kill copy linger.
+func TestKillRestartFreshness(t *testing.T) {
+	on := true
+	wt := core.WriteThrough
+	rcap := int64(1 << 20)
+	// Find a seed + key whose content the remote cache actually stores
+	// (cacheability is seed-derived): the regression needs a cached
+	// pre-kill entry to go stale.
+	var (
+		w          *World
+		doc, owner string
+	)
+seeds:
+	for seed := int64(1); ; seed++ {
+		w = scheduleWorld(t, seed, func(c *Config) {
+			c.Remote = &on
+			c.Mode = &wt
+			c.RemoteCapacity = &rcap
+		})
+		// Half the seeds boot with a lossy wire; this schedule needs a
+		// clean one until the scripted kill.
+		w.net.SetFaults(0, 0, 0, 0)
+		if err := w.settle(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range w.model.order {
+			u := w.model.docs[id].users[0]
+			// Warm, then re-read: a Hit means the entry is cached.
+			err := w.guarded("warm-read", func() error {
+				if _, e := w.rc.Read(id, u); e != nil {
+					return e
+				}
+				_, e := w.rc.Read(id, u)
+				return e
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.rc.Stats().Hits > 0 {
+				doc, owner = id, u
+				break seeds
+			}
+		}
+	}
+	// Partition before killing the connections so reconnect attempts
+	// cannot complete: the write below must land while the remote side
+	// is provably down, guaranteeing its push invalidation is lost.
+	w.net.Partition()
+	w.net.BreakConns()
+	next := []byte("post-kill")
+	if err := w.guarded("write", func() error {
+		return w.cache.Write(doc, owner, next)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.settle(); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := w.guarded("post-settle-read", func() error {
+		var e error
+		got, e = w.rc.Read(doc, owner)
+		return e
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := expect(w, doc, owner, next); !bytes.Equal(got, want) {
+		t.Fatalf("remote read after kill+write+settle: got %q, want %q", got, want)
+	}
+}

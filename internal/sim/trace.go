@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// traceEvent is one executed (or attempted) operation in a run.
+type traceEvent struct {
+	idx    int
+	at     time.Time // virtual time at the start of the op
+	op     string
+	detail string
+}
+
+// trace is the append-only event log of one seeded run. On failure it
+// is dumped next to the test binary so the schedule that provoked the
+// bug survives the process.
+type trace struct {
+	events []traceEvent
+}
+
+func (tr *trace) add(idx int, at time.Time, op, detail string) {
+	tr.events = append(tr.events, traceEvent{idx: idx, at: at, op: op, detail: detail})
+}
+
+// note annotates the most recent event with its outcome.
+func (tr *trace) note(format string, args ...interface{}) {
+	if len(tr.events) == 0 {
+		return
+	}
+	e := &tr.events[len(tr.events)-1]
+	if e.detail != "" {
+		e.detail += " "
+	}
+	e.detail += fmt.Sprintf(format, args...)
+}
+
+func (tr *trace) String() string {
+	var b strings.Builder
+	for _, e := range tr.events {
+		fmt.Fprintf(&b, "%5d  %s  %-14s %s\n",
+			e.idx, e.at.Format("15:04:05.000000"), e.op, e.detail)
+	}
+	return b.String()
+}
+
+// dumpFailure writes the full event trace plus repro instructions to
+// sim-failure-seed<N>.txt in the current directory (the package dir
+// under `go test`; CI uploads these as artifacts) and returns an error
+// that names the seed, the repro command, and the file.
+func dumpFailure(cfg Config, tr *trace, cause error) error {
+	name := fmt.Sprintf("sim-failure-seed%d.txt", cfg.Seed)
+	repro := fmt.Sprintf("go test -race -run 'TestSimSeed' -v ./internal/sim -args -sim.seed=%d -sim.ops=%d", cfg.Seed, cfg.Ops)
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulation failure, seed %d (%d ops)\n", cfg.Seed, cfg.Ops)
+	fmt.Fprintf(&b, "reproduce with:\n  %s\n\n", repro)
+	fmt.Fprintf(&b, "cause:\n  %v\n\nevent trace (op#, virtual time, op, detail):\n", cause)
+	b.WriteString(tr.String())
+	if werr := os.WriteFile(name, []byte(b.String()), 0o644); werr != nil {
+		return fmt.Errorf("seed %d: %w (trace dump failed: %v; repro: %s)", cfg.Seed, cause, werr, repro)
+	}
+	return fmt.Errorf("seed %d: %w\n  trace: %s\n  repro: %s", cfg.Seed, cause, name, repro)
+}
