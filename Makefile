@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos fuzz sim sim-seed bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
 
 all: build vet test
 
@@ -22,7 +22,7 @@ test-race:
 # the sharded cache core and the TCP server/remote-cache pair, twice,
 # so scheduling-order-dependent races get two chances to surface.
 race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/... ./internal/obs/...
+	$(GO) test -race -count=2 ./internal/core/... ./internal/server/... ./internal/remote/... ./internal/obs/... ./internal/store/...
 
 # Fault-injection suite: wedged servers, kill/restart cycles, degraded
 # modes, reconnect/resubscribe/flush. The short timeout is part of the
@@ -34,6 +34,14 @@ chaos:
 # fuzzing; use `go test -fuzz=FuzzShardHash ./internal/core/` for that).
 fuzz:
 	$(GO) test -run Fuzz ./...
+
+# Durable disk tier: unit tests + the crash-consistency sweep under
+# -race, the warm-restart integration tests, then a short open-ended
+# fuzz of the segment format beyond the checked-in seed corpus.
+store:
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -run TestDurable -count=1 ./internal/core/
+	$(GO) test -run NONE -fuzz FuzzSegmentRoundTrip -fuzztime 30s ./internal/store/
 
 # Deterministic whole-stack simulation sweep: 1200 seeded schedules
 # through the full stack (docspace, core cache, server, remote cache)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	placelessd [-addr :7999] [-root DIR] [-mem] [-cache BYTES] [-memoize] [-http ADDR]
+//	placelessd [-addr :7999] [-root DIR] [-mem] [-cache BYTES] [-memoize] [-store DIR] [-http ADDR]
 //
 // With -root, documents created through the server are stored as
 // files under DIR, and out-of-band edits to those files are caught by
@@ -16,12 +16,21 @@
 // the given byte capacity (the paper's server-co-located placement);
 // -memoize additionally enables universal-stage memoization.
 //
+// With -store, the cache is backed by a durable content-addressed disk
+// tier under DIR: expensive results are written behind to append-only
+// segment files and revalidated against the live property graph on the
+// first miss after a restart, so a warm working set survives process
+// death (requires -cache; see docs/OPERATIONS.md for the recovery
+// runbook).
+//
 // With -http, an observability endpoint is served on ADDR: /metrics
-// (Prometheus text exposition), /debug/traces (recent per-read traces
-// as JSON) and /debug/pprof/. See docs/OPERATIONS.md.
+// (Prometheus text exposition), /status (JSON: store recovery and
+// cache counters), /debug/traces (recent per-read traces as JSON) and
+// /debug/pprof/. See docs/OPERATIONS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +45,7 @@ import (
 	"placeless/internal/repo"
 	"placeless/internal/server"
 	"placeless/internal/simnet"
+	"placeless/internal/store"
 )
 
 func main() {
@@ -45,6 +55,7 @@ func main() {
 	journalPath := flag.String("journal", "", "configuration journal file; replayed at startup, appended while running")
 	cacheBytes := flag.Int64("cache", 0, "server-side content cache capacity in bytes (0 = no cache)")
 	memoize := flag.Bool("memoize", false, "memoize the universal transform stage (requires -cache)")
+	storeDir := flag.String("store", "", "durable content-addressed disk tier directory (requires -cache)")
 	httpAddr := flag.String("http", "", "HTTP observability address serving /metrics, /debug/traces and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
@@ -74,19 +85,37 @@ func main() {
 		observer = obs.NewObserver()
 	}
 
+	var diskTier *store.Store
+	var recovery store.Recovery
+	var cache *core.Cache
 	var srv *server.Server
 	if *cacheBytes > 0 {
-		cache := core.New(space, core.Options{
+		if *storeDir != "" {
+			var err error
+			diskTier, recovery, err = store.Open(*storeDir, store.Options{})
+			if err != nil {
+				log.Fatalf("placelessd: open store: %v", err)
+			}
+			defer diskTier.Close()
+			fmt.Printf("placelessd: disk tier %s: recovered %d blobs, %d entries, %d intermediates (%d stale, %d orphaned dropped; %d blob bytes, %d meta bytes lost to torn tails)\n",
+				*storeDir, recovery.Blobs, recovery.Entries, recovery.Intermediates,
+				recovery.DroppedStale, recovery.DroppedNoBlob, recovery.LostBlobBytes, recovery.LostMetaBytes)
+		}
+		cache = core.New(space, core.Options{
 			Name:     "placelessd",
 			Capacity: *cacheBytes,
 			Memoize:  *memoize,
 			Observer: observer,
+			Store:    diskTier,
 		})
 		defer cache.Close()
 		srv = server.NewCached(space, backing, cache)
 	} else {
 		if *memoize {
 			log.Fatal("placelessd: -memoize requires -cache")
+		}
+		if *storeDir != "" {
+			log.Fatal("placelessd: -store requires -cache")
 		}
 		srv = server.New(space, backing)
 	}
@@ -104,6 +133,29 @@ func main() {
 			func() int64 { _, _, c := srv.Counters(); return c })
 		mux := http.NewServeMux()
 		observer.Mount(mux)
+		// /status: operator-facing JSON snapshot — boot-time store
+		// recovery, live store footprint, and cache counters. Scraped
+		// by the recovery runbook (docs/OPERATIONS.md) to confirm a
+		// restart actually recovered the working set.
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			type status struct {
+				Cache    *core.Stats     `json:"cache,omitempty"`
+				Store    *store.Stats    `json:"store,omitempty"`
+				Recovery *store.Recovery `json:"recovery,omitempty"`
+			}
+			var s status
+			if cache != nil {
+				cs := cache.Stats()
+				s.Cache = &cs
+			}
+			if diskTier != nil {
+				ss := diskTier.Stats()
+				s.Store = &ss
+				s.Recovery = &recovery
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s)
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				log.Fatalf("placelessd: http: %v", err)

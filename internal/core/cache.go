@@ -42,6 +42,7 @@ import (
 	"placeless/internal/property"
 	"placeless/internal/replace"
 	"placeless/internal/sig"
+	"placeless/internal/store"
 )
 
 // ErrClosed is returned by operations on a closed cache.
@@ -129,6 +130,21 @@ type Options struct {
 	// Observer serves one cache. Nil disables all instrumentation at
 	// zero cost to the read path.
 	Observer *obs.Observer
+	// Store, when non-nil, attaches the durable content-addressed disk
+	// tier (internal/store): expensive-to-rebuild results are demoted
+	// to disk at install time, misses consult the tier before
+	// executing transforms, and invalidation epochs are persisted so a
+	// restart never serves a signature invalidated while the process
+	// was down (see durable.go). The tier is built on content
+	// addressing, so attaching a store forces Memoize on. The store's
+	// lifetime belongs to the caller: close it after Close (or Kill)
+	// returns. One Store serves one cache at a time.
+	Store *store.Store
+	// DurableMinCost is the minimum replacement cost for a result to
+	// be demoted to the disk tier — the durable analogue of the GDS
+	// cost input: cheap-to-rebuild content is not worth the disk
+	// write. Zero demotes every eligible result.
+	DurableMinCost time.Duration
 }
 
 // CostSource selects the replacement-cost signal handed to the policy.
@@ -235,6 +251,27 @@ type Stats struct {
 	// IntermediateBytes is the current logical footprint of memoized
 	// intermediates (before signature sharing).
 	IntermediateBytes int64
+
+	// StoreDemotions counts (doc, user) results written behind to the
+	// durable disk tier at install time.
+	StoreDemotions int64
+	// StoreIntermediateDemotions counts universal-stage outputs written
+	// to the disk tier.
+	StoreIntermediateDemotions int64
+	// StorePromotions counts misses served by revalidating and
+	// promoting a durable entry instead of executing transforms.
+	StorePromotions int64
+	// StoreIntermediatePromotions counts universal-stage executions
+	// avoided by promoting a durable intermediate.
+	StoreIntermediatePromotions int64
+	// StorePromotionRejects counts durable entries found for a missing
+	// key but refused — content key mismatch, stale epoch, missing or
+	// corrupt blob — and recomputed instead.
+	StorePromotionRejects int64
+	// StoreErrors counts disk-tier I/O failures (demotion writes,
+	// epoch appends). The tier is write-behind, so errors degrade
+	// durability, never correctness.
+	StoreErrors int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 with no traffic.
@@ -336,6 +373,12 @@ func New(space *docspace.Space, opts Options) *Cache {
 	if opts.Name == "" {
 		opts.Name = "cache"
 	}
+	if opts.Store != nil {
+		// The disk tier is an extension of the content-addressed
+		// machinery: demotion records content keys the staged read path
+		// computes, so durability implies memoization.
+		opts.Memoize = true
+	}
 	policy := opts.Policy
 	if policy == nil {
 		policy = replace.NewGDS()
@@ -355,6 +398,17 @@ func New(space *docspace.Space, opts Options) *Cache {
 		notifiers:    make(map[string][]notifierSpot),
 	}
 	c.capacity.Store(opts.Capacity)
+	if opts.Store != nil {
+		// Seed the invalidation-generation counters from the persisted
+		// epochs, so generations recorded by this process continue the
+		// sequence the previous process left on disk — an entry demoted
+		// now can never be mistaken for one invalidated before boot.
+		for doc, gen := range opts.Store.Epochs() {
+			g := new(atomic.Uint64)
+			g.Store(gen)
+			c.gens.Store(doc, g)
+		}
+	}
 	if opts.Observer != nil {
 		c.registerMetrics(opts.Observer)
 	}
@@ -429,6 +483,9 @@ type EntryInfo struct {
 	// the universal stage was served memoized and only the personal
 	// suffix executed. Always false on hits and coalesced misses.
 	IntermediateHit bool
+	// DiskPromoted reports that this miss was served by promoting a
+	// revalidated entry from the durable disk tier — no transform ran.
+	DiskPromoted bool
 }
 
 // minExpiry extracts the earliest TTL deadline from a verifier set.
@@ -478,6 +535,8 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 		tr.Verdict = obs.VerdictHit
 	case tr.Coalesced:
 		tr.Verdict = obs.VerdictCoalesced
+	case info.DiskPromoted:
+		tr.Verdict = obs.VerdictDisk
 	case info.IntermediateHit:
 		tr.Verdict = obs.VerdictMemo
 	default:
@@ -645,6 +704,14 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 	g := c.docGen(doc)
 	gen := g.Load()
 
+	// Durable tier first: a revalidated disk entry costs one source
+	// fetch instead of the whole transform chain.
+	if c.opts.Store != nil {
+		if data, info, ok := c.promote(doc, user, g, gen); ok {
+			return data, info, nil, nil
+		}
+	}
+
 	var res property.ReadResult
 	var trace docspace.StageTrace
 	var tChain time.Time
@@ -731,6 +798,10 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 
 	c.installNotifiers(doc, user)
 	c.evict(k)
+	// Write-behind demotion at install time, not at eviction: a warm
+	// restart must recover the cache as it was, including entries that
+	// were never evicted. All store I/O runs outside cache locks.
+	c.demoteEntry(doc, user, data, res, trace, g, gen)
 	return data, info, res.Related, nil
 }
 

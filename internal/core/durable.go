@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/sig"
+	"placeless/internal/store"
+)
+
+// The durable disk tier (internal/store) under the in-memory cache.
+//
+// The tier is write-behind and content-addressed. At install time a
+// miss whose result is expensive enough (Options.DurableMinCost) is
+// demoted: its bytes go into an append-only segment file and a meta
+// record binds them to the content key the staged read path computed —
+// (source signature, universal-chain fingerprint, personal-chain
+// fingerprint). On a later miss — typically after a restart — the tier
+// is consulted first: the persisted key is recomputed against the live
+// document space, and only if every component matches (and the chains
+// are still memoizable) are the disk bytes served, because equal
+// content keys over memoizable chains imply byte-identical output.
+//
+// What content addressing cannot see is time the process spent down.
+// Two mechanisms close that window:
+//
+//   - Invalidation epochs. Every notifier-driven invalidation appends
+//     the document's new generation to the store's meta log; New seeds
+//     the in-memory generation counters from the persisted epochs; and
+//     the store itself refuses entries recorded under an older
+//     generation. A signature invalidated while the process was down is
+//     structurally unservable even though its bytes are still on disk.
+//   - Re-probing. The content-key probe at promotion time reads the
+//     *current* source bytes and chain fingerprints, so a document
+//     rewritten out-of-band during the outage fails the SourceSig
+//     match and falls through to recompute.
+//
+// Promoted entries cannot carry their original verifiers (closures do
+// not persist), so each gets a fresh "store-recheck" verifier that
+// re-derives the content key on every hit — strictly more conservative
+// than the original verifier set for memoizable chains, whose validity
+// is exactly "the content key still matches".
+//
+// Locking: all store I/O and all content-key probes run with no cache
+// lock held. Promotion takes the shard lock only for the final
+// install, re-checking closed and the generation snapshot under it —
+// the same discipline as miss's install.
+
+// appendEpoch persists a document's new invalidation generation so a
+// restart refuses entries recorded before it. No-op without a store;
+// failures count as store errors (the in-memory bump already happened,
+// so correctness of the running process is unaffected).
+func (c *Cache) appendEpoch(doc string, gen uint64) {
+	st := c.opts.Store
+	if st == nil {
+		return
+	}
+	if err := st.AppendEpoch(doc, gen); err != nil {
+		c.stats.storeErrors.Inc()
+	}
+}
+
+// promote attempts to serve a miss from the durable tier. g/gen are
+// the caller's generation counter and its pre-read snapshot. Returns
+// ok=false (and counts a reject when a candidate existed) if the tier
+// has no usable entry, in which case the caller runs the transforms.
+func (c *Cache) promote(doc, user string, g *atomic.Uint64, gen uint64) ([]byte, EntryInfo, bool) {
+	st := c.opts.Store
+	e, ok := st.GetEntry(doc, user)
+	if !ok {
+		return nil, EntryInfo{}, false
+	}
+	ck, err := c.space.ContentKey(doc, user)
+	if err != nil || !ck.Memoizable ||
+		ck.SourceSig != e.SourceSig ||
+		ck.UniversalFP != e.UniversalFP ||
+		ck.PersonalFP != e.PersonalFP {
+		// The document or a chain changed since the entry was demoted
+		// (possibly while the process was down), or the chain now embeds
+		// external information the key cannot capture.
+		c.stats.storePromotionRejects.Inc()
+		return nil, EntryInfo{}, false
+	}
+	data, ok := st.GetBlob(e.Sig)
+	if !ok {
+		c.stats.storePromotionRejects.Inc()
+		return nil, EntryInfo{}, false
+	}
+
+	verifier := property.FuncVerifier{
+		VerifierName: "store-recheck",
+		Fn: func(time.Time) (bool, error) {
+			cur, err := c.space.ContentKey(doc, user)
+			if err != nil {
+				return false, nil
+			}
+			return cur.Memoizable &&
+				cur.SourceSig == e.SourceSig &&
+				cur.UniversalFP == e.UniversalFP &&
+				cur.PersonalFP == e.PersonalFP, nil
+		},
+	}
+
+	k := key(doc, user)
+	sh := c.idx.shardFor(k)
+	sh.mu.Lock()
+	if c.closed.Load() || g.Load() != gen {
+		// Closed, or invalidated since the caller's snapshot: the probe
+		// above may predate the change, so the disk bytes are suspect.
+		sh.mu.Unlock()
+		c.stats.storePromotionRejects.Inc()
+		return nil, EntryInfo{}, false
+	}
+	c.dropShardLocked(sh, k)
+	s := c.storeBlob(data)
+	ent := &entry{
+		doc: doc, user: user,
+		signature:    s,
+		size:         int64(len(data)),
+		cost:         e.Cost,
+		cacheability: property.Unrestricted,
+		verifiers:    []property.Verifier{verifier},
+		storedAt:     c.clk.Now(),
+	}
+	sh.entries[k] = ent
+	c.stats.bytesLogical.Add(ent.size)
+	policyCost := ent.cost
+	if c.opts.CostSource == CostConstant {
+		policyCost = time.Millisecond
+	}
+	c.policyMu.Lock()
+	c.policy.Insert(k, ent.size, policyCost)
+	c.policyMu.Unlock()
+	sh.mu.Unlock()
+
+	c.stats.storePromotions.Inc()
+	c.stats.misses.Inc()
+	c.installNotifiers(doc, user)
+	c.evict(k)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, EntryInfo{Cacheability: property.Unrestricted, Cost: e.Cost, DiskPromoted: true}, true
+}
+
+// demoteEntry writes an installed result behind to the disk tier. g/gen
+// are the install's generation counter and snapshot; trace is the
+// staged read's trace, whose SourceSig pins which source bytes the
+// result was actually computed from.
+func (c *Cache) demoteEntry(doc, user string, data []byte, res property.ReadResult, trace docspace.StageTrace, g *atomic.Uint64, gen uint64) {
+	st := c.opts.Store
+	if st == nil || res.Cacheability != property.Unrestricted ||
+		res.Cost < c.opts.DurableMinCost || !trace.Attempted {
+		return
+	}
+	ck, err := c.space.ContentKey(doc, user)
+	if err != nil || !ck.Memoizable {
+		return
+	}
+	if ck.SourceSig != trace.SourceSig {
+		// The source was rewritten between the read and this probe; the
+		// probed key would bind new-source identity to old-source bytes.
+		// Skip — a consistent pair requires key and bytes from the same
+		// source version.
+		return
+	}
+	if g.Load() != gen {
+		return
+	}
+	if prev, ok := st.GetEntry(doc, user); ok &&
+		prev.Sig == sig.Of(data) && prev.Gen == gen &&
+		prev.SourceSig == ck.SourceSig &&
+		prev.UniversalFP == ck.UniversalFP &&
+		prev.PersonalFP == ck.PersonalFP {
+		// Identical record already durable; re-appending would only
+		// bloat the meta log.
+		return
+	}
+	bsig, err := st.PutBlob(data)
+	if err != nil {
+		c.stats.storeErrors.Inc()
+		return
+	}
+	if err := st.PutEntry(store.EntryMeta{
+		Doc: doc, User: user,
+		Sig:         bsig,
+		SourceSig:   ck.SourceSig,
+		UniversalFP: ck.UniversalFP,
+		PersonalFP:  ck.PersonalFP,
+		Gen:         gen,
+		Cost:        res.Cost,
+	}); err != nil {
+		c.stats.storeErrors.Inc()
+		return
+	}
+	c.stats.storeDemotions.Inc()
+}
+
+// demoteIntermediate writes a computed universal-stage output behind
+// to the disk tier. Intermediates are pure content addressing — the
+// (src, fp) key can never serve wrong bytes — so no epoch or probe is
+// needed; only the cost gate applies.
+func (c *Cache) demoteIntermediate(src, fp sig.Signature, data []byte, cost time.Duration) {
+	st := c.opts.Store
+	if st == nil || cost < c.opts.DurableMinCost {
+		return
+	}
+	if _, ok := st.GetIntermediate(src, fp); ok {
+		return
+	}
+	bsig, err := st.PutBlob(data)
+	if err != nil {
+		c.stats.storeErrors.Inc()
+		return
+	}
+	if err := st.PutIntermediate(store.IntermediateMeta{
+		SourceSig:   src,
+		Fingerprint: fp,
+		Sig:         bsig,
+		Cost:        cost,
+	}); err != nil {
+		c.stats.storeErrors.Inc()
+		return
+	}
+	c.stats.storeInterDemotions.Inc()
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+	"placeless/internal/store"
+)
+
+// durableWorld is a world with a durable disk tier attached, plus the
+// machinery to crash the cache and boot a successor over the same
+// store directory — the document space and repositories survive the
+// "crash" (they model the Placeless middleware, not the cache
+// process).
+type durableWorld struct {
+	*world
+	t    *testing.T
+	dir  string
+	st   *store.Store
+	opts Options
+	rec  store.Recovery
+}
+
+func newDurableWorld(t *testing.T, opts Options) *durableWorld {
+	t.Helper()
+	dir := t.TempDir()
+	st, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st
+	w := newWorld(t, opts)
+	d := &durableWorld{world: w, t: t, dir: dir, st: st, opts: opts, rec: rec}
+	t.Cleanup(func() { _ = d.st.Close() })
+	return d
+}
+
+// crashAndRestart kills the cache (no flush, simulating process
+// death), closes the store file handles, then reopens the directory —
+// running the full scan-and-replay recovery path — and boots a new
+// cache over the recovered store.
+func (d *durableWorld) crashAndRestart() {
+	d.t.Helper()
+	d.cache.Kill()
+	if err := d.st.Close(); err != nil {
+		d.t.Fatal(err)
+	}
+	st, rec, err := store.Open(d.dir, store.Options{})
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	d.st, d.rec = st, rec
+	d.opts.Store = st
+	d.cache = New(d.space, d.opts)
+}
+
+// TestDurableWarmRestart is the tentpole's core promise: entries
+// demoted before a crash are served after restart without executing a
+// single transform, byte-identical to a fresh computation.
+func TestDurableWarmRestart(t *testing.T) {
+	users := memoUsers(4)
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, users)
+
+	before := make(map[string][]byte)
+	for _, u := range users {
+		before[u] = d.read(t, "d", u)
+	}
+	if st := d.cache.Stats(); st.StoreDemotions != int64(len(users)) {
+		t.Fatalf("StoreDemotions = %d, want %d", st.StoreDemotions, len(users))
+	}
+
+	d.crashAndRestart()
+	if d.rec.Entries != len(users) {
+		t.Fatalf("recovered %d entries, want %d", d.rec.Entries, len(users))
+	}
+
+	for _, u := range users {
+		data, info, err := d.cache.ReadWithInfo("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.DiskPromoted {
+			t.Fatalf("user %s: read after restart not disk-promoted (info %+v)", u, info)
+		}
+		if !bytes.Equal(data, before[u]) {
+			t.Fatalf("user %s: promoted bytes differ:\npre-crash:  %q\npost-crash: %q", u, before[u], data)
+		}
+	}
+	st := d.cache.Stats()
+	if st.StorePromotions != int64(len(users)) {
+		t.Fatalf("StorePromotions = %d, want %d", st.StorePromotions, len(users))
+	}
+	if st.UniversalStageRuns != 0 {
+		t.Fatalf("UniversalStageRuns = %d after restart, want 0 (promotion must skip transforms)", st.UniversalStageRuns)
+	}
+
+	// Promoted entries behave as normal entries afterwards: the next
+	// read is a plain hit (store-recheck verifier passing).
+	for _, u := range users {
+		_, info, err := d.cache.ReadWithInfo("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Hit {
+			t.Fatalf("user %s: second post-restart read not a hit", u)
+		}
+	}
+}
+
+// TestDurableRefusesEpochInvalidatedEntry: an entry demoted at
+// generation G and invalidated at G+1 (epoch persisted) must not be
+// servable after a crash, even though its bytes are still on disk.
+func TestDurableRefusesEpochInvalidatedEntry(t *testing.T) {
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, []string{"eyal"})
+	d.read(t, "d", "eyal")
+	d.cache.InvalidateDoc("d")
+
+	d.crashAndRestart()
+	if d.rec.Entries != 0 {
+		t.Fatalf("recovered %d entries, want 0 (epoch supersedes them)", d.rec.Entries)
+	}
+	if d.rec.DroppedStale == 0 {
+		t.Fatal("recovery reported no stale-dropped entries")
+	}
+
+	data, info, err := d.cache.ReadWithInfo("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DiskPromoted {
+		t.Fatal("epoch-invalidated entry was promoted from disk")
+	}
+	if !bytes.Contains(data, []byte("eyal")) {
+		t.Fatalf("recomputed content lost personal suffix: %q", data)
+	}
+	if st := d.cache.Stats(); st.StorePromotions != 0 {
+		t.Fatalf("StorePromotions = %d, want 0", st.StorePromotions)
+	}
+}
+
+// TestDurableRefusesContentChangedWhileDown: the source file is
+// rewritten out-of-band while the process is down — no notifier, no
+// epoch. The content-key probe at promotion time must catch the moved
+// source signature and recompute.
+func TestDurableRefusesContentChangedWhileDown(t *testing.T) {
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, []string{"eyal"})
+	stale := d.read(t, "d", "eyal")
+
+	d.cache.Kill()
+	d.src.Store("/d", []byte("rewritten teh content while down\n"))
+	if err := d.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Open(d.dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.st = st
+	d.opts.Store = st
+	d.cache = New(d.space, d.opts)
+
+	data, info, err := d.cache.ReadWithInfo("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DiskPromoted {
+		t.Fatal("stale disk entry promoted after out-of-band rewrite")
+	}
+	if bytes.Equal(data, stale) {
+		t.Fatalf("read served pre-rewrite bytes: %q", data)
+	}
+	if !bytes.Contains(data, []byte("rewritten")) {
+		t.Fatalf("read missed the rewrite: %q", data)
+	}
+	cs := d.cache.Stats()
+	if cs.StorePromotionRejects == 0 {
+		t.Fatal("expected a promotion reject for the moved source signature")
+	}
+	if cs.StorePromotions != 0 {
+		t.Fatalf("StorePromotions = %d, want 0", cs.StorePromotions)
+	}
+}
+
+// TestDurableRefusesChainChangedWhileDown: an active property attached
+// while the process was down moves the chain fingerprint; the durable
+// entry keyed under the old fingerprint must not be served.
+func TestDurableRefusesChainChangedWhileDown(t *testing.T) {
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, []string{"eyal"})
+	stale := d.read(t, "d", "eyal")
+
+	d.cache.Kill()
+	if err := d.space.Attach("d", "", docspace.Universal, property.NewUppercaser(0)); err != nil {
+		t.Fatal(err)
+	}
+	d.crashRestartStoreOnly()
+
+	data, info, err := d.cache.ReadWithInfo("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DiskPromoted {
+		t.Fatal("disk entry promoted despite a changed universal chain")
+	}
+	if bytes.Equal(data, stale) {
+		t.Fatal("read served pre-change bytes")
+	}
+	if st := d.cache.Stats(); st.StorePromotionRejects == 0 {
+		t.Fatal("expected a promotion reject for the moved fingerprint")
+	}
+}
+
+// crashRestartStoreOnly reopens the store and boots a new cache after
+// the caller already killed the old one (for tests that mutate the
+// space "while down").
+func (d *durableWorld) crashRestartStoreOnly() {
+	d.t.Helper()
+	if err := d.st.Close(); err != nil {
+		d.t.Fatal(err)
+	}
+	st, rec, err := store.Open(d.dir, store.Options{})
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	d.st, d.rec = st, rec
+	d.opts.Store = st
+	d.cache = New(d.space, d.opts)
+}
+
+// TestDurableMinCostGate: results cheaper than DurableMinCost are not
+// worth a disk write and must not be demoted.
+func TestDurableMinCostGate(t *testing.T) {
+	d := newDurableWorld(t, Options{DurableMinCost: time.Hour})
+	setupMemoDoc(t, d.world, []string{"eyal"})
+	d.read(t, "d", "eyal")
+	if st := d.cache.Stats(); st.StoreDemotions != 0 || st.StoreIntermediateDemotions != 0 {
+		t.Fatalf("demotions under the cost gate: %+v", st)
+	}
+	if ss := d.st.Stats(); ss.Entries != 0 || ss.Intermediates != 0 {
+		t.Fatalf("store not empty under the cost gate: %+v", ss)
+	}
+}
+
+// TestStoreRecheckVerifierCatchesLaterChange: a promoted entry carries
+// the store-recheck verifier; an out-of-band source rewrite after
+// promotion must be caught on the next hit, like any cause-4 change.
+func TestStoreRecheckVerifierCatchesLaterChange(t *testing.T) {
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, []string{"eyal"})
+	d.read(t, "d", "eyal")
+
+	d.crashAndRestart()
+	_, info, err := d.cache.ReadWithInfo("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.DiskPromoted {
+		t.Fatal("setup: expected a disk promotion")
+	}
+
+	d.src.Store("/d", []byte("changed after promotion\n"))
+	data, info, err := d.cache.ReadWithInfo("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hit {
+		t.Fatal("store-recheck verifier let a stale promoted entry hit")
+	}
+	if !bytes.Contains(data, []byte("changed after promotion")) {
+		t.Fatalf("read served stale bytes: %q", data)
+	}
+	if st := d.cache.Stats(); st.VerifierRejects == 0 {
+		t.Fatal("expected a verifier reject")
+	}
+}
+
+// TestDurableIntermediatePromotion: after a restart, a user with no
+// durable entry of their own still skips the universal stage when the
+// (source, fingerprint) intermediate survived on disk.
+func TestDurableIntermediatePromotion(t *testing.T) {
+	users := memoUsers(2)
+	d := newDurableWorld(t, Options{})
+	setupMemoDoc(t, d.world, users)
+	// Only user00 reads before the crash: one entry, one intermediate
+	// demoted.
+	d.read(t, "d", users[0])
+
+	d.crashAndRestart()
+
+	// user01 never had an entry (memory or disk); the staged miss must
+	// promote the universal stage from the durable intermediate and run
+	// only the personal suffix.
+	data, info, err := d.cache.ReadWithInfo("d", users[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DiskPromoted {
+		t.Fatal("user01 has no durable entry; promotion should be intermediate-level only")
+	}
+	if !info.IntermediateHit {
+		t.Fatal("universal stage not served from the durable intermediate")
+	}
+	if !bytes.Contains(data, []byte(users[1])) {
+		t.Fatalf("personal suffix missing: %q", data)
+	}
+	st := d.cache.Stats()
+	if st.StoreIntermediatePromotions != 1 {
+		t.Fatalf("StoreIntermediatePromotions = %d, want 1", st.StoreIntermediatePromotions)
+	}
+	if st.UniversalStageRuns != 0 {
+		t.Fatalf("UniversalStageRuns = %d, want 0", st.UniversalStageRuns)
+	}
+}
+
+// TestDurableDemotionSkipsUncacheable: a read path voting Uncacheable
+// must never reach the disk: durability is a stronger claim than
+// cacheability, not an exception to it.
+func TestDurableDemotionSkipsUncacheable(t *testing.T) {
+	d := newDurableWorld(t, Options{})
+	d.space.CreateDocument("cam", "u", &property.RepoBitProvider{
+		Repo: d.feed, Path: "/cam1", Vote: property.Uncacheable, DisableVerifier: true,
+	})
+	d.read(t, "cam", "u")
+	if ss := d.st.Stats(); ss.Entries != 0 {
+		t.Fatalf("uncacheable result reached the disk tier: %+v", ss)
+	}
+	if st := d.cache.Stats(); st.StoreDemotions != 0 {
+		t.Fatalf("StoreDemotions = %d, want 0", st.StoreDemotions)
+	}
+}

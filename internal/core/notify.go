@@ -89,7 +89,7 @@ func (c *Cache) installNotifiers(doc, user string) {
 // stripe (and is dropped by it) or observes the bump under its stripe
 // lock and aborts — no stale entry can survive.
 func (c *Cache) invalidateDoc(doc string) {
-	c.docGen(doc).Add(1)
+	c.appendEpoch(doc, c.docGen(doc).Add(1))
 	c.idx.each(func(sh *shard) {
 		for k, ent := range sh.entries {
 			if ent.doc == doc {
@@ -138,7 +138,7 @@ func (c *Cache) observeInvalidation(e event.Event) {
 // Intermediates survive: a personal-property change cannot affect the
 // universal stage's output.
 func (c *Cache) invalidateUser(doc, user string) {
-	c.docGen(doc).Add(1)
+	c.appendEpoch(doc, c.docGen(doc).Add(1))
 	k := key(doc, user)
 	sh := c.idx.shardFor(k)
 	sh.mu.Lock()
@@ -160,13 +160,33 @@ func (c *Cache) InvalidateDoc(doc string) {
 }
 
 // Close flushes write-back state, detaches every notifier the cache
-// installed, and rejects further use.
+// installed, and rejects further use. It does not close an attached
+// durable store — the store's lifetime belongs to whoever opened it.
 func (c *Cache) Close() error {
 	if err := c.Flush(); err != nil {
 		return err
 	}
+	c.shutdown()
+	return nil
+}
+
+// Kill simulates a process crash: it tears the cache down like Close
+// but without flushing, so buffered write-back content is lost exactly
+// as it would be when the process dies. Notifiers are still detached —
+// a dead process's notifier closures cannot keep firing into the
+// space — which models the attachment cleanup a restarting cache would
+// perform on its stale machinery. The attached durable store keeps
+// whatever reached it before the kill; the caller closes (or just
+// reopens) it to model the disk surviving the crash.
+func (c *Cache) Kill() {
+	c.shutdown()
+}
+
+// shutdown is the common teardown: mark closed, clear all in-memory
+// state, detach notifiers.
+func (c *Cache) shutdown() {
 	if c.closed.Swap(true) {
-		return nil
+		return
 	}
 	c.notifMu.Lock()
 	spots := make([]notifierSpot, 0)
@@ -191,5 +211,4 @@ func (c *Cache) Close() error {
 	for _, sp := range spots {
 		_ = c.space.Detach(sp.doc, sp.user, sp.level, sp.name)
 	}
-	return nil
 }

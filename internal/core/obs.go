@@ -60,6 +60,32 @@ func (c *Cache) registerMetrics(o *obs.Observer) {
 		"Current number of memoized universal-stage outputs.", c.stats.intermediateEntries.Load)
 	reg.Gauge("placeless_cache_intermediate_bytes",
 		"Current logical footprint of memoized intermediates.", c.stats.intermediateBytes.Load)
+	if st := c.opts.Store; st != nil {
+		reg.Counter("placeless_store_demotions_total",
+			"Entry results written behind to the durable disk tier.", c.stats.storeDemotions.Load)
+		reg.Counter("placeless_store_intermediate_demotions_total",
+			"Universal-stage outputs written to the durable disk tier.", c.stats.storeInterDemotions.Load)
+		reg.Counter("placeless_store_promotions_total",
+			"Misses served by revalidating and promoting a durable entry.", c.stats.storePromotions.Load)
+		reg.Counter("placeless_store_intermediate_promotions_total",
+			"Universal-stage executions avoided via durable intermediates.", c.stats.storeInterPromotions.Load)
+		reg.Counter("placeless_store_promotion_rejects_total",
+			"Durable entries found but refused (key mismatch, stale epoch, bad blob).", c.stats.storePromotionRejects.Load)
+		reg.Counter("placeless_store_errors_total",
+			"Disk-tier I/O failures on demotion writes and epoch appends.", c.stats.storeErrors.Load)
+		reg.Gauge("placeless_store_blobs",
+			"Content blobs resident in the disk tier.",
+			func() int64 { return int64(st.Stats().Blobs) })
+		reg.Gauge("placeless_store_bytes",
+			"Payload bytes resident in the disk tier's segments.",
+			func() int64 { return st.Stats().BlobBytes })
+		reg.Gauge("placeless_store_entries",
+			"Durable (document, user) entry records currently servable.",
+			func() int64 { return int64(st.Stats().Entries) })
+		reg.Gauge("placeless_store_segments",
+			"Segment files backing the disk tier.",
+			func() int64 { return int64(st.Stats().Segments) })
+	}
 }
 
 // causeOf maps a notifier event onto the paper's invalidation causes:

@@ -30,6 +30,14 @@ type statsCounters struct {
 	bytesRecomputedSaved metrics.Counter
 	intermediateEntries  metrics.Counter
 	intermediateBytes    metrics.Counter
+
+	// Durable disk-tier counters (Options.Store).
+	storeDemotions        metrics.Counter
+	storeInterDemotions   metrics.Counter
+	storePromotions       metrics.Counter
+	storeInterPromotions  metrics.Counter
+	storePromotionRejects metrics.Counter
+	storeErrors           metrics.Counter
 }
 
 // snapshot assembles the exported Stats view. Counters are read one at
@@ -58,5 +66,12 @@ func (s *statsCounters) snapshot() Stats {
 		BytesRecomputedSaved: s.bytesRecomputedSaved.Load(),
 		IntermediateEntries:  s.intermediateEntries.Load(),
 		IntermediateBytes:    s.intermediateBytes.Load(),
+
+		StoreDemotions:              s.storeDemotions.Load(),
+		StoreIntermediateDemotions:  s.storeInterDemotions.Load(),
+		StorePromotions:             s.storePromotions.Load(),
+		StoreIntermediatePromotions: s.storeInterPromotions.Load(),
+		StorePromotionRejects:       s.storePromotionRejects.Load(),
+		StoreErrors:                 s.storeErrors.Load(),
 	}
 }

@@ -64,9 +64,10 @@ type node struct {
 	actives  []activeEntry
 	statics  []property.Static
 	registry *event.Registry
-	// fp caches the universal-chain fingerprint (see stage.go); only
-	// meaningful on base-document nodes. fpValid is cleared, under
-	// s.mu, by every mutation of the active list.
+	// fp caches the node's chain fingerprint (see stage.go): the
+	// universal-chain fingerprint on base-document nodes, the
+	// personal-chain fingerprint on reference nodes. fpValid is
+	// cleared, under s.mu, by every mutation of the active list.
 	fp      sig.Signature
 	fpValid bool
 }

@@ -71,7 +71,15 @@ type StageTrace struct {
 // marker instead of a key, which is sufficient because their presence
 // disables memoization of the whole stage. Caller holds s.mu.
 func (s *Space) fingerprintLocked(b *Base) sig.Signature {
-	n := b.node
+	return s.fingerprintNodeLocked(b.node)
+}
+
+// fingerprintNodeLocked is fingerprintLocked generalized to any
+// attachment point: base-document nodes yield the universal-chain
+// fingerprint, reference nodes the personal-chain fingerprint. Both
+// cache on the node; every active-list mutation clears fpValid under
+// s.mu, regardless of level. Caller holds s.mu.
+func (s *Space) fingerprintNodeLocked(n *node) sig.Signature {
 	if n.fpValid {
 		return n.fp
 	}
@@ -245,4 +253,75 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 	data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(inter), pWrappers...))
 	trace.PersonalDur = time.Since(tPers)
 	return data, rc.Result(), trace, err
+}
+
+// ContentKey is the durable identity of one (doc, user) read result:
+// the content signature of the raw source plus the fingerprints of
+// the universal and personal chains that transformed it. For chains
+// whose byte-touching properties are all memoizable, equal keys imply
+// identical output bytes — so a persisted result carrying this key
+// can be proven current without re-executing any transform, which is
+// exactly the durable tier's promotion check after a restart.
+type ContentKey struct {
+	SourceSig   sig.Signature
+	UniversalFP sig.Signature
+	PersonalFP  sig.Signature
+	// Memoizable reports whether every byte-touching property at both
+	// levels carries a memo contract. When false the key proves
+	// nothing — some transform embeds information outside the key
+	// (paper invalidation cause 4) — and the result must not be
+	// persisted or promoted.
+	Memoizable bool
+}
+
+// ContentKey computes the current content key for user's reference to
+// doc. It fetches the raw source bytes (one repository read, the
+// price of proving the source half of the key) but executes no
+// transforms and dispatches no read events: this is a validation
+// probe, not a document access.
+func (s *Space) ContentKey(doc, user string) (ContentKey, error) {
+	s.mu.Lock()
+	r, err := s.resolveRefLocked(doc, user)
+	if err != nil {
+		s.mu.Unlock()
+		return ContentKey{}, err
+	}
+	b := r.base
+	key := ContentKey{
+		UniversalFP: s.fingerprintNodeLocked(b.node),
+		PersonalFP:  s.fingerprintNodeLocked(r.node),
+	}
+	uProps := make([]property.Active, len(b.node.actives))
+	for i, e := range b.node.actives {
+		uProps[i] = e.prop
+	}
+	pProps := make([]property.Active, len(r.node.actives))
+	for i, e := range r.node.actives {
+		pProps[i] = e.prop
+	}
+	s.mu.Unlock()
+
+	key.Memoizable = s.chainMemoizable(doc, user, uProps) &&
+		s.chainMemoizable(doc, user, pProps)
+
+	raw, err := b.bits.ReadCurrent()
+	if err != nil {
+		return ContentKey{}, err
+	}
+	key.SourceSig = sig.Of(raw)
+	return key, nil
+}
+
+// chainMemoizable reports whether every property in props that
+// interposes a read-path stream has a memo contract. WrapInput runs
+// against a throwaway context: its only side effects are context
+// accumulation (votes, verifiers, cost), which the probe discards.
+func (s *Space) chainMemoizable(doc, user string, props []property.Active) bool {
+	rc := &property.ReadContext{Doc: doc, User: user, Now: s.clk.Now(), Sleep: func(time.Duration) {}}
+	for _, p := range props {
+		if w := p.WrapInput(rc); w != nil && !memoOK(p) {
+			return false
+		}
+	}
+	return true
 }

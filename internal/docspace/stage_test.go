@@ -288,3 +288,115 @@ func TestStagedReadWithNilMemoFallsBack(t *testing.T) {
 		t.Fatalf("nil-store fallback diverged: %q vs %q", plain, staged)
 	}
 }
+
+// TestContentKeyTracksEveryInvalidationCause pins the durable tier's
+// promotion check: the content key must change exactly when one of the
+// paper's key-visible invalidation causes fires — content written
+// (source half), chain mutated at either level (fingerprint halves) —
+// and must stay bit-identical across reads that change nothing.
+func TestContentKeyTracksEveryInvalidationCause(t *testing.T) {
+	f := stageFixture(t)
+	k1, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Memoizable {
+		t.Fatal("fully memoizable chain reported non-memoizable")
+	}
+	if _, _, err := f.space.ReadDocument("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("content key drifted without a mutation: %+v vs %+v", k1, k2)
+	}
+
+	// Different users share source and universal halves but differ in
+	// the personal fingerprint (distinct watermark chains).
+	kPaul, err := f.space.ContentKey("d", "paul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kPaul.SourceSig != k1.SourceSig || kPaul.UniversalFP != k1.UniversalFP {
+		t.Fatal("universal key halves differ across users")
+	}
+	if kPaul.PersonalFP == k1.PersonalFP {
+		t.Fatal("distinct personal chains share a personal fingerprint")
+	}
+
+	// Cause 1: content written through the repository.
+	f.src.Store("/d", []byte("entirely new content\n"))
+	k3, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3.SourceSig == k1.SourceSig {
+		t.Fatal("source signature unchanged after a content write")
+	}
+	if k3.UniversalFP != k1.UniversalFP || k3.PersonalFP != k1.PersonalFP {
+		t.Fatal("content write moved a fingerprint half")
+	}
+
+	// Cause 2 at the universal level.
+	if err := f.space.Attach("d", "", Universal, property.NewUppercaser(0)); err != nil {
+		t.Fatal(err)
+	}
+	k4, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.UniversalFP == k3.UniversalFP {
+		t.Fatal("universal fingerprint unchanged after a universal attach")
+	}
+	if k4.PersonalFP != k3.PersonalFP {
+		t.Fatal("universal attach moved the personal fingerprint")
+	}
+
+	// Cause 2 at the personal level.
+	if err := f.space.Attach("d", "eyal", Personal, property.NewLineNumberer(0)); err != nil {
+		t.Fatal(err)
+	}
+	k5, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5.PersonalFP == k4.PersonalFP {
+		t.Fatal("personal fingerprint unchanged after a personal attach")
+	}
+	if k5.UniversalFP != k4.UniversalFP {
+		t.Fatal("personal attach moved the universal fingerprint")
+	}
+}
+
+// TestContentKeyNonMemoizablePersonal: a byte-touching personal
+// property without a memo contract poisons the whole key — results
+// transformed by it must never be persisted.
+func TestContentKeyNonMemoizablePersonal(t *testing.T) {
+	f := stageFixture(t)
+	opaque := &property.Transformer{
+		Base:          property.Base{PropName: "opaque-personal"},
+		ReadTransform: func(b []byte) []byte { return b },
+		Version:       1,
+	}
+	if err := f.space.Attach("d", "eyal", Personal, opaque); err != nil {
+		t.Fatal(err)
+	}
+	k, err := f.space.ContentKey("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Memoizable {
+		t.Fatal("non-memoizable personal transform left the key memoizable")
+	}
+	// The other user's chain is untouched and stays provable.
+	kPaul, err := f.space.ContentKey("d", "paul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kPaul.Memoizable {
+		t.Fatal("unrelated user's key poisoned")
+	}
+}

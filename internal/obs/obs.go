@@ -70,7 +70,7 @@ func StageNames() []string {
 
 // Verdicts returns every read verdict.
 func Verdicts() []string {
-	return []string{VerdictHit, VerdictMiss, VerdictMemo, VerdictCoalesced, VerdictError}
+	return []string{VerdictHit, VerdictMiss, VerdictMemo, VerdictDisk, VerdictCoalesced, VerdictError}
 }
 
 // Causes returns the paper's four invalidation causes plus the

@@ -18,6 +18,9 @@ const (
 	// VerdictCoalesced is a read that joined another goroutine's
 	// in-flight miss and shared its result.
 	VerdictCoalesced = "coalesced"
+	// VerdictDisk is a miss served by promoting a durable entry from
+	// the content-addressed disk tier (revalidated, no transform ran).
+	VerdictDisk = "disk"
 	// VerdictError is a read that failed.
 	VerdictError = "error"
 )

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,12 +51,65 @@ type journalEntry struct {
 }
 
 // OpenJournal opens (creating if absent) a journal file for appending.
+// A torn final line — the residue of a crash mid-append — is truncated
+// away first, so a new record can never be glued onto the fragment and
+// turn a recoverable torn tail into a terminated corrupt line that
+// poisons the next replay. Same recovery contract as the disk tier's
+// active segment.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	end, err := truncateTornTail(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Journal{w: f, c: f, path: path}, nil
+}
+
+// truncateTornTail trims f past its last newline-terminated byte and
+// returns the resulting size.
+func truncateTornTail(f *os.File) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	// Walk back from the end looking for the last '\n'; journal
+	// records are small, so read a bounded window at a time.
+	const window = 64 << 10
+	end := size
+	buf := make([]byte, window)
+	for end > 0 {
+		n := int64(window)
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			end = end - n + int64(i) + 1
+			break
+		}
+		end -= n
+	}
+	if end == size {
+		return size, nil
+	}
+	if err := f.Truncate(end); err != nil {
+		return 0, err
+	}
+	return end, nil
 }
 
 // Path returns the journal's file path ("" for in-memory journals).
@@ -126,6 +180,13 @@ func (s *Server) journalRequest(req *Request) {
 // rebuilding the configuration plane after a restart. Entries that
 // fail because the state already exists (e.g. documents recreated over
 // a persistent backing repository) are skipped; other errors abort.
+//
+// A final line left unterminated by a crash mid-append (torn write) is
+// not an error: replay stops cleanly at the last complete entry, the
+// same recovery contract as the disk tier's meta log. A corrupt line
+// that *is* newline-terminated still aborts — it cannot be explained
+// by a torn tail, so the journal is genuinely damaged.
+//
 // Returns the number of applied entries.
 func (s *Server) ReplayJournal(path string) (int, error) {
 	f, err := os.Open(path)
@@ -138,17 +199,30 @@ func (s *Server) ReplayJournal(path string) (int, error) {
 	defer f.Close()
 
 	applied := 0
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	r := bufio.NewReaderSize(f, 1<<20)
 	line := 0
-	for scanner.Scan() {
-		line++
-		raw := scanner.Bytes()
+	for {
+		text, rerr := r.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return applied, rerr
+		}
+		terminated := strings.HasSuffix(text, "\n")
+		raw := []byte(strings.TrimSuffix(text, "\n"))
 		if len(raw) == 0 {
+			if rerr == io.EOF {
+				return applied, nil
+			}
 			continue
 		}
+		line++
 		var e journalEntry
 		if err := json.Unmarshal(raw, &e); err != nil {
+			if !terminated {
+				// The file ends mid-record: the process died between
+				// writing part of the line and its newline. Everything
+				// before this point replayed; the torn tail is dropped.
+				return applied, nil
+			}
 			return applied, fmt.Errorf("server: journal %s line %d: %w", path, line, err)
 		}
 		req := &Request{Doc: e.Doc, User: e.User, Personal: e.Personal}
@@ -194,11 +268,10 @@ func (s *Server) ReplayJournal(path string) (int, error) {
 			return applied, fmt.Errorf("server: journal %s line %d: %s", path, line, resp.Err)
 		}
 		applied++
+		if rerr == io.EOF {
+			return applied, nil
+		}
 	}
-	if err := scanner.Err(); err != nil {
-		return applied, err
-	}
-	return applied, nil
 }
 
 // registerExisting registers a document whose content already lives in

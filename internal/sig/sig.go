@@ -10,11 +10,16 @@ package sig
 import (
 	"crypto/md5"
 	"encoding/hex"
+	"fmt"
 )
 
 // Signature is an MD5 digest of document content. The paper names MD5
 // explicitly; it is used here for content equality, not security.
 type Signature [md5.Size]byte
+
+// Size is the byte length of a Signature, for fixed-width binary
+// encodings (the durable store's segment records).
+const Size = md5.Size
 
 // Of returns the signature of data.
 func Of(data []byte) Signature { return md5.Sum(data) }
@@ -28,6 +33,26 @@ var Zero Signature
 
 // IsZero reports whether the signature is the zero sentinel.
 func (s Signature) IsZero() bool { return s == Zero }
+
+// MarshalText implements encoding.TextMarshaler, rendering the
+// signature as lowercase hex — the representation used by the durable
+// store's JSON-lines meta log and any other textual persistence.
+func (s Signature) MarshalText() ([]byte, error) {
+	out := make([]byte, hex.EncodedLen(len(s)))
+	hex.Encode(out, s[:])
+	return out, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting exactly
+// the output of MarshalText.
+func (s *Signature) UnmarshalText(text []byte) error {
+	parsed, ok := Parse(string(text))
+	if !ok {
+		return fmt.Errorf("sig: malformed signature %q", text)
+	}
+	*s = parsed
+	return nil
+}
 
 // Parse decodes a hex string produced by String. It reports ok=false
 // for malformed input.

@@ -65,6 +65,11 @@ func (w *World) step(i int) error {
 		if w.remoteOn {
 			return w.doBreakConns()
 		}
+		if w.durable {
+			// The local-only analogue of a connection kill: the cache
+			// process dies and a successor recovers from the disk tier.
+			return w.doRestart()
+		}
 		return w.doLocalRead(doc, user)
 	case r < 0.92:
 		if w.remoteOn {
@@ -400,6 +405,22 @@ func (w *World) doUpdateDirect(doc string) error {
 	w.clk.Advance(opEpsilon)
 	w.model.applyWrite(doc, data, t0, w.clk.Now())
 	w.reconcile()
+	return nil
+}
+
+// doRestart kills or gracefully closes the cache and boots a
+// successor over the recovered disk tier. A crash (Kill, no flush) is
+// only drawn in write-through mode: killing a write-back cache loses
+// buffered writes by design, which the lost-write oracle would rightly
+// report — graceful restarts flush first, so the model's
+// reconciliation folds them like any other flush.
+func (w *World) doRestart() error {
+	crash := w.mode == core.WriteThrough && w.rng.Intn(2) == 1
+	w.tr.add(w.opIdx, w.clk.Now(), "restart", fmt.Sprintf("crash=%v", crash))
+	if err := w.guarded("restart", func() error { return w.restartDurable(crash) }); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	w.endOp()
 	return nil
 }
 

@@ -260,3 +260,138 @@ seeds:
 		t.Fatalf("remote read after kill+write+settle: got %q, want %q", got, want)
 	}
 }
+
+// TestScheduleKillRestartDiskTier pins the durable tier's warm-restart
+// contract under the stale-read oracle: a killed cache's successor must
+// recover the warm working set from disk (≥90% of untouched entries
+// promote without running a transform), must refuse entries for the
+// document rewritten out-of-band while the process was down, and every
+// post-restart read must be byte-legal against the model.
+func TestScheduleKillRestartDiskTier(t *testing.T) {
+	on := true
+	wt := core.WriteThrough
+	// Only fully-memoizable chains demote to disk (the tier's content
+	// keys cannot capture a property that refused memoization), so the
+	// 100%-recovery schedule needs a world whose every chain opted in:
+	// all universal transforms carry a memo id and no user attached a
+	// personal transform (the catalog's personal transforms never
+	// opt in).
+	memoizableWorld := func(w *World) bool {
+		for _, id := range w.model.order {
+			d := w.model.docs[id]
+			for _, p := range d.universal {
+				if p.memo == "" {
+					return false
+				}
+			}
+			for _, u := range d.users {
+				if len(d.personal[u]) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var w *World
+	// Deterministically find a seed whose world has ≥ 2 documents (one
+	// to mutate while down, the rest untouched) and demotes everything.
+	for seed := int64(1); ; seed++ {
+		w = scheduleWorld(t, seed, func(c *Config) { c.Durable = &on; c.Mode = &wt })
+		if len(w.model.order) >= 2 && memoizableWorld(w) {
+			break
+		}
+	}
+
+	read := func(doc, user string) ([]byte, core.EntryInfo) {
+		t.Helper()
+		t0 := w.clk.Now()
+		var data []byte
+		var info core.EntryInfo
+		if err := w.guarded("read", func() error {
+			var e error
+			data, info, e = w.cache.ReadWithInfo(doc, user)
+			return e
+		}); err != nil {
+			t.Fatalf("read %s/%s: %v", doc, user, err)
+		}
+		w.endOp()
+		if err := w.checkLocal(doc, user, data, t0); err != nil {
+			t.Fatal(err)
+		}
+		return data, info
+	}
+
+	// Write one document through the system (bumping its epoch and
+	// invalidating its entries), then warm every (doc, user) pair so
+	// each is freshly demoted at its current generation.
+	if err := w.doWrite(w.model.order[0]); err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for _, id := range w.model.order {
+		for _, u := range w.model.docs[id].users {
+			read(id, u)
+			pairs++
+		}
+	}
+	if d := w.cache.Stats().StoreDemotions; d == 0 {
+		t.Fatal("warm phase demoted nothing to the disk tier")
+	}
+
+	// Crash. The successor recovers from the same store directory.
+	if err := w.guarded("restart", func() error { return w.restartDurable(true) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite one document's backing bits out-of-band. No process was
+	// up to see it, so no epoch records it: only the content-key probe
+	// at promotion time stands between the disk copy and a stale serve.
+	// (Promotion is lazy — mutating now, before any read, is
+	// indistinguishable from mutating while down.)
+	mutated := w.model.order[1]
+	if err := w.doUpdateDirect(mutated); err != nil {
+		t.Fatal(err)
+	}
+
+	promoted, untouched := 0, 0
+	for _, id := range w.model.order {
+		for _, u := range w.model.docs[id].users {
+			data, info := read(id, u)
+			want, ok := w.model.current(id, u)
+			if !ok {
+				t.Fatalf("model state for %s/%s ambiguous in a settled write-through world", id, u)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("post-restart read %s/%s = %q, model says %q", id, u, truncate(data), truncate(want))
+			}
+			if id == mutated {
+				if info.DiskPromoted {
+					t.Fatalf("%s/%s: entry for the out-of-band-rewritten document promoted from disk", id, u)
+				}
+				continue
+			}
+			untouched++
+			if info.DiskPromoted {
+				promoted++
+			}
+		}
+	}
+	if untouched == 0 {
+		t.Fatal("no untouched pairs to measure recovery on")
+	}
+	if promoted*10 < untouched*9 {
+		t.Fatalf("recovered %d/%d untouched entries from disk, want ≥90%%", promoted, untouched)
+	}
+	if st := w.cache.Stats(); st.StorePromotions != int64(promoted) {
+		t.Fatalf("StorePromotions = %d, counted %d disk verdicts", st.StorePromotions, promoted)
+	}
+
+	// The recovered entries are real cache entries: the next pass hits.
+	for _, id := range w.model.order {
+		for _, u := range w.model.docs[id].users {
+			if _, info := read(id, u); !info.Hit {
+				t.Fatalf("%s/%s: second post-restart read not a hit", id, u)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"placeless/internal/clock"
@@ -14,6 +15,7 @@ import (
 	"placeless/internal/repo"
 	"placeless/internal/server"
 	"placeless/internal/simnet"
+	"placeless/internal/store"
 )
 
 // epoch is the virtual-time origin of every run.
@@ -44,6 +46,11 @@ type Config struct {
 	FlushEvery     *time.Duration
 	Capacity       *int64
 	RemoteCapacity *int64
+	// Durable attaches the content-addressed disk tier; derived seeds
+	// run it on roughly a third of local-only worlds, where the
+	// restart op (kill or graceful close, then recovery over the same
+	// store directory) joins the schedule.
+	Durable *bool
 }
 
 // World is one fully-built simulated deployment plus its reference
@@ -68,6 +75,11 @@ type World struct {
 	mode       core.WriteMode
 	flushEvery time.Duration
 	maxDirty   int
+
+	durable  bool
+	storeDir string
+	st       *store.Store
+	coreOpts core.Options
 
 	model     *model
 	tr        trace
@@ -152,7 +164,16 @@ func NewWorld(cfg Config) (*World, error) {
 		w.flushEvery, w.maxDirty = 0, 0
 	}
 
-	w.cache = core.New(w.space, core.Options{
+	// The disk tier draws from its own generator so attaching it never
+	// perturbs the existing seed → world derivation above; a seed that
+	// reproduced a failure before the tier existed still denotes the
+	// same topology and workload.
+	w.durable = rand.New(rand.NewSource(cfg.Seed^0x6469736b)).Float64() < 0.35
+	if cfg.Durable != nil {
+		w.durable = *cfg.Durable
+	}
+
+	w.coreOpts = core.Options{
 		Name:       "sim",
 		Capacity:   capacity,
 		HitCost:    hitCost,
@@ -161,7 +182,22 @@ func NewWorld(cfg Config) (*World, error) {
 		FlushEvery: w.flushEvery,
 		MaxDirty:   w.maxDirty,
 		Memoize:    memoize,
-	})
+	}
+	if w.durable {
+		dir, err := os.MkdirTemp("", "placeless-sim-store-")
+		if err != nil {
+			return nil, fmt.Errorf("sim: store dir: %w", err)
+		}
+		w.storeDir = dir
+		st, _, err := store.Open(dir, store.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("sim: store open: %w", err)
+		}
+		w.st = st
+		w.coreOpts.Store = st
+	}
+	w.cache = core.New(w.space, w.coreOpts)
 
 	if err := w.setupDocs(); err != nil {
 		return nil, fmt.Errorf("sim: setup: %w", err)
@@ -210,6 +246,40 @@ func (w *World) Close() {
 		_ = w.srv.Close()
 	}
 	_ = w.cache.Close()
+	if w.st != nil {
+		_ = w.st.Close()
+	}
+	if w.storeDir != "" {
+		_ = os.RemoveAll(w.storeDir)
+	}
+}
+
+// restartDurable models a process restart over the durable tier: the
+// cache dies (Kill for a crash, Close for a graceful shutdown), the
+// store's file handles close, and a successor opens the same directory
+// — running the full scan-and-replay recovery — and boots a new cache
+// over it. The document space and repositories survive: they model the
+// Placeless middleware, which outlives any one cache process.
+func (w *World) restartDurable(crash bool) error {
+	if !w.durable {
+		return fmt.Errorf("sim: restartDurable on a world with no disk tier")
+	}
+	if crash {
+		w.cache.Kill()
+	} else if err := w.cache.Close(); err != nil {
+		return fmt.Errorf("sim: restart close: %w", err)
+	}
+	if err := w.st.Close(); err != nil {
+		return fmt.Errorf("sim: restart store close: %w", err)
+	}
+	st, _, err := store.Open(w.storeDir, store.Options{})
+	if err != nil {
+		return fmt.Errorf("sim: restart store reopen: %w", err)
+	}
+	w.st = st
+	w.coreOpts.Store = st
+	w.cache = core.New(w.space, w.coreOpts)
+	return nil
 }
 
 // setupDocs creates 2–4 documents with 2–4 users each (the first user

@@ -1,0 +1,508 @@
+// Package store is the durable tier beneath the in-memory
+// signature-addressed blob store: append-only binary segments hold the
+// bytes (keyed by content signature, checksummed per record, indexed
+// by scan on open), and a JSON-lines meta log records which cache
+// entries and universal intermediates those bytes back, plus the
+// invalidation epochs needed to refuse entries invalidated while the
+// process was down.
+//
+// The paper's cache pays for every miss with transform re-execution,
+// so a restart otherwise means an empty store and a thundering herd of
+// chain re-runs. This tier keeps what is expensive to rebuild — the
+// caller applies the cost policy; the store applies the safety policy:
+// a record is served only if its checksum and content signature verify
+// and its generation is not older than the last recorded invalidation
+// epoch for its document.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"placeless/internal/sig"
+)
+
+// metaLogName is the JSON-lines metadata log, replayed on open in the
+// same stop-at-last-complete-line discipline as the server journal.
+const metaLogName = "meta.log"
+
+// DefaultSegmentMaxBytes is the roll threshold for blob segments.
+const DefaultSegmentMaxBytes = 64 << 20
+
+// EntryMeta describes one durable cache entry: enough to re-install
+// the entry in memory and to re-derive its validity without trusting
+// anything but content addresses.
+type EntryMeta struct {
+	Doc  string        `json:"doc"`
+	User string        `json:"user"`
+	Sig  sig.Signature `json:"sig"`
+	// SourceSig and the two chain fingerprints are the entry's content
+	// key at demotion time; promotion recomputes the current key and
+	// refuses the entry on any mismatch.
+	SourceSig   sig.Signature `json:"src"`
+	UniversalFP sig.Signature `json:"ufp"`
+	PersonalFP  sig.Signature `json:"pfp"`
+	// Gen is the document's invalidation generation when the entry was
+	// demoted; entries older than the last persisted epoch are dropped.
+	Gen uint64 `json:"gen"`
+	// Cost is the replacement cost at demotion time (nanoseconds on
+	// the wire), re-fed to the policy on promotion.
+	Cost time.Duration `json:"cost"`
+}
+
+// IntermediateMeta describes a durable universal intermediate. These
+// are structurally valid by construction — (source signature, chain
+// fingerprint) is the whole key — so no epoch applies.
+type IntermediateMeta struct {
+	SourceSig   sig.Signature `json:"src"`
+	Fingerprint sig.Signature `json:"fp"`
+	Sig         sig.Signature `json:"sig"`
+	Cost        time.Duration `json:"cost"`
+}
+
+// metaRecord is one line of the meta log; T selects which of the
+// embedded shapes is meaningful.
+type metaRecord struct {
+	T     string            `json:"t"` // "entry" | "inter" | "epoch"
+	Entry *EntryMeta        `json:"e,omitempty"`
+	Inter *IntermediateMeta `json:"i,omitempty"`
+	Doc   string            `json:"doc,omitempty"`
+	Gen   uint64            `json:"gen,omitempty"`
+}
+
+// Recovery reports what opening a store directory found, for logs and
+// the daemons' /status endpoints.
+type Recovery struct {
+	Blobs         int   // valid blob records indexed
+	Entries       int   // entries surviving replay (latest-wins, epoch- and blob-filtered)
+	Intermediates int   // intermediates surviving replay
+	EpochDocs     int   // documents with a persisted invalidation epoch
+	DroppedStale  int   // entries dropped because an epoch superseded them
+	DroppedNoBlob int   // entries/intermediates dropped for want of their blob
+	LostBlobBytes int64 // torn/corrupt segment tails not indexed
+	LostMetaBytes int64 // torn/corrupt meta-log tail truncated away
+}
+
+// Stats is a point-in-time snapshot for observability.
+type Stats struct {
+	Blobs         int
+	BlobBytes     int64
+	Segments      int
+	Entries       int
+	Intermediates int
+	EpochDocs     int
+}
+
+// Options tunes a Store; the zero value is ready to use.
+type Options struct {
+	// SegmentMaxBytes rolls the active blob segment once it exceeds
+	// this size; 0 means DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+}
+
+// Store is a durable content-addressed tier. All methods are safe for
+// concurrent use; callers must not hold cache locks across them (they
+// do file I/O).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	refs      map[sig.Signature]blobRef
+	files     map[int]*os.File
+	active    int
+	activeEnd int64
+	blobBytes int64
+
+	metaF   *os.File
+	entries map[string]EntryMeta          // doc \x00 user → latest meta
+	inters  map[interKey]IntermediateMeta // (src, fp) → latest meta
+	epochs  map[string]uint64             // doc → highest persisted generation
+
+	closed bool
+}
+
+type interKey struct {
+	src sig.Signature
+	fp  sig.Signature
+}
+
+func entryKey(doc, user string) string { return doc + "\x00" + user }
+
+// Open opens (or creates) a store rooted at dir, rebuilding the blob
+// index by segment scan and the metadata maps by log replay. Corrupt
+// tails in either file family are truncated away and reported in
+// Recovery, never returned as errors: corruption is a recoverable
+// state here, by design.
+func Open(dir string, opts Options) (*Store, Recovery, error) {
+	var rec Recovery
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	refs, files, active, activeEnd, lost, err := openSegments(dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		refs:      refs,
+		files:     files,
+		active:    active,
+		activeEnd: activeEnd,
+		entries:   make(map[string]EntryMeta),
+		inters:    make(map[interKey]IntermediateMeta),
+		epochs:    make(map[string]uint64),
+	}
+	for _, ref := range refs {
+		s.blobBytes += ref.size
+	}
+	rec.Blobs = len(refs)
+	rec.LostBlobBytes = lost
+	if err := s.replayMeta(&rec); err != nil {
+		s.closeFiles()
+		return nil, rec, err
+	}
+	rec.Entries = len(s.entries)
+	rec.Intermediates = len(s.inters)
+	rec.EpochDocs = len(s.epochs)
+	return s, rec, nil
+}
+
+// replayMeta rebuilds the metadata maps from the JSON-lines log,
+// stopping at the first line that is incomplete or unparseable and
+// truncating the file there so the next append starts on a clean
+// line boundary. Latest-wins per key; entries superseded by a
+// persisted epoch or missing their blob are dropped.
+func (s *Store) replayMeta(rec *Recovery) error {
+	path := filepath.Join(s.dir, metaLogName)
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	var validEnd int64
+	for len(raw) > 0 {
+		nl := -1
+		for i, b := range raw {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // unterminated tail: torn final write
+		}
+		line := raw[:nl]
+		raw = raw[nl+1:]
+		if len(strings.TrimSpace(string(line))) == 0 {
+			validEnd += int64(nl + 1)
+			continue
+		}
+		var m metaRecord
+		if err := json.Unmarshal(line, &m); err != nil {
+			break // corrupt line: stop, everything after is untrusted
+		}
+		switch m.T {
+		case "entry":
+			if m.Entry != nil {
+				s.entries[entryKey(m.Entry.Doc, m.Entry.User)] = *m.Entry
+			}
+		case "inter":
+			if m.Inter != nil {
+				s.inters[interKey{m.Inter.SourceSig, m.Inter.Fingerprint}] = *m.Inter
+			}
+		case "epoch":
+			if m.Gen > s.epochs[m.Doc] {
+				s.epochs[m.Doc] = m.Gen
+			}
+		default:
+			// Unknown record types from a future version are skipped,
+			// not fatal: forward compatibility for the log format.
+		}
+		validEnd += int64(nl + 1)
+	}
+	// Filter what replay accumulated: epochs beat entries regardless
+	// of line order, and a meta record without its blob is useless.
+	for k, e := range s.entries {
+		if e.Gen < s.epochs[e.Doc] {
+			delete(s.entries, k)
+			rec.DroppedStale++
+			continue
+		}
+		if _, ok := s.refs[e.Sig]; !ok {
+			delete(s.entries, k)
+			rec.DroppedNoBlob++
+		}
+	}
+	for k, im := range s.inters {
+		if _, ok := s.refs[im.Sig]; !ok {
+			delete(s.inters, k)
+			rec.DroppedNoBlob++
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if info.Size() > validEnd {
+		rec.LostMetaBytes = info.Size() - validEnd
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return err
+	}
+	s.metaF = f
+	return nil
+}
+
+// appendMeta writes one log line. Callers hold s.mu.
+func (s *Store) appendMeta(m metaRecord) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = s.metaF.Write(append(b, '\n'))
+	return err
+}
+
+// PutBlob stores payload under its content signature, deduplicating
+// against blobs already on disk, and returns that signature.
+func (s *Store) PutBlob(payload []byte) (sig.Signature, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return sig.Zero, fmt.Errorf("store: closed")
+	}
+	buf, sg := encodeRecord(payload)
+	if _, ok := s.refs[sg]; ok {
+		return sg, nil // content-addressed: same bytes, already durable
+	}
+	if s.activeEnd > 0 && s.activeEnd+int64(len(buf)) > s.opts.SegmentMaxBytes {
+		if err := s.rollLocked(); err != nil {
+			return sig.Zero, err
+		}
+	}
+	f := s.files[s.active]
+	if _, err := f.WriteAt(buf, s.activeEnd); err != nil {
+		return sig.Zero, err
+	}
+	s.refs[sg] = blobRef{seg: s.active, offset: s.activeEnd + recordHeaderSize, size: int64(len(payload))}
+	s.activeEnd += int64(len(buf))
+	s.blobBytes += int64(len(payload))
+	return sg, nil
+}
+
+// rollLocked seals the active segment and starts the next one.
+func (s *Store) rollLocked() error {
+	next := s.active + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(next)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	s.files[next] = f
+	s.active = next
+	s.activeEnd = 0
+	return nil
+}
+
+// GetBlob returns the payload stored under sg, verifying the content
+// signature end to end before serving it. A blob that fails
+// verification is dropped from the index and reported as absent —
+// the store never serves bytes it cannot prove are the ones asked for.
+func (s *Store) GetBlob(sg sig.Signature) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.refs[sg]
+	if !ok || s.closed {
+		return nil, false
+	}
+	payload := make([]byte, ref.size)
+	if _, err := s.files[ref.seg].ReadAt(payload, ref.offset); err != nil {
+		delete(s.refs, sg)
+		return nil, false
+	}
+	if sig.Of(payload) != sg {
+		delete(s.refs, sg)
+		return nil, false
+	}
+	return payload, true
+}
+
+// HasBlob reports whether sg is indexed, without reading it.
+func (s *Store) HasBlob(sg sig.Signature) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.refs[sg]
+	return ok
+}
+
+// PutEntry records (durably) that a cache entry's bytes live on disk.
+// The blob must already have been stored with PutBlob.
+func (s *Store) PutEntry(e EntryMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.refs[e.Sig]; !ok {
+		return fmt.Errorf("store: entry %s/%s references unknown blob %s", e.Doc, e.User, e.Sig)
+	}
+	if err := s.appendMeta(metaRecord{T: "entry", Entry: &e}); err != nil {
+		return err
+	}
+	s.entries[entryKey(e.Doc, e.User)] = e
+	return nil
+}
+
+// GetEntry returns the newest durable entry for (doc, user), if one
+// exists, its blob is present, and no persisted epoch supersedes it.
+func (s *Store) GetEntry(doc, user string) (EntryMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[entryKey(doc, user)]
+	if !ok || e.Gen < s.epochs[doc] {
+		return EntryMeta{}, false
+	}
+	if _, ok := s.refs[e.Sig]; !ok {
+		return EntryMeta{}, false
+	}
+	return e, true
+}
+
+// PutIntermediate records a durable universal intermediate.
+func (s *Store) PutIntermediate(im IntermediateMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.refs[im.Sig]; !ok {
+		return fmt.Errorf("store: intermediate %s references unknown blob %s", im.Fingerprint, im.Sig)
+	}
+	if err := s.appendMeta(metaRecord{T: "inter", Inter: &im}); err != nil {
+		return err
+	}
+	s.inters[interKey{im.SourceSig, im.Fingerprint}] = im
+	return nil
+}
+
+// GetIntermediate returns the durable intermediate keyed by (source
+// signature, chain fingerprint), if present with its blob.
+func (s *Store) GetIntermediate(src, fp sig.Signature) (IntermediateMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	im, ok := s.inters[interKey{src, fp}]
+	if !ok {
+		return IntermediateMeta{}, false
+	}
+	if _, ok := s.refs[im.Sig]; !ok {
+		return IntermediateMeta{}, false
+	}
+	return im, true
+}
+
+// AppendEpoch durably records that doc reached invalidation generation
+// gen: after a restart, any durable entry for doc with an older
+// generation will be refused. Called on every invalidation so that
+// invalidations arriving while entries sit on disk survive a crash.
+func (s *Store) AppendEpoch(doc string, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendMeta(metaRecord{T: "epoch", Doc: doc, Gen: gen}); err != nil {
+		return err
+	}
+	if gen > s.epochs[doc] {
+		s.epochs[doc] = gen
+	}
+	return nil
+}
+
+// Epochs returns a copy of the persisted invalidation epochs, used by
+// the cache on boot to seed its generation counters.
+func (s *Store) Epochs() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.epochs))
+	for d, g := range s.epochs {
+		out[d] = g
+	}
+	return out
+}
+
+// Entries returns a copy of the surviving durable entry metadata, in
+// no particular order.
+func (s *Store) Entries() []EntryMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EntryMeta, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats snapshots the store for observability.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Blobs:         len(s.refs),
+		BlobBytes:     s.blobBytes,
+		Segments:      len(s.files),
+		Entries:       len(s.entries),
+		Intermediates: len(s.inters),
+		EpochDocs:     len(s.epochs),
+	}
+}
+
+func (s *Store) closeFiles() {
+	for _, f := range s.files {
+		f.Close()
+	}
+	if s.metaF != nil {
+		s.metaF.Close()
+	}
+}
+
+// Close syncs and releases the store's files. The store is unusable
+// afterwards; reopen with Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.metaF != nil {
+		if err := s.metaF.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.metaF.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

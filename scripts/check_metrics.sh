@@ -24,7 +24,9 @@ trap 'kill $PID $CPID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
 go build -o "$WORK/placelessd" ./cmd/placelessd
 go build -o "$WORK/plcached" ./cmd/plcached
 
-"$WORK/placelessd" -mem -cache 1048576 -memoize \
+# -store attaches the durable disk tier so the placeless_store_*
+# families register and appear in the exposition.
+"$WORK/placelessd" -mem -cache 1048576 -memoize -store "$WORK/store" \
 	-addr "127.0.0.1:$TCP_PORT" -http "127.0.0.1:$HTTP_PORT" \
 	>"$WORK/placelessd.log" 2>&1 &
 PID=$!
