@@ -78,6 +78,11 @@ bench-e13:
 bench-e14:
 	$(GO) run ./cmd/plbench -experiment e14
 
+# Machine-readable E15 result: wire protocol v1 gob vs v2 pipelined
+# binary framing (throughput and allocs/op per blob size, loopback).
+bench-e15:
+	$(GO) run ./cmd/plbench -experiment e15
+
 # Scrape a briefly-run placelessd and diff the /metrics family set
 # against docs/metric_names.golden (what CI runs).
 check-metrics:

@@ -110,6 +110,11 @@ func main() {
 		})
 		defer cache.Close()
 		srv = server.NewCached(space, backing, cache)
+		if diskTier != nil {
+			// Same tier the cache demotes into: large v2 read bodies
+			// stream from the segment files instead of the heap copy.
+			srv.SetStore(diskTier)
+		}
 	} else {
 		if *memoize {
 			log.Fatal("placelessd: -memoize requires -cache")
@@ -131,6 +136,12 @@ func main() {
 		reg.Gauge("placeless_server_connections",
 			"Currently open client connections.",
 			func() int64 { _, _, c := srv.Counters(); return c })
+		reg.Counter("placeless_server_bytes_sent_total",
+			"Bytes written to client sockets across both wire protocol versions.",
+			func() int64 { s, _ := srv.WireBytes(); return s })
+		reg.Counter("placeless_server_bytes_received_total",
+			"Bytes read from client sockets across both wire protocol versions.",
+			func() int64 { _, r := srv.WireBytes(); return r })
 		mux := http.NewServeMux()
 		observer.Mount(mux)
 		// /status: operator-facing JSON snapshot — boot-time store

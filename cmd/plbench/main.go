@@ -23,12 +23,13 @@
 //	memo               universal-stage memoization fan-out (E12)
 //	obs                observability overhead + per-stage timings (E13)
 //	resilience         connection resilience: crash/restart + deadlines (E14)
+//	wire               wire protocol v1 gob vs v2 pipelined binary (E15)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12, e13, e14) runs one
-// experiment by its DESIGN.md index and additionally writes its result
-// as BENCH_<index>.json in the working directory, for machine
-// consumers (CI trend tracking).
+// Alternatively, -experiment <index> (currently e12, e13, e14, e15)
+// runs one experiment by its DESIGN.md index and additionally writes
+// its result as BENCH_<index>.json (BENCH_wire.json for e15) in the
+// working directory, for machine consumers (CI trend tracking).
 package main
 
 import (
@@ -48,7 +49,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14>")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -58,7 +59,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -99,8 +100,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 			return err
 		}
 		res, title = r, resilienceTitle(cfg)
+	case "e15":
+		cfg := experiment.DefaultWireConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunWire(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, wireTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -113,6 +122,11 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 		return err
 	}
 	out := "BENCH_" + index + ".json"
+	if index == "e15" {
+		// E15's artifact carries the protocol name: CI asserts the
+		// v2-vs-v1 ratios out of BENCH_wire.json.
+		out = "BENCH_wire.json"
+	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
@@ -289,6 +303,16 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(resilienceTitle(cfg), res)
 	}
+	if all || which == "wire" {
+		ran = true
+		cfg := experiment.DefaultWireConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunWire(cfg)
+		if err != nil {
+			return err
+		}
+		emit(wireTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
@@ -299,6 +323,12 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 func resilienceTitle(cfg experiment.ResilienceConfig) string {
 	return fmt.Sprintf("E14 — connection resilience: crash/restart per degraded policy + wedged-server deadlines (docs=%d backoff=%v..%v wedged-deadline=%v, real TCP/clock: compare counters and the deadline ratio)",
 		cfg.Docs, cfg.BackoffBase, cfg.BackoffMax, cfg.WedgedTimeout)
+}
+
+// wireTitle renders E15's parameter line.
+func wireTitle(cfg experiment.WireConfig) string {
+	return fmt.Sprintf("E15 — wire protocol v1 gob vs v2 pipelined binary (ops=%d concurrency=%d sizes=%v, loopback TCP/real clock: compare the v2/v1 ratio rows)",
+		cfg.Ops, cfg.Concurrency, cfg.BlobSizes)
 }
 
 // obsTitle renders E13's parameter line.

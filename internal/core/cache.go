@@ -31,6 +31,7 @@ package core
 
 import (
 	"errors"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,9 +185,15 @@ type entry struct {
 // an intermediate aliasing an entry's bytes must not distort it.
 type blob struct {
 	data      []byte
+	crc32c    uint32 // CRC-32C of data, computed once at intern time
 	refs      int
 	entryRefs int
 }
+
+// castagnoliTable is the CRC-32C table used to stamp blobs at intern
+// time. The wire server combines the stored value into frame trailers
+// so warm hits never re-scan the body.
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
 
 // dirtyWrite is a buffered write-back entry.
 type dirtyWrite struct {
@@ -486,6 +493,18 @@ type EntryInfo struct {
 	// DiskPromoted reports that this miss was served by promoting a
 	// revalidated entry from the durable disk tier — no transform ran.
 	DiskPromoted bool
+	// Signature is the content signature of the returned bytes, set
+	// when the result is held in (or was just installed into / promoted
+	// from) the signature-addressed blob tier; zero otherwise. The wire
+	// server uses it to stream large bodies straight from the durable
+	// store instead of the heap copy.
+	Signature sig.Signature
+	// BodyCRC32C is the CRC-32C of the returned bytes, valid only when
+	// BodyCRCOK is set (CRC zero is a legal checksum). It is the blob
+	// tier's intern-time checksum; the wire server folds it into frame
+	// trailers instead of re-scanning the body per response.
+	BodyCRC32C uint32
+	BodyCRCOK  bool
 }
 
 // minExpiry extracts the earliest TTL deadline from a verifier set.
@@ -550,9 +569,91 @@ func (c *Cache) ReadWithInfo(doc, user string) ([]byte, EntryInfo, error) {
 	return data, info, err
 }
 
-// readWithInfo is the read path proper. tr is the per-read trace being
-// assembled, or nil when no Observer is attached — every timing site
-// is gated on it so the uninstrumented path pays nothing.
+// ReadSharedHit serves a clean cache hit without the defensive copy —
+// the returned bytes alias the cache's internal blob storage, which is
+// immutable after creation, so the caller MUST treat them as read-only
+// — and without ever blocking on the read path: ok reports
+// whether an entry was present and passed its verifiers. Every other
+// outcome — miss, verifier rejection, a configured HitCost to charge —
+// returns ok == false without touching counters or dropping entries;
+// the caller is expected to fall back to a full ReadWithInfo, which
+// owns those outcomes (so a rejection is still counted and dropped
+// exactly once, by the fallback). The wire server
+// probes this from its decode loop so warm hits skip the per-request
+// handler dispatch entirely.
+func (c *Cache) ReadSharedHit(doc, user string) ([]byte, EntryInfo, bool) {
+	if c.closed.Load() || c.opts.HitCost > 0 {
+		return nil, EntryInfo{}, false
+	}
+	owner, err := c.space.ResolveOwner(doc, user)
+	if err != nil {
+		return nil, EntryInfo{}, false
+	}
+	k := key(doc, owner)
+	sh := c.idx.shardFor(k)
+
+	var tr *obs.ReadTrace
+	var t0 time.Time
+	o := c.opts.Observer
+	if o != nil {
+		tr = &obs.ReadTrace{Doc: doc, User: user, Verdict: obs.VerdictHit}
+		t0 = time.Now()
+	}
+	sh.mu.Lock()
+	e := sh.entries[k]
+	var data []byte
+	var bodyCRC uint32
+	var crcOK bool
+	if e != nil {
+		data, bodyCRC, crcOK = c.blobDataCRC(e.signature)
+	}
+	sh.mu.Unlock()
+	if tr != nil {
+		tr.Lookup = time.Since(t0)
+	}
+	if e == nil || data == nil {
+		return nil, EntryInfo{}, false
+	}
+	if !c.opts.DisableVerifiers {
+		var tVerify time.Time
+		if tr != nil {
+			tVerify = time.Now()
+		}
+		now := c.clk.Now()
+		for _, v := range e.verifiers {
+			if ok, err := v.Check(now); err != nil || !ok {
+				return nil, EntryInfo{}, false
+			}
+		}
+		if tr != nil {
+			tr.Verify = time.Since(tVerify)
+		}
+	}
+	sh.mu.Lock()
+	// The entry may have been invalidated while verifying.
+	if cur := sh.entries[k]; cur != e {
+		sh.mu.Unlock()
+		return nil, EntryInfo{}, false
+	}
+	c.stats.hits.Inc()
+	c.policyMu.Lock()
+	c.policy.Access(k)
+	c.policyMu.Unlock()
+	sh.mu.Unlock()
+	if e.cacheability == property.CacheWithEvents {
+		c.forward(doc, owner, event.GetInputStream)
+	}
+	if tr != nil {
+		tr.Total = time.Since(t0)
+		tr.Time = time.Now()
+		o.ObserveRead(*tr)
+	}
+	return data, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers), Hit: true, Signature: e.signature, BodyCRC32C: bodyCRC, BodyCRCOK: crcOK}, true
+}
+
+// readWithInfo is the read path proper. tr is the per-read trace
+// being assembled, or nil when no Observer is attached — every timing
+// site is gated on it so the uninstrumented path pays nothing.
 func (c *Cache) readWithInfo(doc, user string, tr *obs.ReadTrace) ([]byte, EntryInfo, error) {
 	if c.closed.Load() {
 		return nil, EntryInfo{}, ErrClosed
@@ -621,7 +722,7 @@ func (c *Cache) readWithInfo(doc, user string, tr *obs.ReadTrace) ([]byte, Entry
 				}
 				out := make([]byte, len(data))
 				copy(out, data)
-				return out, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers), Hit: true}, nil
+				return out, EntryInfo{Cacheability: e.cacheability, Cost: e.cost, Expiry: minExpiry(e.verifiers), Hit: true, Signature: e.signature}, nil
 			}
 			sh.mu.Unlock()
 		} else {
@@ -776,6 +877,7 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 	}
 	c.dropShardLocked(sh, k) // replace any stale entry
 	s := c.storeBlob(data)
+	info.Signature = s
 	e := &entry{
 		doc: doc, user: user,
 		signature:    s,
@@ -849,6 +951,17 @@ func (c *Cache) blobData(s sig.Signature) []byte {
 	return nil
 }
 
+// blobDataCRC is blobData plus the blob's intern-time CRC-32C; ok
+// reports whether the blob was present.
+func (c *Cache) blobDataCRC(s sig.Signature) (data []byte, crc uint32, ok bool) {
+	c.blobMu.Lock()
+	defer c.blobMu.Unlock()
+	if b := c.blobs[s]; b != nil {
+		return b.data, b.crc32c, true
+	}
+	return nil, 0, false
+}
+
 // storeBlob interns data under its signature for a (doc, user) entry.
 func (c *Cache) storeBlob(data []byte) sig.Signature {
 	return c.internBlob(data, true)
@@ -869,7 +982,7 @@ func (c *Cache) internBlob(data []byte, asEntry bool) sig.Signature {
 	c.blobMu.Lock()
 	b := c.blobs[s]
 	if b == nil {
-		b = &blob{data: append([]byte{}, data...)}
+		b = &blob{data: append([]byte{}, data...), crc32c: crc32.Checksum(data, castagnoliTable)}
 		c.blobs[s] = b
 		c.stats.bytesStored.Add(int64(len(data)))
 	}

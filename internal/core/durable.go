@@ -141,7 +141,7 @@ func (c *Cache) promote(doc, user string, g *atomic.Uint64, gen uint64) ([]byte,
 	c.evict(k)
 	out := make([]byte, len(data))
 	copy(out, data)
-	return out, EntryInfo{Cacheability: property.Unrestricted, Cost: e.Cost, DiskPromoted: true}, true
+	return out, EntryInfo{Cacheability: property.Unrestricted, Cost: e.Cost, DiskPromoted: true, Signature: s}, true
 }
 
 // demoteEntry writes an installed result behind to the disk tier. g/gen

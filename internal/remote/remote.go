@@ -334,6 +334,9 @@ func (c *Cache) registerMetrics(o *obs.Observer) {
 		"Successful reconnects observed (resubscribe + epoch flush each).", counter(func(s *Stats) int64 { return s.Reconnects }))
 	reg.Counter("placeless_remote_epoch_flushes_total",
 		"Entries flushed at reconnect because their epoch's invalidation stream was interrupted.", counter(func(s *Stats) int64 { return s.EpochFlushes }))
+	reg.Counter("placeless_remote_frames_batched_total",
+		"v2 wire frames that shared a multi-frame writev batch on this client's connection.",
+		func() int64 { return c.client.FramesBatched() })
 	reg.Counter("placeless_remote_stale_served_total",
 		"Hits served while disconnected under the serve-stale policy.", counter(func(s *Stats) int64 { return s.StaleServed }))
 	reg.Counter("placeless_remote_degraded_errors_total",

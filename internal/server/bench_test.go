@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"placeless/internal/clock"
+	"placeless/internal/core"
 	"placeless/internal/docspace"
 	"placeless/internal/repo"
 	"placeless/internal/simnet"
@@ -65,5 +66,93 @@ func BenchmarkRemoteWrite(b *testing.B) {
 		if err := c.Write("d", "u", data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchCachedServer boots a cached loopback server holding one warm
+// document of the given size and dials it pinned to proto. This is the
+// E15 workload shape: the interesting quantity is the v1/v2 delta.
+func benchCachedServer(b *testing.B, size, proto int) *Client {
+	b.Helper()
+	clk := clock.NewVirtual(time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC))
+	space := docspace.New(clk, nil)
+	cache := core.New(space, core.Options{Name: "bench", Capacity: 64 << 20})
+	b.Cleanup(func() { cache.Close() })
+	srv := NewCached(space, repo.NewMem("srv", clk, simnet.NewPath("loop", 1)), cache)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 500; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		b.Fatal("server did not start")
+	}
+	c, err := Dial(addr, WithProtocolVersion(proto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateDocument("d", "u", make([]byte, size)); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Read("d", "u"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		<-done
+	})
+	return c
+}
+
+// BenchmarkWireRead64K measures warm-hit reads of a 64 KiB document
+// over each protocol version, with 8 callers pipelining on one
+// connection (the acceptance workload for the v2 framing).
+func BenchmarkWireRead64K(b *testing.B) {
+	for _, pv := range []struct {
+		name  string
+		proto int
+	}{{"v1", ProtoV1}, {"v2", ProtoV2}} {
+		b.Run(pv.name, func(b *testing.B) {
+			c := benchCachedServer(b, 64<<10, pv.proto)
+			b.SetParallelism(8)
+			b.SetBytes(64 << 10)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, err := c.Read("d", "u"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWireRead4K is BenchmarkWireRead64K at the small-frame size,
+// where fixed per-op costs dominate payload handling.
+func BenchmarkWireRead4K(b *testing.B) {
+	for _, pv := range []struct {
+		name  string
+		proto int
+	}{{"v1", ProtoV1}, {"v2", ProtoV2}} {
+		b.Run(pv.name, func(b *testing.B) {
+			c := benchCachedServer(b, 4<<10, pv.proto)
+			b.SetParallelism(8)
+			b.SetBytes(4 << 10)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, err := c.Read("d", "u"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"placeless/internal/property"
@@ -76,6 +79,7 @@ type dialConfig struct {
 	dialer          Dialer
 	jitterSeed      int64
 	jitterSeeded    bool
+	protocol        int // ProtoAuto, ProtoV1, or ProtoV2
 }
 
 func defaultDialConfig() dialConfig {
@@ -159,6 +163,16 @@ func WithDialer(d Dialer) DialOption {
 	}
 }
 
+// WithProtocolVersion pins the wire protocol generation: ProtoV1
+// forces the legacy gob framing, ProtoV2 requires the binary protocol
+// (dialing a server without v2 support fails instead of downgrading),
+// and ProtoAuto — the default — negotiates v2 with automatic fallback
+// to v1. Negotiation runs on every connection, including each
+// background reconnect.
+func WithProtocolVersion(v int) DialOption {
+	return func(c *dialConfig) { c.protocol = v }
+}
+
 // WithJitterSeed fixes the PRNG behind reconnect backoff jitter so a
 // simulation run is reproducible from a single seed. Without it the
 // jitter is seeded from the wall clock, which is what a production
@@ -188,10 +202,84 @@ type ReadMeta struct {
 type pendingCall struct {
 	ch  chan *Response
 	err error
+
+	// dst, when non-nil, is a caller-supplied buffer for the read body
+	// (ReadInto). The v2 read loop claims it under the client lock
+	// before decoding the body off the socket, recording the claiming
+	// connection in claimed. Once claimed, only that connection's read
+	// loop may complete or fail the call (deliver the response, or
+	// flush it when the loop exits): any other goroutine waking the
+	// caller early would hand the buffer back while the decoder is
+	// still writing into it. The timeout path therefore waits for
+	// delivery instead of abandoning a claimed call, and the generic
+	// pending flushes skip claimed calls.
+	dst     []byte
+	claimed wireConn
 }
 
 // inval is one queued invalidation push.
 type inval struct{ doc, user string }
+
+// wireConn abstracts the two protocol generations on the client side:
+// the read loop, call path, and reconnect machinery are version-blind.
+type wireConn interface {
+	sendRequest(req *Request, writeTimeout time.Duration) error
+	readResponse() (*Response, error)
+	setReadDeadline(t time.Time) error
+	close() error
+}
+
+// wireV1 speaks the legacy gob framing.
+type wireV1 struct{ fc *frameConn }
+
+func (w wireV1) sendRequest(req *Request, d time.Duration) error { return w.fc.send(req, d) }
+
+func (w wireV1) readResponse() (*Response, error) {
+	var resp Response
+	if err := w.fc.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (w wireV1) setReadDeadline(t time.Time) error { return w.fc.c.SetReadDeadline(t) }
+func (w wireV1) close() error                      { return w.fc.close() }
+
+// wireV2 speaks the binary protocol: encoded frames go through the
+// connection's single writer goroutine (which batches concurrent small
+// frames into one writev), responses decode off a buffered reader.
+type wireV2 struct {
+	c  net.Conn
+	br *bufio.Reader
+	fw *frameWriter
+
+	// claim asks the call layer for a caller-registered read-body
+	// destination (ReadInto) before the body is decoded off the socket.
+	claim func(id uint64, n int) []byte
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (w *wireV2) sendRequest(req *Request, _ time.Duration) error {
+	// The write deadline is armed by the writer goroutine per batch.
+	f, err := encodeRequestFrame(req)
+	if err != nil {
+		return err
+	}
+	return w.fw.enqueue(f)
+}
+
+func (w *wireV2) readResponse() (*Response, error) { return readResponseFrameInto(w.br, w.claim) }
+func (w *wireV2) setReadDeadline(t time.Time) error { return w.c.SetReadDeadline(t) }
+
+func (w *wireV2) close() error {
+	w.closeOnce.Do(func() {
+		w.fw.close()
+		w.closeErr = w.c.Close()
+	})
+	return w.closeErr
+}
 
 // Client is a connection to a Placeless server mirroring the local
 // Space API. Safe for concurrent use.
@@ -207,8 +295,11 @@ type Client struct {
 	cfg  dialConfig
 	rng  *rand.Rand // backoff jitter; only touched by the single reconnect loop
 
+	framesBatched atomic.Int64 // frames coalesced into multi-frame writevs
+
 	mu           sync.Mutex
-	fc           *frameConn // nil while disconnected
+	wc           wireConn // nil while disconnected
+	proto        int      // negotiated version of the current connection
 	state        ConnState
 	epoch        uint64
 	nextID       uint64
@@ -241,10 +332,6 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	conn, err := cfg.dialer(addr, cfg.dialTimeout)
-	if err != nil {
-		return nil, err
-	}
 	jitterSeed := cfg.jitterSeed
 	if !cfg.jitterSeeded {
 		jitterSeed = time.Now().UnixNano()
@@ -252,17 +339,93 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	c := &Client{
 		addr:    addr,
 		cfg:     cfg,
-		fc:      newFrameConn(conn),
 		state:   StateConnected,
 		epoch:   1,
 		pending: make(map[uint64]*pendingCall),
 		rng:     rand.New(rand.NewSource(jitterSeed)),
 	}
+	wc, proto, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.wc = wc
+	c.proto = proto
 	c.invalCond = sync.NewCond(&c.invalMu)
 	go c.dispatchInvals()
-	go c.readLoop(c.fc)
+	go c.readLoop(wc)
 	return c, nil
 }
+
+// connect dials and negotiates the protocol version, returning the
+// established wire and the version it speaks.
+func (c *Client) connect() (wireConn, int, error) {
+	conn, err := c.cfg.dialer(c.addr, c.cfg.dialTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.cfg.protocol == ProtoV1 {
+		return wireV1{fc: newFrameConn(conn)}, ProtoV1, nil
+	}
+	wc, herr := c.handshakeV2(conn)
+	if herr == nil {
+		return wc, ProtoV2, nil
+	}
+	conn.Close()
+	if c.cfg.protocol == ProtoV2 {
+		return nil, 0, fmt.Errorf("server: v2 handshake failed: %w", herr)
+	}
+	// Downgrade path. The magic preamble has already poisoned a legacy
+	// server's gob stream (that is how the refusal manifests), so v1
+	// needs a fresh connection rather than reusing this one.
+	conn, err = c.cfg.dialer(c.addr, c.cfg.dialTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	return wireV1{fc: newFrameConn(conn)}, ProtoV1, nil
+}
+
+// handshakeV2 sends the v2 magic and waits (bounded by the dial
+// timeout) for the server's ack. Any failure — a legacy server closing
+// the connection after a gob decode error, or silence until the
+// deadline — means "the server does not speak v2".
+func (c *Client) handshakeV2(conn net.Conn) (*wireV2, error) {
+	if c.cfg.dialTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.dialTimeout))
+	}
+	if _, err := conn.Write(helloMagic[:]); err != nil {
+		return nil, err
+	}
+	var ack [len(helloAck)]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return nil, err
+	}
+	if ack != helloAck {
+		return nil, errors.New("unexpected handshake ack")
+	}
+	_ = conn.SetDeadline(time.Time{})
+	// 8 KiB: headers and small frames decode from the buffered window,
+	// while blob bodies larger than the buffer take bufio's large-read
+	// bypass straight into the response allocation — no staging copy.
+	w := &wireV2{c: conn, br: bufio.NewReaderSize(conn, 8<<10)}
+	w.claim = func(id uint64, n int) []byte { return c.claimReadDst(w, id, n) }
+	w.fw = newFrameWriter(conn, c.cfg.writeTimeout, &c.framesBatched, nil,
+		func(err error) { c.connFailed(w, err) })
+	return w, nil
+}
+
+// ProtocolVersion reports the negotiated protocol generation of the
+// current connection (ProtoV1 or ProtoV2); after a reconnect it
+// reflects the fresh negotiation.
+func (c *Client) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proto
+}
+
+// FramesBatched returns how many outbound frames were coalesced into
+// multi-frame writev batches by the v2 writer (0 on v1 connections) —
+// the pipelining win made visible for metrics and benchmarks.
+func (c *Client) FramesBatched() int64 { return c.framesBatched.Load() }
 
 // OnInvalidate registers the handler for server-pushed invalidations.
 // user == "" means every user's version of doc is affected. The
@@ -390,14 +553,19 @@ func (c *Client) dispatchInvals() {
 
 // readLoop demultiplexes responses and notifications for one
 // connection; it exits (via connFailed) when the connection dies.
-func (c *Client) readLoop(fc *frameConn) {
+func (c *Client) readLoop(wc wireConn) {
 	for {
 		if c.cfg.readIdleTimeout > 0 {
-			_ = fc.c.SetReadDeadline(time.Now().Add(c.cfg.readIdleTimeout))
+			_ = wc.setReadDeadline(time.Now().Add(c.cfg.readIdleTimeout))
 		}
-		var resp Response
-		if err := fc.dec.Decode(&resp); err != nil {
-			c.connFailed(fc, err)
+		resp, err := wc.readResponse()
+		if err != nil {
+			c.connFailed(wc, err)
+			// connFailed skips calls claimed by this connection's
+			// decoder (their buffers were being written until
+			// readResponse returned just above); fail them here, where
+			// the decoder is provably done.
+			c.flushClaimed(wc)
 			return
 		}
 		if resp.ID == 0 {
@@ -409,8 +577,7 @@ func (c *Client) readLoop(fc *frameConn) {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if pc != nil {
-			r := resp
-			pc.ch <- &r
+			pc.ch <- resp
 		}
 	}
 }
@@ -420,14 +587,14 @@ func (c *Client) readLoop(fc *frameConn) {
 // background reconnector starts. Safe to call from multiple goroutines
 // and multiple times; only the first caller for a given connection
 // does the work.
-func (c *Client) connFailed(fc *frameConn, err error) {
+func (c *Client) connFailed(wc wireConn, err error) {
 	c.mu.Lock()
-	if c.fc != fc {
+	if c.wc != wc {
 		c.mu.Unlock()
-		fc.close()
+		wc.close()
 		return
 	}
-	c.fc = nil
+	c.wc = nil
 	c.readErr = err
 	failErr := error(ErrDisconnected)
 	newState := StateDisconnected
@@ -436,6 +603,11 @@ func (c *Client) connFailed(fc *frameConn, err error) {
 		newState = StateClosed
 	}
 	for id, pc := range c.pending {
+		if pc.claimed != nil {
+			// A read-loop decoder owns this call's buffer; that loop
+			// fails it via flushClaimed once its decode returns.
+			continue
+		}
 		pc.err = failErr
 		close(pc.ch)
 		delete(c.pending, id)
@@ -451,7 +623,7 @@ func (c *Client) connFailed(fc *frameConn, err error) {
 		c.reconnecting = true
 	}
 	c.mu.Unlock()
-	fc.close()
+	wc.close()
 	for _, fn := range stateFns {
 		fn(newState)
 	}
@@ -474,17 +646,17 @@ func (c *Client) reconnectLoop() {
 		}
 		c.mu.Unlock()
 
-		conn, err := c.cfg.dialer(c.addr, c.cfg.dialTimeout)
+		wc, proto, err := c.connect()
 		if err == nil {
-			fc := newFrameConn(conn)
 			c.mu.Lock()
 			if c.closed {
 				c.reconnecting = false
 				c.mu.Unlock()
-				fc.close()
+				wc.close()
 				return
 			}
-			c.fc = fc
+			c.wc = wc
+			c.proto = proto
 			c.epoch++
 			epoch := c.epoch
 			c.state = StateConnected
@@ -493,7 +665,7 @@ func (c *Client) reconnectLoop() {
 			reconFns := append([]func(uint64){}, c.onReconnect...)
 			stateFns := append([]func(ConnState){}, c.onState...)
 			c.mu.Unlock()
-			go c.readLoop(fc)
+			go c.readLoop(wc)
 			for _, fn := range stateFns {
 				fn(StateConnected)
 			}
@@ -520,32 +692,75 @@ func (c *Client) reconnectLoop() {
 	}
 }
 
+// claimReadDst is the v2 read loop's destination hook: if the call id
+// has a registered ReadInto buffer with capacity for an n-byte body,
+// mark it claimed and hand it over sized to n. Claiming and the
+// timeout path are serialized on c.mu, so the buffer is never handed
+// to the decoder after its owner has abandoned the call and taken the
+// buffer back.
+func (c *Client) claimReadDst(wc wireConn, id uint64, n int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc := c.pending[id]
+	if pc == nil || pc.dst == nil || cap(pc.dst) < n {
+		return nil
+	}
+	pc.claimed = wc
+	return pc.dst[:n]
+}
+
+// flushClaimed fails every pending call claimed by wc. It runs on
+// wc's read loop goroutine after the loop has exited, which is the
+// only point where a claimed destination buffer is provably no longer
+// being written by the decoder.
+func (c *Client) flushClaimed(wc wireConn) {
+	c.mu.Lock()
+	failErr := error(ErrDisconnected)
+	if c.closed {
+		failErr = ErrClientClosed
+	}
+	for id, pc := range c.pending {
+		if pc.claimed == wc {
+			pc.err = failErr
+			close(pc.ch)
+			delete(c.pending, id)
+		}
+	}
+	c.mu.Unlock()
+}
+
 // call performs one request/response round trip, honoring the
 // configured call deadline even when the connection is wedged (the
 // server accepted the request but will never answer).
 func (c *Client) call(req *Request) (*Response, error) {
+	return c.callDst(req, nil)
+}
+
+// callDst is call with an optional caller-owned destination buffer
+// for the read body (see ReadInto).
+func (c *Client) callDst(req *Request, dst []byte) (*Response, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
-	fc := c.fc
-	if fc == nil {
+	wc := c.wc
+	if wc == nil {
 		c.mu.Unlock()
 		return nil, ErrDisconnected
 	}
 	c.nextID++
 	req.ID = c.nextID
-	pc := &pendingCall{ch: make(chan *Response, 1)}
+	pc := &pendingCall{ch: make(chan *Response, 1), dst: dst}
 	c.pending[req.ID] = pc
 	c.mu.Unlock()
 
-	if err := fc.send(req, c.cfg.writeTimeout); err != nil {
+	if err := wc.sendRequest(req, c.cfg.writeTimeout); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		closed := c.closed
 		c.mu.Unlock()
-		c.connFailed(fc, err)
+		c.connFailed(wc, err)
 		if closed {
 			return nil, ErrClientClosed
 		}
@@ -572,6 +787,25 @@ func (c *Client) call(req *Request) (*Response, error) {
 		return resp, nil
 	case <-timeout:
 		c.mu.Lock()
+		if pc.claimed != nil {
+			// The read loop is already decoding the body into the
+			// caller's buffer; abandoning now would hand a buffer the
+			// decoder is writing back to the caller. Delivery (or a
+			// connection failure that flushes pending calls) is at most
+			// one body read away, so wait it out.
+			c.mu.Unlock()
+			resp, ok := <-pc.ch
+			if !ok {
+				if pc.err != nil {
+					return nil, pc.err
+				}
+				return nil, ErrClientClosed
+			}
+			if resp.Err != "" {
+				return resp, fmt.Errorf("server: %s", resp.Err)
+			}
+			return resp, nil
+		}
 		delete(c.pending, req.ID)
 		c.timeouts++
 		c.mu.Unlock()
@@ -579,7 +813,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 		// be trusted (responses and invalidation pushes share it):
 		// reset it so the reconnect path takes over instead of
 		// leaving a zombie link up.
-		c.connFailed(fc, ErrTimeout)
+		c.connFailed(wc, ErrTimeout)
 		return nil, ErrTimeout
 	}
 }
@@ -593,9 +827,14 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.state = StateClosed
-	fc := c.fc
-	c.fc = nil
+	wc := c.wc
+	c.wc = nil
 	for id, pc := range c.pending {
+		if pc.claimed != nil {
+			// The connection teardown below errors the decoder out;
+			// its read loop then fails this call via flushClaimed.
+			continue
+		}
 		pc.err = ErrClientClosed
 		close(pc.ch)
 		delete(c.pending, id)
@@ -609,8 +848,8 @@ func (c *Client) Close() error {
 	c.invalCond.Broadcast()
 
 	var err error
-	if fc != nil {
-		err = fc.close()
+	if wc != nil {
+		err = wc.close()
 	}
 	for _, fn := range stateFns {
 		fn(StateClosed)
@@ -621,6 +860,31 @@ func (c *Client) Close() error {
 // Read executes the remote read path.
 func (c *Client) Read(doc, user string) ([]byte, ReadMeta, error) {
 	resp, err := c.call(&Request{Op: OpRead, Doc: doc, User: user})
+	if err != nil {
+		return nil, ReadMeta{}, err
+	}
+	meta := ReadMeta{
+		Cacheability: property.Cacheability(resp.Cacheability),
+		Cost:         time.Duration(resp.CostNanos),
+	}
+	if resp.ExpiryUnixNanos != 0 {
+		meta.Expiry = time.Unix(0, resp.ExpiryUnixNanos)
+	}
+	return resp.Body, meta, nil
+}
+
+// ReadInto is Read with a caller-supplied body buffer, the client
+// half of the zero-copy blob path. On a v2 connection, when buf has
+// capacity for the body, the read loop decodes the body from the
+// socket directly into buf — no per-read body allocation — and the
+// returned slice aliases buf. When buf is too small, or the
+// connection speaks v1 (gob decides its own allocations), the body
+// lands in a fresh allocation and buf is unused; callers must
+// therefore use the returned slice, not buf. buf must not be read,
+// written, or handed to another ReadInto until the call returns; on
+// error its contents are undefined.
+func (c *Client) ReadInto(doc, user string, buf []byte) ([]byte, ReadMeta, error) {
+	resp, err := c.callDst(&Request{Op: OpRead, Doc: doc, User: user}, buf)
 	if err != nil {
 		return nil, ReadMeta{}, err
 	}

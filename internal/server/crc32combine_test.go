@@ -1,0 +1,54 @@
+package server
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestCRC32Combine checks the matrix construction against direct
+// computation across split points, including empty halves and sizes
+// spanning several power-of-two operators.
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := [][2]int{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {17, 0}, {17, 1},
+		{17, 4096}, {17, 65536}, {3, 65537}, {1000, 1000000},
+		{17, 1<<20 + 3},
+	}
+	for _, sz := range sizes {
+		a := make([]byte, sz[0])
+		b := make([]byte, sz[1])
+		rng.Read(a)
+		rng.Read(b)
+		want := crc32.Checksum(append(append([]byte{}, a...), b...), castagnoli)
+		got := crc32Combine(
+			crc32.Checksum(a, castagnoli),
+			crc32.Checksum(b, castagnoli),
+			int64(len(b)),
+		)
+		if got != want {
+			t.Errorf("combine(len %d + len %d) = %08x, want %08x", sz[0], sz[1], got, want)
+		}
+	}
+}
+
+// TestCRC32CombineRandomSplits slices one buffer at random points and
+// checks every split recombines to the whole-buffer CRC.
+func TestCRC32CombineRandomSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, 1<<18)
+	rng.Read(buf)
+	want := crc32.Checksum(buf, castagnoli)
+	for i := 0; i < 50; i++ {
+		cut := rng.Intn(len(buf) + 1)
+		got := crc32Combine(
+			crc32.Checksum(buf[:cut], castagnoli),
+			crc32.Checksum(buf[cut:], castagnoli),
+			int64(len(buf)-cut),
+		)
+		if got != want {
+			t.Fatalf("split at %d: combine = %08x, want %08x", cut, got, want)
+		}
+	}
+}

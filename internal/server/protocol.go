@@ -6,9 +6,14 @@
 // which mirrors the local Space API; notifier invalidations are pushed
 // to connected clients over the same connection.
 //
-// The wire protocol is length-prefixed gob frames: every request
-// carries a client-chosen ID, every response echoes it, and
-// server-initiated notification frames use ID 0.
+// Two wire protocols share one port. Protocol v1 (this file) is
+// length-prefixed gob frames: every request carries a client-chosen
+// ID, every response echoes it, and server-initiated notification
+// frames use ID 0. Protocol v2 (protocol2.go) is a negotiated binary
+// framing that carries blob payloads as raw byte ranges; the server
+// sniffs the v2 magic preamble on each accepted connection and falls
+// back to gob for everything else, so v1 clients keep working
+// unchanged.
 package server
 
 import (
@@ -129,6 +134,22 @@ type Response struct {
 	// (the old format packed "doc\tvalue\tlevel" into one string and
 	// corrupted such values on split).
 	Matches []Match
+
+	// bodyStream, when non-nil, carries the read body as a stream of
+	// bodyLen bytes straight from the durable content-addressed tier.
+	// Protocol v2 connections write it to the socket without staging;
+	// v1's gob framing ignores unexported fields and marshals Body,
+	// which stays populated either way so both framings serve
+	// identical bytes.
+	bodyStream io.Reader
+	bodyLen    int64
+
+	// bodyCRC, valid when bodyCRCOK (CRC zero is a legal checksum), is
+	// the CRC-32C of the body content as stamped by the cache's blob
+	// tier at intern time. The v2 frame writer combines it into the
+	// payload trailer instead of re-scanning the body per response.
+	bodyCRC   uint32
+	bodyCRCOK bool
 }
 
 // Match is one property-search hit (OpFind).
@@ -154,6 +175,15 @@ type frameConn struct {
 
 func newFrameConn(c net.Conn) *frameConn {
 	return &frameConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// newFrameConnRW is newFrameConn with the gob streams routed through r
+// and w instead of the raw connection. The server uses it to feed the
+// decoder from the protocol-sniffing buffered reader and to thread
+// byte counters into both directions; c remains the handle for
+// deadlines and close.
+func newFrameConnRW(c net.Conn, r io.Reader, w io.Writer) *frameConn {
+	return &frameConn{c: c, enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}
 }
 
 // send encodes one frame. writeTimeout > 0 arms a write deadline on

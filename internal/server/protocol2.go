@@ -1,0 +1,813 @@
+// Binary wire protocol v2.
+//
+// The v1 protocol carries every frame through encoding/gob: correct,
+// but each Read response re-encodes the full blob through a reflection
+// encoder and copies it through staging buffers between the signature
+// store and the socket, and concurrent calls serialize on the per-frame
+// encode mutex. Protocol v2 replaces that framing for the hot ops with
+// hand-written codecs over a fixed header, so blob payloads travel as
+// raw byte ranges — never re-encoded — and a single writer goroutine
+// batches small frames into one writev (net.Buffers) per wakeup.
+//
+// Frame layout (16-byte header, big-endian multi-byte fields):
+//
+//	offset 0  version (1 byte, 0x02)
+//	offset 1  op      (1 byte)
+//	offset 2  flags   (2 bytes)
+//	offset 4  call ID (8 bytes; 0 = server push)
+//	offset 12 payload length (4 bytes)
+//	offset 16 payload
+//	          payload CRC32-C (4 bytes)
+//
+// Hot ops (Read, Write, Subscribe, the invalidation push) encode their
+// payloads by hand: uvarint-length-prefixed strings followed by the raw
+// body bytes. Everything else rides inside a v2 frame as a gob-encoded
+// Request/Response (flagGob) — cold ops keep gob's flexibility, hot ops
+// skip it entirely. Error responses carry flagError with the error
+// string as payload.
+//
+// Version negotiation: a v2 client opens with an 8-byte magic preamble;
+// the server sniffs the first bytes of every accepted connection and
+// answers the magic with an ack before switching to v2 framing. Bytes
+// that are not the magic flow unread into the v1 gob decoder, so legacy
+// clients work untouched. Against a legacy server the preamble poisons
+// the gob stream — the old decoder errors and drops the connection —
+// which the client treats as "no ack": it redials and speaks v1. The
+// decoder validates every header field strictly, so a corrupted or
+// reordered byte stream (the simulator's fault model) fails the
+// connection exactly like a gob desync does on v1.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Protocol versions a client can pin with WithProtocolVersion.
+const (
+	// ProtoAuto negotiates v2 and falls back to v1 when the server does
+	// not answer the handshake (a legacy binary).
+	ProtoAuto = 0
+	// ProtoV1 pins the legacy gob framing.
+	ProtoV1 = 1
+	// ProtoV2 requires the binary protocol; dialing a v1-only server
+	// fails instead of downgrading.
+	ProtoV2 = 2
+)
+
+const (
+	frameHeaderSize = 16
+	// frameTrailerSize is the CRC32-C of the payload, appended after
+	// it. The header is validated structurally; the trailer is what
+	// catches corruption inside a raw payload, where the bytes are
+	// arbitrary and validation has nothing to check. Without it a
+	// partially-lost frame could silently splice later frames into a
+	// blob body — gob's self-describing stream desyncs loudly there,
+	// and a raw binary framing must fail just as loudly.
+	frameTrailerSize = 4
+	// maxFramePayload bounds a single frame; anything larger is treated
+	// as a corrupt header, not an allocation request.
+	maxFramePayload = 64 << 20
+	// readMetaSize is the fixed metadata prefix of a Read response
+	// payload: cacheability (1) + cost nanos (8) + expiry nanos (8).
+	readMetaSize = 17
+)
+
+// castagnoli is the CRC32-C table for frame trailers (hardware
+// accelerated on amd64/arm64, so checksumming costs far less than the
+// gob round trip it replaces).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// readTrailer consumes a frame's CRC trailer and verifies it against
+// the receiver-computed payload checksum. The four bytes are parsed in
+// place from the buffered window (Peek) rather than read into a local
+// array: passing a stack array down an io.Reader interface forces it
+// to the heap, and the trailer is read once per frame on the hot path.
+func readTrailer(br *bufio.Reader, crc uint32) error {
+	t, err := br.Peek(frameTrailerSize)
+	if len(t) < frameTrailerSize {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if binary.BigEndian.Uint32(t) != crc {
+		return errors.New("server: bad v2 frame: payload checksum mismatch")
+	}
+	_, _ = br.Discard(frameTrailerSize)
+	return nil
+}
+
+// Frame flags.
+const (
+	// flagGob marks a payload that is a gob-encoded Request/Response
+	// (the cold-op fallback inside a v2 frame).
+	flagGob uint16 = 1 << 0
+	// flagError marks a response whose payload is the error string.
+	flagError uint16 = 1 << 1
+)
+
+// opInvalidate is the v2 wire op for server→client invalidation pushes
+// (v1 signals them with ID 0 on an ordinary Response). Never valid in
+// a request.
+const opInvalidate Op = 0x7f
+
+// helloMagic opens every v2 connection. The leading zero byte makes a
+// legacy gob server fail fast: gob reads it as an empty message and
+// errors, closing the connection, which the dialer reads as "speak v1".
+var helloMagic = [8]byte{0x00, 'P', 'L', 'W', 'R', 'E', 'v', '2'}
+
+// helloAck is the server's answer to helloMagic.
+var helloAck = [8]byte{0x00, 'P', 'L', 'A', 'C', 'K', 'v', '2'}
+
+// errWireClosed is returned by sends on a v2 connection whose writer
+// has shut down.
+var errWireClosed = errors.New("server: v2 connection closed")
+
+// smallBufPool recycles header + inline-payload staging buffers for v2
+// frames — the wire-level extension of the stream package's pooled
+// staging discipline. The pool traffics in *[]byte tokens: the token
+// acquired by getSmallBuf rides in the frame and is handed back to
+// putSmallBuf, so returning a buffer never re-boxes the slice header
+// (Put(&b) on a local would allocate on every release).
+var smallBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+const maxPooledBuf = 64 << 10
+
+// getSmallBuf leases a staging buffer: b is the working slice, already
+// sized for the frame header; p is the pool token to pass back to
+// putSmallBuf along with however b has grown.
+func getSmallBuf() (p *[]byte, b []byte) {
+	p = smallBufPool.Get().(*[]byte)
+	return p, (*p)[:frameHeaderSize]
+}
+
+// putSmallBuf returns a leased buffer. Buffers that grew past
+// maxPooledBuf are dropped (the token re-enters the pool with its
+// original backing array).
+func putSmallBuf(p *[]byte, b []byte) {
+	if p == nil {
+		return
+	}
+	if cap(b) >= frameHeaderSize && cap(b) <= maxPooledBuf {
+		*p = b[:0]
+	}
+	smallBufPool.Put(p)
+}
+
+// putFrameHeader writes the fixed header into b[:frameHeaderSize].
+func putFrameHeader(b []byte, op Op, flags uint16, id uint64, plen int) {
+	b[0] = ProtoV2
+	b[1] = byte(op)
+	binary.BigEndian.PutUint16(b[2:4], flags)
+	binary.BigEndian.PutUint64(b[4:12], id)
+	binary.BigEndian.PutUint32(b[12:16], uint32(plen))
+}
+
+// readFrameHeader reads and strictly validates one header. Any
+// malformation — wrong version byte, unknown op or flag, oversized
+// payload — is a connection-fatal error, mirroring a gob desync: the
+// byte stream behind it cannot be trusted.
+func readFrameHeader(br *bufio.Reader) (op Op, flags uint16, id uint64, plen int, err error) {
+	// Parsed in place from the buffered window; see readTrailer for why.
+	h, err := br.Peek(frameHeaderSize)
+	if len(h) < frameHeaderSize {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, 0, 0, err
+	}
+	if h[0] != ProtoV2 {
+		return 0, 0, 0, 0, fmt.Errorf("server: bad v2 frame: version byte 0x%02x", h[0])
+	}
+	op = Op(h[1])
+	if op > OpFind && op != opInvalidate {
+		return 0, 0, 0, 0, fmt.Errorf("server: bad v2 frame: unknown op 0x%02x", h[1])
+	}
+	flags = binary.BigEndian.Uint16(h[2:4])
+	if flags&^(flagGob|flagError) != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("server: bad v2 frame: unknown flags 0x%04x", flags)
+	}
+	id = binary.BigEndian.Uint64(h[4:12])
+	n := binary.BigEndian.Uint32(h[12:16])
+	if n > maxFramePayload {
+		return 0, 0, 0, 0, fmt.Errorf("server: bad v2 frame: payload length %d exceeds limit", n)
+	}
+	_, _ = br.Discard(frameHeaderSize)
+	return op, flags, id, int(n), nil
+}
+
+// appendWireString appends a uvarint-length-prefixed string.
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readWireString consumes one string from p, returning the remainder.
+func readWireString(p []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return "", nil, errors.New("server: bad v2 frame: truncated string")
+	}
+	return string(p[sz : sz+int(n)]), p[sz+int(n):], nil
+}
+
+// crcWriter accumulates the payload CRC of a streamed frame while the
+// bytes flow to the socket.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	return cw.w.Write(p)
+}
+
+// wireFrame is one encoded v2 frame queued for write. hdr carries the
+// header plus any inline payload prefix (leased from smallBufPool when
+// hdrPool is non-nil); body carries a raw payload tail written as-is —
+// the blob bytes are never copied into a staging buffer. bodyReader,
+// when non-nil, carries the tail as a stream instead (the zero-copy
+// disk-tier path); it must produce exactly bodyLen bytes.
+type wireFrame struct {
+	hdr        []byte
+	hdrPool    *[]byte
+	body       []byte
+	bodyReader io.Reader
+	bodyLen    int64
+	// trailerCRC, when hasTrailerCRC, is the precomputed payload CRC
+	// (metadata CRC combined with the cache's intern-time body CRC);
+	// the writer stamps it into the trailer without scanning the body.
+	trailerCRC    uint32
+	hasTrailerCRC bool
+}
+
+// encodeRequestFrame renders one client→server frame. Hot ops are
+// hand-encoded; the rest travel as gob-in-frame.
+func encodeRequestFrame(req *Request) (wireFrame, error) {
+	switch req.Op {
+	case OpRead, OpSubscribe:
+		p, b := getSmallBuf()
+		b = appendWireString(b, req.Doc)
+		b = appendWireString(b, req.User)
+		putFrameHeader(b, req.Op, 0, req.ID, len(b)-frameHeaderSize)
+		return wireFrame{hdr: b, hdrPool: p}, nil
+	case OpWrite:
+		p, b := getSmallBuf()
+		b = appendWireString(b, req.Doc)
+		b = appendWireString(b, req.User)
+		putFrameHeader(b, OpWrite, 0, req.ID, len(b)-frameHeaderSize+len(req.Body))
+		return wireFrame{hdr: b, hdrPool: p, body: req.Body}, nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+			return wireFrame{}, err
+		}
+		p, b := getSmallBuf()
+		putFrameHeader(b, req.Op, flagGob, req.ID, buf.Len())
+		return wireFrame{hdr: b, hdrPool: p, body: buf.Bytes()}, nil
+	}
+}
+
+// readRequestFrame decodes one client→server frame.
+func readRequestFrame(br *bufio.Reader) (*Request, error) {
+	op, flags, id, plen, err := readFrameHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if op == opInvalidate || flags&flagError != 0 || id == 0 {
+		return nil, fmt.Errorf("server: bad v2 request: op %v flags 0x%04x id %d", op, flags, id)
+	}
+	if flags&flagGob == 0 && (op == OpRead || op == OpSubscribe) && plen+frameTrailerSize <= br.Size() {
+		// Hot-op fast path: the tiny doc+user payload and its trailer
+		// are decoded in place from the buffered window — the strings
+		// copy out, the payload itself is never allocated.
+		win, err := br.Peek(plen + frameTrailerSize)
+		if len(win) < plen+frameTrailerSize {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		payload := win[:plen]
+		if binary.BigEndian.Uint32(win[plen:]) != crc32.Checksum(payload, castagnoli) {
+			return nil, errors.New("server: bad v2 frame: payload checksum mismatch")
+		}
+		req := &Request{ID: id, Op: op}
+		rest := payload
+		if req.Doc, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		if req.User, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, errors.New("server: bad v2 frame: trailing bytes")
+		}
+		_, _ = br.Discard(plen + frameTrailerSize)
+		return req, nil
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	if err := readTrailer(br, crc32.Checksum(payload, castagnoli)); err != nil {
+		return nil, err
+	}
+	if flags&flagGob != 0 {
+		var req Request
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("server: bad v2 gob request: %w", err)
+		}
+		req.ID = id
+		return &req, nil
+	}
+	req := &Request{ID: id, Op: op}
+	rest := payload
+	switch op {
+	case OpRead, OpSubscribe:
+		if req.Doc, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		if req.User, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, errors.New("server: bad v2 frame: trailing bytes")
+		}
+	case OpWrite:
+		if req.Doc, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		if req.User, rest, err = readWireString(rest); err != nil {
+			return nil, err
+		}
+		req.Body = rest // the remainder of the payload, no copy
+	default:
+		return nil, fmt.Errorf("server: bad v2 frame: op %v requires the gob flag", op)
+	}
+	return req, nil
+}
+
+// encodeResponseFrame renders one server→client frame for op (the
+// request's op, echoed so the client knows how to decode the payload;
+// opInvalidate for pushes).
+func encodeResponseFrame(op Op, resp *Response) (wireFrame, error) {
+	if resp.Err != "" {
+		p, b := getSmallBuf()
+		b = append(b, resp.Err...)
+		putFrameHeader(b, op, flagError, resp.ID, len(b)-frameHeaderSize)
+		return wireFrame{hdr: b, hdrPool: p}, nil
+	}
+	switch op {
+	case OpRead:
+		p, b := getSmallBuf()
+		b = append(b, byte(resp.Cacheability))
+		b = binary.BigEndian.AppendUint64(b, uint64(resp.CostNanos))
+		b = binary.BigEndian.AppendUint64(b, uint64(resp.ExpiryUnixNanos))
+		f := wireFrame{hdr: b, hdrPool: p}
+		if resp.bodyCRCOK {
+			// Stitch the trailer from the 17-byte metadata CRC and the
+			// cache's intern-time body CRC, so neither the inline nor
+			// the streamed path ever re-scans the body bytes.
+			bodyLen := int64(len(resp.Body))
+			if resp.bodyStream != nil {
+				bodyLen = resp.bodyLen
+			}
+			f.trailerCRC = crc32Combine(crc32.Update(0, castagnoli, b[frameHeaderSize:]), resp.bodyCRC, bodyLen)
+			f.hasTrailerCRC = true
+		}
+		if resp.bodyStream != nil {
+			putFrameHeader(b, op, 0, resp.ID, readMetaSize+int(resp.bodyLen))
+			f.bodyReader, f.bodyLen = resp.bodyStream, resp.bodyLen
+			return f, nil
+		}
+		putFrameHeader(b, op, 0, resp.ID, readMetaSize+len(resp.Body))
+		f.body = resp.Body
+		return f, nil
+	case OpWrite, OpSubscribe:
+		p, b := getSmallBuf()
+		putFrameHeader(b, op, 0, resp.ID, 0)
+		return wireFrame{hdr: b, hdrPool: p}, nil
+	case opInvalidate:
+		p, b := getSmallBuf()
+		b = appendWireString(b, resp.NotifyDoc)
+		b = appendWireString(b, resp.NotifyUser)
+		putFrameHeader(b, opInvalidate, 0, 0, len(b)-frameHeaderSize)
+		return wireFrame{hdr: b, hdrPool: p}, nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			return wireFrame{}, err
+		}
+		p, b := getSmallBuf()
+		putFrameHeader(b, op, flagGob, resp.ID, buf.Len())
+		return wireFrame{hdr: b, hdrPool: p, body: buf.Bytes()}, nil
+	}
+}
+
+// readResponseFrame decodes one server→client frame. Read bodies are
+// read straight into an exact-size caller-owned allocation — no gob
+// staging, no oversized scratch.
+func readResponseFrame(br *bufio.Reader) (*Response, error) {
+	return readResponseFrameInto(br, nil)
+}
+
+// readResponseFrameInto is readResponseFrame with a destination hook
+// for read bodies: because the frame header carries the call ID ahead
+// of the payload, the decoder can ask the call layer for a
+// caller-registered buffer of at least n bytes before the body leaves
+// the socket, and read it there directly — zero allocations and zero
+// staging copies on the receive side. claim returns nil when no
+// suitable buffer is registered for the call, in which case the body
+// lands in a fresh exact-size allocation as before.
+func readResponseFrameInto(br *bufio.Reader, claim func(id uint64, n int) []byte) (*Response, error) {
+	op, flags, id, plen, err := readFrameHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case flags&flagError != 0:
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, err
+		}
+		if err := readTrailer(br, crc32.Checksum(payload, castagnoli)); err != nil {
+			return nil, err
+		}
+		e := string(payload)
+		if e == "" {
+			e = "unknown server error"
+		}
+		return &Response{ID: id, Err: e}, nil
+	case flags&flagGob != 0:
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, err
+		}
+		if err := readTrailer(br, crc32.Checksum(payload, castagnoli)); err != nil {
+			return nil, err
+		}
+		var resp Response
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp); err != nil {
+			return nil, fmt.Errorf("server: bad v2 gob response: %w", err)
+		}
+		resp.ID = id
+		return &resp, nil
+	}
+	switch op {
+	case OpRead:
+		if plen < readMetaSize {
+			return nil, errors.New("server: bad v2 read response: short metadata")
+		}
+		// The 17-byte metadata prefix parses in place from the buffered
+		// window; only the body lands in a fresh allocation — the one
+		// buffer the caller keeps.
+		meta, err := br.Peek(readMetaSize)
+		if len(meta) < readMetaSize {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		resp := &Response{
+			ID:              id,
+			Cacheability:    int(meta[0]),
+			CostNanos:       int64(binary.BigEndian.Uint64(meta[1:9])),
+			ExpiryUnixNanos: int64(binary.BigEndian.Uint64(meta[9:17])),
+		}
+		crc := crc32.Update(0, castagnoli, meta)
+		_, _ = br.Discard(readMetaSize)
+		var body []byte
+		if claim != nil {
+			body = claim(id, plen-readMetaSize)
+		}
+		if body == nil {
+			body = make([]byte, plen-readMetaSize)
+		}
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, err
+		}
+		if err := readTrailer(br, crc32.Update(crc, castagnoli, body)); err != nil {
+			return nil, err
+		}
+		resp.Body = body
+		return resp, nil
+	case opInvalidate:
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, err
+		}
+		if err := readTrailer(br, crc32.Checksum(payload, castagnoli)); err != nil {
+			return nil, err
+		}
+		doc, rest, err := readWireString(payload)
+		if err != nil {
+			return nil, err
+		}
+		user, rest, err := readWireString(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, errors.New("server: bad v2 frame: trailing bytes")
+		}
+		return &Response{ID: 0, NotifyDoc: doc, NotifyUser: user}, nil
+	case OpWrite, OpSubscribe:
+		if plen != 0 {
+			return nil, fmt.Errorf("server: bad v2 response: op %v with %d payload bytes", op, plen)
+		}
+		if err := readTrailer(br, 0); err != nil {
+			return nil, err
+		}
+		return &Response{ID: id}, nil
+	default:
+		return nil, fmt.Errorf("server: bad v2 response: op %v without the gob flag", op)
+	}
+}
+
+// Batching caps for the writer goroutine: one writev carries at most
+// this many frames / this many inline bytes before it is flushed.
+const (
+	maxBatchFrames = 64
+	maxBatchBytes  = 1 << 20
+)
+
+// frameWriter serializes all v2 frame writes for one connection.
+// Senders hand frames to send: an uncontended sender takes the write
+// baton (wmu) and writes inline on its own goroutine — no channel hop,
+// no wakeup — after first draining anything already queued, so frame
+// order is exactly enqueue order. Contended senders enqueue instead,
+// and the writer goroutine drains the queue in net.Buffers writev
+// batches, so concurrent small frames coalesce into one syscall
+// instead of one write (and one lock hand-off) each. Streamed payload
+// tails (wireFrame.bodyReader) are copied with io.Copy after the
+// batched headers flush.
+type frameWriter struct {
+	c        net.Conn
+	timeout  time.Duration
+	ch       chan wireFrame
+	wake     chan struct{} // wakes the writer goroutine; cap 1
+	dead     chan struct{}
+	deadOnce sync.Once
+	onFail   func(error)   // invoked at most once, from the writer goroutine
+	batched  *atomic.Int64 // frames that shared a multi-frame writev (nil ok)
+	bytesOut *atomic.Int64 // total bytes written (nil ok)
+
+	// wmu is the write baton: whoever holds it owns the batch state
+	// below and the connection's write side. The writer goroutine and
+	// inline senders both take it; frames are only ever dequeued while
+	// holding it, which is what makes inline writes order-preserving.
+	wmu sync.Mutex
+
+	// Batch state, owned by the wmu holder and reused across batches
+	// so steady-state batching allocates nothing: the vector and
+	// release slices keep their backing arrays, the trailer bytes live
+	// in a fixed array addressed per frame.
+	bufs          [][]byte
+	release       []leasedBuf
+	trailers      [maxBatchFrames][frameTrailerSize]byte
+	streamTrailer [frameTrailerSize]byte
+	total         int
+	stream        io.Reader
+	streamN       int64
+	streamCRC     uint32 // payload CRC so far for the streamed frame
+	streamCRCSet  bool   // streamCRC is already final (precombined)
+	frames        int
+}
+
+// leasedBuf pairs a pooled staging buffer with its pool token for
+// release after the batch flushes.
+type leasedBuf struct {
+	p *[]byte
+	b []byte
+}
+
+func newFrameWriter(c net.Conn, timeout time.Duration, batched, bytesOut *atomic.Int64, onFail func(error)) *frameWriter {
+	w := &frameWriter{
+		c:        c,
+		timeout:  timeout,
+		ch:       make(chan wireFrame, 256),
+		wake:     make(chan struct{}, 1),
+		dead:     make(chan struct{}),
+		onFail:   onFail,
+		batched:  batched,
+		bytesOut: bytesOut,
+	}
+	go w.loop()
+	return w
+}
+
+// send writes one frame, inline when the write baton is free — the
+// sender drains anything already queued first (preserving enqueue
+// order) and then writes its own frame on its own goroutine, skipping
+// the channel hop and writer wakeup that dominate per-call overhead
+// when the connection is otherwise idle. A contended send falls back
+// to the queue and the writer goroutine's batching.
+func (w *frameWriter) send(f wireFrame) error {
+	if w.wmu.TryLock() {
+		select {
+		case <-w.dead:
+			w.wmu.Unlock()
+			putSmallBuf(f.hdrPool, f.hdr)
+			return errWireClosed
+		default:
+		}
+		err := w.drainLocked(&f)
+		w.wmu.Unlock()
+		if err != nil {
+			w.fail(err)
+			return errWireClosed
+		}
+		return nil
+	}
+	return w.enqueue(f)
+}
+
+// enqueue queues one frame, blocking when the writer is saturated
+// (backpressure) and failing once the connection is retired. The dead
+// check runs first on its own so a retired writer rejects
+// deterministically even while the queue still has room (a two-way
+// select would pick at random when both are ready).
+func (w *frameWriter) enqueue(f wireFrame) error {
+	select {
+	case <-w.dead:
+	default:
+		select {
+		case w.ch <- f:
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+			return nil
+		case <-w.dead:
+		}
+	}
+	putSmallBuf(f.hdrPool, f.hdr)
+	return errWireClosed
+}
+
+// fail retires the writer. err == nil means a deliberate close; a real
+// error additionally fires onFail so the connection owner can tear the
+// wire down. onFail runs outside the Once body: tearing down the wire
+// re-enters fail via close, and a re-entrant Once.Do would deadlock.
+func (w *frameWriter) fail(err error) {
+	first := false
+	w.deadOnce.Do(func() {
+		close(w.dead)
+		first = true
+	})
+	if first && err != nil && w.onFail != nil {
+		w.onFail(err)
+	}
+}
+
+// close shuts the writer down without treating it as a wire failure.
+func (w *frameWriter) close() { w.fail(nil) }
+
+// add stages one frame into the current batch.
+func (w *frameWriter) add(f wireFrame) {
+	w.bufs = append(w.bufs, f.hdr)
+	w.total += len(f.hdr)
+	if f.hdrPool != nil {
+		w.release = append(w.release, leasedBuf{p: f.hdrPool, b: f.hdr})
+	}
+	crc := f.trailerCRC
+	if !f.hasTrailerCRC {
+		crc = crc32.Update(0, castagnoli, f.hdr[frameHeaderSize:])
+	}
+	if len(f.body) > 0 {
+		w.bufs = append(w.bufs, f.body)
+		w.total += len(f.body)
+		if !f.hasTrailerCRC {
+			crc = crc32.Update(crc, castagnoli, f.body)
+		}
+	}
+	if f.bodyReader != nil {
+		// Without a precombined trailer the stream's CRC accrues
+		// during the copy in loop; either way the trailer is written
+		// after the body bytes, not here.
+		w.stream, w.streamN, w.streamCRC = f.bodyReader, f.bodyLen, crc
+		w.streamCRCSet = f.hasTrailerCRC
+	} else {
+		t := &w.trailers[w.frames]
+		binary.BigEndian.PutUint32(t[:], crc)
+		w.bufs = append(w.bufs, t[:])
+		w.total += frameTrailerSize
+	}
+	w.frames++
+}
+
+// drainLocked builds and flushes writev batches from the queue, plus
+// an optional trailing frame from an inline sender, until everything
+// staged is on the wire. The caller holds wmu. Frames only ever leave
+// the queue here, under the baton, so write order is exactly enqueue
+// order regardless of which goroutine drains.
+func (w *frameWriter) drainLocked(extra *wireFrame) error {
+	for {
+		w.bufs = w.bufs[:0]
+		w.release = w.release[:0]
+		w.total, w.frames = 0, 0
+		w.stream, w.streamN, w.streamCRC, w.streamCRCSet = nil, 0, 0, false
+		// A streamed frame ends the batch: its tail is written by
+		// io.Copy in flushLocked, so nothing may follow it in the
+		// writev.
+	fill:
+		for w.stream == nil && w.frames < maxBatchFrames && w.total < maxBatchBytes {
+			select {
+			case f := <-w.ch:
+				w.add(f)
+			default:
+				if extra != nil {
+					w.add(*extra)
+					extra = nil
+					continue
+				}
+				break fill
+			}
+		}
+		if w.frames == 0 {
+			return nil
+		}
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+		if w.frames > 1 && w.batched != nil {
+			w.batched.Add(int64(w.frames))
+		}
+		if extra == nil && len(w.ch) == 0 {
+			return nil
+		}
+	}
+}
+
+// flushLocked writes the staged batch (and any streamed tail) to the
+// connection. The caller holds wmu.
+func (w *frameWriter) flushLocked() error {
+	if w.timeout > 0 {
+		_ = w.c.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	// WriteTo consumes the view (and advances its elements on short
+	// writes); the batch's backing array is resliced fresh per batch.
+	view := net.Buffers(w.bufs)
+	n, err := view.WriteTo(w.c)
+	if err == nil && w.stream != nil {
+		var m int64
+		if w.streamCRCSet {
+			// The trailer was precombined from the blob's stored
+			// checksum; the body streams with no CRC instrumentation.
+			m, err = io.Copy(w.c, w.stream)
+		} else {
+			cw := &crcWriter{w: w.c, crc: w.streamCRC}
+			m, err = io.Copy(cw, w.stream)
+			w.streamCRC = cw.crc
+		}
+		n += m
+		if err == nil && m != w.streamN {
+			// A short stream would desync the peer's framing; kill
+			// the connection rather than let it misparse.
+			err = fmt.Errorf("server: short blob stream: wrote %d of %d bytes", m, w.streamN)
+		}
+		if err == nil {
+			binary.BigEndian.PutUint32(w.streamTrailer[:], w.streamCRC)
+			var tn int
+			tn, err = w.c.Write(w.streamTrailer[:])
+			n += int64(tn)
+		}
+	}
+	if w.bytesOut != nil {
+		w.bytesOut.Add(n)
+	}
+	for _, lb := range w.release {
+		putSmallBuf(lb.p, lb.b)
+	}
+	return err
+}
+
+func (w *frameWriter) loop() {
+	for {
+		select {
+		case <-w.dead:
+			return
+		case <-w.wake:
+		}
+		w.wmu.Lock()
+		err := w.drainLocked(nil)
+		w.wmu.Unlock()
+		if err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"placeless/internal/clock"
+	"placeless/internal/core"
+	"placeless/internal/docspace"
+	"placeless/internal/event"
+	"placeless/internal/repo"
+	"placeless/internal/simnet"
+	"placeless/internal/store"
+)
+
+// frameBytes serializes an encoded frame the way the writer goroutine
+// would: header, inline body, streamed tail, CRC trailer.
+func frameBytes(t testing.TB, f wireFrame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(f.hdr)
+	crc := crc32.Update(0, castagnoli, f.hdr[frameHeaderSize:])
+	if len(f.body) > 0 {
+		buf.Write(f.body)
+		crc = crc32.Update(crc, castagnoli, f.body)
+	}
+	if f.bodyReader != nil {
+		b, err := io.ReadAll(f.bodyReader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		crc = crc32.Update(crc, castagnoli, b)
+	}
+	var tr [frameTrailerSize]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	buf.Write(tr[:])
+	return buf.Bytes()
+}
+
+func requestOverWire(t *testing.T, req *Request) *Request {
+	t.Helper()
+	f, err := encodeRequestFrame(req)
+	if err != nil {
+		t.Fatalf("encode %v: %v", req.Op, err)
+	}
+	out, err := readRequestFrame(bufio.NewReader(bytes.NewReader(frameBytes(t, f))))
+	if err != nil {
+		t.Fatalf("decode %v: %v", req.Op, err)
+	}
+	return out
+}
+
+func responseOverWire(t *testing.T, op Op, resp *Response) *Response {
+	t.Helper()
+	f, err := encodeResponseFrame(op, resp)
+	if err != nil {
+		t.Fatalf("encode %v: %v", op, err)
+	}
+	out, err := readResponseFrame(bufio.NewReader(bytes.NewReader(frameBytes(t, f))))
+	if err != nil {
+		t.Fatalf("decode %v: %v", op, err)
+	}
+	return out
+}
+
+func TestV2RequestRoundTrip(t *testing.T) {
+	cases := []*Request{
+		{ID: 1, Op: OpRead, Doc: "report", User: "eyal"},
+		{ID: 2, Op: OpSubscribe, Doc: "d", User: ""},
+		{ID: 3, Op: OpWrite, Doc: "d", User: "u", Body: []byte("raw body bytes \x00\xff")},
+		{ID: 4, Op: OpWrite, Doc: "d", User: "u", Body: nil},
+		{ID: 5, Op: OpAttach, Doc: "d", User: "u", Personal: true, Property: "spell-correct"},
+		{ID: 6, Op: OpFind, User: "u", Property: "topic", Value: "tab\tand\nnewline"},
+		{ID: 7, Op: OpCreateDocument, Doc: "d", User: "owner", Body: []byte("seed")},
+		{ID: 8, Op: OpForwardEvent, Doc: "d", User: "u", Value: "getInputStream"},
+	}
+	for _, req := range cases {
+		got := requestOverWire(t, req)
+		if got.ID != req.ID || got.Op != req.Op || got.Doc != req.Doc ||
+			got.User != req.User || got.Personal != req.Personal ||
+			got.Property != req.Property || got.Value != req.Value ||
+			!bytes.Equal(got.Body, req.Body) {
+			t.Errorf("op %v: round trip = %+v, want %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestV2ResponseRoundTrip(t *testing.T) {
+	// Hot path: read with metadata and raw body.
+	in := &Response{ID: 9, Body: []byte("blob\x00\x02payload"), Cacheability: 3,
+		CostNanos: 123456789, ExpiryUnixNanos: 42}
+	got := responseOverWire(t, OpRead, in)
+	if got.ID != in.ID || !bytes.Equal(got.Body, in.Body) ||
+		got.Cacheability != in.Cacheability || got.CostNanos != in.CostNanos ||
+		got.ExpiryUnixNanos != in.ExpiryUnixNanos {
+		t.Errorf("read round trip = %+v, want %+v", got, in)
+	}
+
+	// Error responses carry the string as payload regardless of op.
+	got = responseOverWire(t, OpRead, &Response{ID: 10, Err: "no such document"})
+	if got.ID != 10 || got.Err != "no such document" {
+		t.Errorf("error round trip = %+v", got)
+	}
+
+	// Empty-payload acks.
+	for _, op := range []Op{OpWrite, OpSubscribe} {
+		got = responseOverWire(t, op, &Response{ID: 11})
+		if got.ID != 11 || got.Err != "" || len(got.Body) != 0 {
+			t.Errorf("%v ack round trip = %+v", op, got)
+		}
+	}
+
+	// Invalidation push: ID 0 with notify fields.
+	got = responseOverWire(t, opInvalidate, &Response{NotifyDoc: "d", NotifyUser: "u"})
+	if got.ID != 0 || got.NotifyDoc != "d" || got.NotifyUser != "u" {
+		t.Errorf("push round trip = %+v", got)
+	}
+
+	// Cold op riding gob-in-frame.
+	in = &Response{ID: 12, Stats: map[string]int64{"requests": 7},
+		Actives: []string{"a", "b"}, Text: "desc",
+		Matches: []Match{{Doc: "d", Value: "v\t1", Level: "personal"}}}
+	got = responseOverWire(t, OpStats, in)
+	if got.ID != 12 || got.Stats["requests"] != 7 || len(got.Actives) != 2 ||
+		got.Text != "desc" || len(got.Matches) != 1 || got.Matches[0].Value != "v\t1" {
+		t.Errorf("gob round trip = %+v", got)
+	}
+}
+
+// TestV2StreamedResponseBytes: a response armed with a bodyStream must
+// serialize to the identical byte stream as the same response carrying
+// the body inline — the client cannot tell the difference.
+func TestV2StreamedResponseBytes(t *testing.T) {
+	body := bytes.Repeat([]byte("segment"), 100)
+	inline := &Response{ID: 5, Body: body, Cacheability: 1, CostNanos: 10}
+	streamed := &Response{ID: 5, Body: body, Cacheability: 1, CostNanos: 10,
+		bodyStream: bytes.NewReader(body), bodyLen: int64(len(body))}
+	fi, err := encodeResponseFrame(OpRead, inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := encodeResponseFrame(OpRead, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.bodyReader == nil {
+		t.Fatal("streamed response did not arm bodyReader")
+	}
+	if !bytes.Equal(frameBytes(t, fi), frameBytes(t, fs)) {
+		t.Fatal("inline and streamed encodings differ on the wire")
+	}
+}
+
+func TestV2HeaderValidation(t *testing.T) {
+	valid := func() []byte {
+		f, err := encodeRequestFrame(&Request{ID: 1, Op: OpRead, Doc: "d", User: "u"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frameBytes(t, f)
+	}
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		want    string
+	}{
+		{"bad version", func(b []byte) []byte { b[0] = 0x03; return b }, "version byte"},
+		{"unknown op", func(b []byte) []byte { b[1] = 0x40; return b }, "unknown op"},
+		{"unknown flags", func(b []byte) []byte { b[2] = 0x80; return b }, "unknown flags"},
+		{"oversized payload", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[12:16], maxFramePayload+1)
+			return b
+		}, "exceeds limit"},
+		{"zero id", func(b []byte) []byte {
+			binary.BigEndian.PutUint64(b[4:12], 0)
+			return b
+		}, "id 0"},
+		{"payload corruption", func(b []byte) []byte {
+			b[frameHeaderSize] ^= 0xff
+			return b
+		}, "checksum mismatch"},
+		{"trailer corruption", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x01
+			return b
+		}, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		b := tc.corrupt(valid())
+		_, err := readRequestFrame(bufio.NewReader(bytes.NewReader(b)))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Truncated frames surface read errors, never panics or short reads.
+	full := valid()
+	for n := 0; n < len(full); n++ {
+		if _, err := readRequestFrame(bufio.NewReader(bytes.NewReader(full[:n]))); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", n)
+		}
+	}
+}
+
+func TestV2ResponseChecksumRejectsCorruption(t *testing.T) {
+	f, err := encodeResponseFrame(OpRead, &Response{ID: 3, Body: []byte("payload"), Cacheability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := frameBytes(t, f)
+	// Flip one body byte (past the 17-byte metadata prefix).
+	b[frameHeaderSize+readMetaSize] ^= 0x01
+	if _, err := readResponseFrame(bufio.NewReader(bytes.NewReader(b))); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted read body: err = %v", err)
+	}
+	// Empty-payload frames are covered too: their trailer is CRC(nil).
+	f, err = encodeResponseFrame(OpWrite, &Response{ID: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = frameBytes(t, f)
+	b[len(b)-2] ^= 0x01
+	if _, err := readResponseFrame(bufio.NewReader(bytes.NewReader(b))); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted empty-frame trailer: err = %v", err)
+	}
+}
+
+func TestV2WireStringTruncated(t *testing.T) {
+	// Length prefix claims more bytes than the payload holds.
+	b := binary.AppendUvarint(nil, 100)
+	b = append(b, "short"...)
+	if _, _, err := readWireString(b); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	if _, _, err := readWireString(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+// TestFrameWriterBatchesAndOrders: frames enqueued while the writer is
+// busy coalesce into one writev, in FIFO order, and the batching
+// counter records them.
+func TestFrameWriterBatchesAndOrders(t *testing.T) {
+	srvEnd, cliEnd := net.Pipe()
+	defer cliEnd.Close()
+	var batched atomic.Int64
+	fw := newFrameWriter(srvEnd, 0, &batched, nil, nil)
+	defer func() { fw.close(); srvEnd.Close() }()
+
+	const n = 10
+	for i := 1; i <= n; i++ {
+		f, err := encodeResponseFrame(OpWrite, &Response{ID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.enqueue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing has been read yet, so at most the first frame started a
+	// solo batch; the rest must coalesce.
+	br := bufio.NewReader(cliEnd)
+	for i := 1; i <= n; i++ {
+		resp, err := readResponseFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if resp.ID != uint64(i) {
+			t.Fatalf("frame %d: ID = %d (reordered)", i, resp.ID)
+		}
+	}
+	// The counter is bumped after the batch's WriteTo returns, which
+	// races the final read completing it — poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for batched.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("framesBatched = %d, want >= 2", batched.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFrameWriterClosedRejectsEnqueue(t *testing.T) {
+	srvEnd, cliEnd := net.Pipe()
+	defer srvEnd.Close()
+	defer cliEnd.Close()
+	var fails atomic.Int32
+	fw := newFrameWriter(srvEnd, 0, nil, nil, func(error) { fails.Add(1) })
+	fw.close()
+	f, err := encodeResponseFrame(OpWrite, &Response{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.enqueue(f); err != errWireClosed {
+		t.Fatalf("enqueue after close = %v, want errWireClosed", err)
+	}
+	// A deliberate close is not a wire failure.
+	time.Sleep(10 * time.Millisecond)
+	if fails.Load() != 0 {
+		t.Fatalf("onFail fired %d times on deliberate close", fails.Load())
+	}
+}
+
+func TestFrameWriterWriteErrorFiresOnFailOnce(t *testing.T) {
+	srvEnd, cliEnd := net.Pipe()
+	defer srvEnd.Close()
+	failc := make(chan error, 4)
+	fw := newFrameWriter(srvEnd, 100*time.Millisecond, nil, nil, func(err error) { failc <- err })
+	cliEnd.Close() // peer gone: the next write must fail
+	f, err := encodeResponseFrame(OpWrite, &Response{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fw.enqueue(f) // may race the writer's death; either outcome is fine
+	select {
+	case err := <-failc:
+		if err == nil {
+			t.Fatal("onFail invoked with nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onFail never invoked after write error")
+	}
+	// Further failures are swallowed; onFail fires at most once, and
+	// re-entrant close (the connection owner tearing down) is safe.
+	fw.fail(io.ErrUnexpectedEOF)
+	fw.close()
+	select {
+	case <-failc:
+		t.Fatal("onFail invoked twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestV1ClientFullSuiteAgainstV2Server runs every wire op through a v1
+// (gob) client against the v2-capable server — the compatibility bar
+// the handshake must clear.
+func TestV1ClientFullSuiteAgainstV2Server(t *testing.T) {
+	srv, c, space := testServer(t, WithProtocolVersion(ProtoV1))
+	if got := c.ProtocolVersion(); got != 1 {
+		t.Fatalf("ProtocolVersion = %d, want 1", got)
+	}
+	exerciseAllOps(t, srv, c, space)
+}
+
+// TestV2ClientFullSuite runs the same sweep over the negotiated v2
+// framing, so both protocols prove behavioral equivalence against the
+// same server code.
+func TestV2ClientFullSuite(t *testing.T) {
+	srv, c, space := testServer(t)
+	if got := c.ProtocolVersion(); got != 2 {
+		t.Fatalf("ProtocolVersion = %d, want 2 (negotiation failed?)", got)
+	}
+	exerciseAllOps(t, srv, c, space)
+}
+
+func exerciseAllOps(t *testing.T, srv *Server, c *Client, space *docspace.Space) {
+	t.Helper()
+	if err := c.CreateDocument("d", "eyal", []byte("teh content")); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := c.Read("d", "eyal")
+	if err != nil || string(data) != "teh content" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if meta.Cost < 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if err := c.Write("d", "eyal", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ = c.Read("d", "eyal"); string(data) != "rewritten" {
+		t.Fatalf("after write: %q", data)
+	}
+	if err := c.Attach("d", "eyal", false, "uppercase"); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ = c.Read("d", "eyal"); string(data) != "REWRITTEN" {
+		t.Fatalf("attach ineffective: %q", data)
+	}
+	names, err := c.ListActives("d", "eyal", false)
+	if err != nil || len(names) != 1 || names[0] != "uppercase" {
+		t.Fatalf("actives = %v, %v", names, err)
+	}
+	if err := c.Detach("d", "eyal", false, "uppercase"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddReference("d", "paul"); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ = c.Read("d", "paul"); string(data) != "rewritten" {
+		t.Fatalf("paul read: %q", data)
+	}
+	if err := c.AttachStatic("d", "eyal", false, "topic", "caching"); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := c.Find("eyal", "topic", "")
+	if err != nil || len(matches) != 1 || matches[0].Doc != "d" || matches[0].Value != "caching" {
+		t.Fatalf("find = %v, %v", matches, err)
+	}
+	desc, err := c.Describe("d")
+	if err != nil || desc == "" {
+		t.Fatalf("describe = %q, %v", desc, err)
+	}
+	if err := c.ForwardEvent("d", "eyal", event.Kinds()[0].String()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil || stats["requests"] == 0 {
+		t.Fatalf("stats = %v, %v", stats, err)
+	}
+	// Subscribe + server-side write → invalidation push.
+	got := make(chan string, 4)
+	c.OnInvalidate(func(doc, user string) { got <- doc })
+	if err := c.Subscribe("d", "eyal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.WriteDocument("d", "eyal", []byte("pushed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case doc := <-got:
+		if doc != "d" {
+			t.Fatalf("push for %q", doc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("invalidation push never arrived")
+	}
+	// Errors cross both framings as strings.
+	if _, _, err := c.Read("ghost", "eyal"); err == nil ||
+		!strings.Contains(err.Error(), "no such document") {
+		t.Fatalf("error propagation: %v", err)
+	}
+	sent, recv := srv.WireBytes()
+	if sent <= 0 || recv <= 0 {
+		t.Fatalf("WireBytes = %d, %d; want both positive", sent, recv)
+	}
+}
+
+// legacyServer starts a server pinned to the v1 protocol (emulating a
+// pre-v2 binary) and returns its address.
+func legacyServer(t *testing.T) string {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	backing := repo.NewMem("srv", clk, simnet.NewPath("loop", 1))
+	space := docspace.New(clk, repo.NewDMS("dms", clk, simnet.NewPath("loop", 2)))
+	srv := New(space, backing)
+	srv.SetLegacyProtocolOnly(true)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return addr
+}
+
+// TestHandshakeDowngradeAgainstLegacyServer: an auto-negotiating client
+// dialing a v1-only server must land on v1 and work, transparently.
+func TestHandshakeDowngradeAgainstLegacyServer(t *testing.T) {
+	addr := legacyServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.ProtocolVersion(); got != 1 {
+		t.Fatalf("ProtocolVersion = %d, want 1 after downgrade", got)
+	}
+	if err := c.CreateDocument("d", "u", []byte("legacy ok")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := c.Read("d", "u"); err != nil || string(data) != "legacy ok" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+}
+
+// TestPinnedV2AgainstLegacyServerFails: pinning ProtoV2 refuses the
+// downgrade instead of silently speaking gob.
+func TestPinnedV2AgainstLegacyServerFails(t *testing.T) {
+	addr := legacyServer(t)
+	c, err := Dial(addr, WithProtocolVersion(ProtoV2))
+	if err == nil {
+		c.Close()
+		t.Fatal("Dial succeeded against a v1-only server with ProtoV2 pinned")
+	}
+}
+
+// TestZeroCopyStreamedRead: when the durable tier holds the served
+// bytes, a v2 read is streamed from the segment file instead of the
+// heap copy, byte-identically.
+func TestZeroCopyStreamedRead(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	backing := repo.NewMem("srv", clk, simnet.NewPath("loop", 1))
+	space := docspace.New(clk, repo.NewDMS("dms", clk, simnet.NewPath("loop", 2)))
+	cache := core.New(space, core.Options{Name: "stream-test", Capacity: 1 << 20})
+	st, _, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewCached(space, backing, cache)
+	srv.SetStore(st)
+	srv.SetStreamThreshold(1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server did not start")
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+		cache.Close()
+		st.Close()
+	})
+	if got := c.ProtocolVersion(); got != 2 {
+		t.Fatalf("ProtocolVersion = %d, want 2", got)
+	}
+
+	body := bytes.Repeat([]byte("zero-copy segment bytes "), 4096) // ~96 KiB
+	if err := c.CreateDocument("big", "eyal", body); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the durable tier with the exact content; the read below
+	// installs the same bytes in the cache under the same signature,
+	// arming the streamed path.
+	if _, err := st.PutBlob(body); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		data, _, err := c.Read("big", "eyal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, body) {
+			t.Fatalf("read %d: body mismatch (%d bytes, want %d)", i, len(data), len(body))
+		}
+	}
+	if got := srv.StreamedReads(); got < 1 {
+		t.Fatalf("StreamedReads = %d, want >= 1", got)
+	}
+}

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"placeless/internal/core"
@@ -12,6 +16,8 @@ import (
 	"placeless/internal/event"
 	"placeless/internal/property"
 	"placeless/internal/repo"
+	"placeless/internal/sig"
+	"placeless/internal/store"
 )
 
 // serverWriteTimeout bounds every server→client frame write, so one
@@ -26,20 +32,32 @@ type Server struct {
 	backing repo.Repository
 	cache   *core.Cache // optional server-side cache for reads
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[*serverConn]bool
-	closed   bool
-	requests int64
-	notifies int64
-	linkCost time.Duration
-	journal  *Journal
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[*serverConn]bool
+	closed     bool
+	requests   int64
+	notifies   int64
+	linkCost   time.Duration
+	journal    *Journal
+	blobStore  *store.Store // optional zero-copy blob source for v2 reads
+	streamMin  int64        // minimum body size streamed from blobStore
+	legacyWire bool         // pin to v1 gob (downgrade testing)
+
+	bytesSent     atomic.Int64 // bytes written to client sockets
+	bytesRecv     atomic.Int64 // bytes read from client sockets
+	streamedReads atomic.Int64 // v2 read responses streamed from the store
 }
+
+// defaultStreamMin is the smallest read body the server streams from
+// the disk tier instead of writing the in-memory copy: below this the
+// extra pread costs more than the copy saves.
+const defaultStreamMin = 256 << 10
 
 // New returns a server for space. backing is the repository used to
 // store content of documents created via OpCreateDocument.
 func New(space *docspace.Space, backing repo.Repository) *Server {
-	return &Server{space: space, backing: backing, conns: make(map[*serverConn]bool)}
+	return &Server{space: space, backing: backing, conns: make(map[*serverConn]bool), streamMin: defaultStreamMin}
 }
 
 // NewCached returns a server whose reads are served through a
@@ -54,12 +72,17 @@ func NewCached(space *docspace.Space, backing repo.Repository, cache *core.Cache
 	return s
 }
 
-// serverConn is one accepted client connection.
+// serverConn is one accepted client connection; serve decides per
+// connection whether it speaks v1 gob (fc) or binary v2 (fw).
 type serverConn struct {
 	srv *Server
-	fc  *frameConn
+	raw net.Conn
+
+	closeOnce sync.Once
 
 	mu        sync.Mutex
+	fc        *frameConn      // v1 gob framing (nil on v2 connections)
+	fw        *frameWriter    // v2 frame writer (nil on v1 connections)
 	notifiers []spot          // notifiers installed for this connection
 	baseSubs  map[string]bool // docs with a base notifier installed
 	refSubs   map[string]bool // doc\x00user refs with a notifier installed
@@ -112,7 +135,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		sc := &serverConn{srv: s, fc: newFrameConn(c)}
+		sc := &serverConn{srv: s, raw: c}
 		s.mu.Lock()
 		s.conns[sc] = true
 		s.mu.Unlock()
@@ -163,29 +186,216 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// serve runs the request loop for one connection.
+// countingReader counts bytes flowing from a client socket.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// countingWriter counts bytes written to a client socket (the v1 gob
+// path; v2 counts at the frame layer so net.Buffers still reaches the
+// raw connection's writev).
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// serve sniffs the protocol version and runs the request loop for one
+// connection. A v2 client leads with helloMagic; anything else is fed,
+// unread, to the v1 gob decoder.
 func (c *serverConn) serve() {
 	defer c.teardown()
+	s := c.srv
+	br := bufio.NewReaderSize(&countingReader{r: c.raw, n: &s.bytesRecv}, 32<<10)
+	if !s.legacyOnly() {
+		// A short or failed peek flows through to the gob decoder,
+		// which reports the same bytes (or error) on its first read.
+		peek, err := br.Peek(len(helloMagic))
+		if err == nil && bytes.Equal(peek, helloMagic[:]) {
+			if _, err := br.Discard(len(helloMagic)); err != nil {
+				return
+			}
+			_ = c.raw.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+			if _, err := c.raw.Write(helloAck[:]); err != nil {
+				return
+			}
+			_ = c.raw.SetWriteDeadline(time.Time{})
+			s.bytesSent.Add(int64(len(helloAck)))
+			fw := newFrameWriter(c.raw, serverWriteTimeout, nil, &s.bytesSent, func(error) { c.closeRaw() })
+			c.mu.Lock()
+			c.fw = fw
+			c.mu.Unlock()
+			c.serveV2(br)
+			return
+		}
+	}
+	fc := newFrameConnRW(c.raw, br, &countingWriter{w: c.raw, n: &s.bytesSent})
+	c.mu.Lock()
+	c.fc = fc
+	c.mu.Unlock()
+	c.serveV1(fc)
+}
+
+// serveV1 is the legacy loop: strictly sequential decode→handle→send.
+func (c *serverConn) serveV1(fc *frameConn) {
 	for {
 		var req Request
-		if err := c.fc.dec.Decode(&req); err != nil {
+		if err := fc.dec.Decode(&req); err != nil {
 			return // disconnect
 		}
 		resp := c.handle(&req)
 		resp.ID = req.ID
-		if err := c.fc.send(resp, serverWriteTimeout); err != nil {
+		if err := fc.send(resp, serverWriteTimeout); err != nil {
 			return
 		}
 	}
 }
 
+// maxConcurrentHandlers bounds in-flight pipelined requests per v2
+// connection; excess decode stalls, which backpressures the client
+// through TCP.
+const maxConcurrentHandlers = 32
+
+// serveV2 is the pipelined loop: requests decode on this goroutine and
+// execute concurrently, each response enqueued to the connection's
+// single frame writer as it finishes. Responses may therefore complete
+// out of order — call IDs, not arrival order, correlate them, exactly
+// what the client's pending-call table expects.
+func (c *serverConn) serveV2(br *bufio.Reader) {
+	var wg sync.WaitGroup
+	// In-flight handlers must finish before teardown detaches this
+	// connection's notifiers: a subscribe still executing after the
+	// teardown snapshot would leak its notifier attachment.
+	defer wg.Wait()
+	sem := make(chan struct{}, maxConcurrentHandlers)
+	for {
+		req, err := readRequestFrame(br)
+		if err != nil {
+			return // disconnect (or corrupt stream — same remedy)
+		}
+		if req.Op == OpRead {
+			// Warm-hit fast path: a clean cache hit is answered inline
+			// on the decode loop — no handler goroutine, no semaphore
+			// hand-off. Anything that might block (a miss, a rejected
+			// verifier, simulated hit cost) falls through to the
+			// concurrent path below. Burst detection picks the write
+			// route: with more pipelined requests already buffered the
+			// response is queued so the writer coalesces the run into
+			// one writev; with the pipe drained (lockstep caller) it is
+			// written inline, skipping the writer hand-off.
+			if resp, ok := c.tryFastRead(req); ok {
+				f, err := encodeResponseFrame(OpRead, resp)
+				if err != nil {
+					f, _ = encodeResponseFrame(OpRead, &Response{ID: req.ID, Err: err.Error()})
+				}
+				if br.Buffered() > 0 {
+					_ = c.fw.enqueue(f)
+				} else {
+					_ = c.fw.send(f)
+				}
+				continue
+			}
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req *Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := c.handle(req)
+			resp.ID = req.ID
+			if resp.bodyStream != nil {
+				c.srv.streamedReads.Add(1)
+			}
+			f, err := encodeResponseFrame(req.Op, resp)
+			if err != nil {
+				f, _ = encodeResponseFrame(req.Op, &Response{ID: req.ID, Err: err.Error()})
+			}
+			_ = c.fw.send(f)
+		}(req)
+	}
+}
+
+// tryFastRead probes the cache for a clean warm hit and builds the
+// read response inline. ok == false means "use the full handler path":
+// no cache, a configured link cost to charge, or any outcome other
+// than a verified hit. Bookkeeping mirrors handle() for the cases it
+// short-circuits.
+func (c *serverConn) tryFastRead(req *Request) (*Response, bool) {
+	s := c.srv
+	s.mu.Lock()
+	cache, link := s.cache, s.linkCost
+	s.mu.Unlock()
+	if cache == nil || link > 0 {
+		return nil, false
+	}
+	data, info, ok := cache.ReadSharedHit(req.Doc, req.User)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	resp := &Response{
+		ID:              req.ID,
+		Body:            data,
+		Cacheability:    int(info.Cacheability),
+		CostNanos:       int64(info.Cost),
+		ExpiryUnixNanos: expiryNanos(info.Expiry),
+		bodyCRC:         info.BodyCRC32C,
+		bodyCRCOK:       info.BodyCRCOK,
+	}
+	// No disk-tier stream here: the bytes are memory-resident (they
+	// alias the cache's blob storage), so one writev straight from the
+	// blob beats re-reading the segment file per response. Streaming
+	// stays on the miss/promote path, where the body's home is disk.
+	return resp, true
+}
+
+// sendPush delivers one invalidation push over whichever framing the
+// connection speaks.
+func (c *serverConn) sendPush(doc, user string) error {
+	c.mu.Lock()
+	fw, fc := c.fw, c.fc
+	c.mu.Unlock()
+	if fw != nil {
+		f, err := encodeResponseFrame(opInvalidate, &Response{NotifyDoc: doc, NotifyUser: user})
+		if err != nil {
+			return err
+		}
+		return fw.send(f)
+	}
+	if fc != nil {
+		return fc.send(&Response{ID: 0, NotifyDoc: doc, NotifyUser: user}, serverWriteTimeout)
+	}
+	return errors.New("server: connection not established")
+}
+
+// closeRaw closes the underlying socket once.
+func (c *serverConn) closeRaw() { c.closeOnce.Do(func() { c.raw.Close() }) }
+
 // teardown detaches the connection's notifiers and unregisters it.
 func (c *serverConn) teardown() {
-	c.fc.close()
 	c.mu.Lock()
+	fw := c.fw
 	spots := c.notifiers
 	c.notifiers = nil
 	c.mu.Unlock()
+	if fw != nil {
+		fw.close()
+	}
+	c.closeRaw()
 	for _, sp := range spots {
 		_ = c.srv.space.Detach(sp.doc, sp.user, sp.level, sp.name)
 	}
@@ -205,6 +415,72 @@ func (s *Server) SetLinkCost(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.linkCost = d
+}
+
+// SetStore gives the server a durable content-addressed tier to stream
+// large v2 read bodies from: a cached read whose bytes also live in st
+// is written to the socket straight from the segment file (pooled
+// chunks, no re-encode) instead of from the heap copy. Safe to call
+// before Serve; typically the same store the cache was built with.
+func (s *Server) SetStore(st *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobStore = st
+}
+
+// SetStreamThreshold overrides the minimum body size streamed from the
+// store (testing hook; the default is defaultStreamMin).
+func (s *Server) SetStreamThreshold(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streamMin = n
+}
+
+// SetLegacyProtocolOnly pins the server to the v1 gob protocol,
+// emulating a pre-v2 binary so downgrade negotiation can be exercised.
+func (s *Server) SetLegacyProtocolOnly(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.legacyWire = v
+}
+
+func (s *Server) legacyOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.legacyWire
+}
+
+// WireBytes returns total bytes written to and read from client
+// sockets across both protocol versions.
+func (s *Server) WireBytes() (sent, received int64) {
+	return s.bytesSent.Load(), s.bytesRecv.Load()
+}
+
+// StreamedReads returns how many v2 read responses were streamed from
+// the disk tier instead of the heap copy (testing/observability hook).
+func (s *Server) StreamedReads() int64 { return s.streamedReads.Load() }
+
+// maybeAttachStream arms the zero-copy path on a read response: when
+// the disk tier holds the exact bytes just served and the body is
+// large enough to be worth a pread, v2 connections stream it from the
+// segment file. The in-memory Body stays set — v1 gob framing and any
+// error path still use it. Streaming trusts the store's open-time
+// CRC+signature scan rather than re-verifying per read; GetBlob's
+// per-read verification still guards the cache-promotion path.
+func (s *Server) maybeAttachStream(resp *Response, sg sig.Signature, n int) {
+	s.mu.Lock()
+	st := s.blobStore
+	min := s.streamMin
+	s.mu.Unlock()
+	if st == nil || sg.IsZero() || int64(n) < min {
+		return
+	}
+	br, err := st.OpenBlob(sg)
+	if err != nil || br.Size() != int64(n) {
+		return
+	}
+	resp.bodyStream = br
+	resp.bodyLen = br.Size()
 }
 
 // handle dispatches one request from a connection.
@@ -242,12 +518,14 @@ func (s *Server) apply(req *Request) *Response {
 			if err != nil {
 				return fail(err)
 			}
-			return &Response{
+			resp := &Response{
 				Body:            data,
 				Cacheability:    int(info.Cacheability),
 				CostNanos:       int64(info.Cost),
 				ExpiryUnixNanos: expiryNanos(info.Expiry),
 			}
+			s.maybeAttachStream(resp, info.Signature, len(data))
+			return resp
 		}
 		data, res, err := s.space.ReadDocument(req.Doc, req.User)
 		if err != nil {
@@ -360,7 +638,7 @@ func (c *serverConn) subscribe(req *Request) *Response {
 		s.mu.Lock()
 		s.notifies++
 		s.mu.Unlock()
-		_ = c.fc.send(&Response{ID: 0, NotifyDoc: doc, NotifyUser: user}, serverWriteTimeout)
+		_ = c.sendPush(doc, user)
 	}
 	c.mu.Lock()
 	if c.baseSubs == nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 	"sync"
@@ -16,8 +17,9 @@ import (
 var epoch = time.Date(1999, time.March, 28, 0, 0, 0, 0, time.UTC)
 
 // testServer starts a server on a loopback listener and returns a
-// connected client.
-func testServer(t *testing.T) (*Server, *Client, *docspace.Space) {
+// connected client. Dial options (e.g. WithProtocolVersion) apply to
+// the returned client.
+func testServer(t *testing.T, opts ...DialOption) (*Server, *Client, *docspace.Space) {
 	t.Helper()
 	clk := clock.NewVirtual(epoch)
 	backing := repo.NewMem("srv", clk, simnet.NewPath("loop", 1))
@@ -37,7 +39,7 @@ func testServer(t *testing.T) (*Server, *Client, *docspace.Space) {
 	if addr == "" {
 		t.Fatal("server did not start")
 	}
-	client, err := Dial(addr)
+	client, err := Dial(addr, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,4 +359,121 @@ func TestServeAfterCloseRejected(t *testing.T) {
 	if err := errors.Unwrap(nil); err != nil {
 		t.Fatal("impossible")
 	}
+}
+
+// TestReadInto covers the caller-supplied-buffer read path: body
+// decoded in place on v2 (returned slice aliases the buffer), graceful
+// fallback to a fresh allocation when the buffer is too small, and
+// plain correctness on v1 where gob owns its allocations.
+func TestReadInto(t *testing.T) {
+	body := make([]byte, 24<<10)
+	for i := range body {
+		body[i] = byte(i * 31)
+	}
+	for _, proto := range []int{ProtoV1, ProtoV2} {
+		_, c, _ := testServer(t, WithProtocolVersion(proto))
+		if err := c.CreateDocument("blob", "u", body); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(body))
+		got, _, err := c.ReadInto("blob", "u", buf)
+		if err != nil {
+			t.Fatalf("proto %d: %v", proto, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("proto %d: body mismatch (%d bytes)", proto, len(got))
+		}
+		if proto == ProtoV2 && &got[0] != &buf[0] {
+			t.Fatalf("proto %d: ReadInto did not decode into the caller's buffer", proto)
+		}
+		// A too-small buffer must not be used (and must not corrupt the
+		// result); the body arrives in a fresh allocation instead.
+		small := make([]byte, 16)
+		got, _, err = c.ReadInto("blob", "u", small)
+		if err != nil || !bytes.Equal(got, body) {
+			t.Fatalf("proto %d small buf: %d bytes, %v", proto, len(got), err)
+		}
+		if len(small) >= 1 && len(got) >= 1 && &got[0] == &small[0] {
+			t.Fatalf("proto %d: body aliased an undersized buffer", proto)
+		}
+		// nil buffer behaves exactly like Read.
+		got, _, err = c.ReadInto("blob", "u", nil)
+		if err != nil || !bytes.Equal(got, body) {
+			t.Fatalf("proto %d nil buf: %d bytes, %v", proto, len(got), err)
+		}
+	}
+}
+
+// TestReadIntoConcurrent hammers ReadInto from many goroutines with
+// per-goroutine buffers over one pipelined v2 connection — the E15
+// workload shape — so the claim/deliver handoff runs under the race
+// detector.
+func TestReadIntoConcurrent(t *testing.T) {
+	body := make([]byte, 8<<10)
+	for i := range body {
+		body[i] = byte(i ^ (i >> 7))
+	}
+	_, c, _ := testServer(t, WithProtocolVersion(ProtoV2))
+	if err := c.CreateDocument("blob", "u", body); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, len(body))
+			for i := 0; i < 50; i++ {
+				got, _, err := c.ReadInto("blob", "u", buf)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(got, body) {
+					errc <- errors.New("body mismatch under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestReadIntoCloseDuringFlight closes the client while ReadInto calls
+// are in flight: callers must unblock with a typed error and never
+// race the decoder on their buffers (the claimed-call teardown path).
+func TestReadIntoCloseDuringFlight(t *testing.T) {
+	body := make([]byte, 64<<10)
+	_, c, _ := testServer(t, WithProtocolVersion(ProtoV2))
+	if err := c.CreateDocument("blob", "u", body); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, len(body))
+			for {
+				if _, _, err := c.ReadInto("blob", "u", buf); err != nil {
+					if !errors.Is(err, ErrClientClosed) && !errors.Is(err, ErrDisconnected) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					// Safe to touch the buffer now: the claimed-call
+					// protocol guarantees the decoder is done with it.
+					buf[0] = 1
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	wg.Wait()
 }

@@ -51,6 +51,15 @@ type Config struct {
 	// restart op (kill or graceful close, then recovery over the same
 	// store directory) joins the schedule.
 	Durable *bool
+	// Proto pins the wire protocol the remote client requests
+	// (server.ProtoAuto / ProtoV1 / ProtoV2). Unpinned, about half the
+	// remote worlds force the legacy v1 framing and the rest negotiate
+	// v2, so every fault schedule runs against both codecs.
+	Proto *int
+	// LegacyServer pins the server to the v1-only wire (emulating a
+	// pre-v2 binary), exercising the handshake downgrade when the
+	// client is left on ProtoAuto. Derived false.
+	LegacyServer *bool
 }
 
 // World is one fully-built simulated deployment plus its reference
@@ -67,10 +76,12 @@ type World struct {
 	space *docspace.Space
 	cache *core.Cache
 
-	remoteOn bool
-	srv      *server.Server
-	client   *server.Client
-	rc       *remote.Cache
+	remoteOn  bool
+	proto     int
+	legacySrv bool
+	srv       *server.Server
+	client    *server.Client
+	rc        *remote.Cache
 
 	mode       core.WriteMode
 	flushEvery time.Duration
@@ -173,6 +184,21 @@ func NewWorld(cfg Config) (*World, error) {
 		w.durable = *cfg.Durable
 	}
 
+	// The wire protocol dimension draws from its own generator for the
+	// same reason: pre-v2 seeds keep denoting the same worlds. Half the
+	// remote worlds pin the legacy v1 framing, half negotiate v2.
+	if rand.New(rand.NewSource(cfg.Seed^0x77697265)).Intn(2) == 1 {
+		w.proto = server.ProtoV1
+	} else {
+		w.proto = server.ProtoAuto
+	}
+	if cfg.Proto != nil {
+		w.proto = *cfg.Proto
+	}
+	if cfg.LegacyServer != nil {
+		w.legacySrv = *cfg.LegacyServer
+	}
+
 	w.coreOpts = core.Options{
 		Name:       "sim",
 		Capacity:   capacity,
@@ -205,10 +231,15 @@ func NewWorld(cfg Config) (*World, error) {
 
 	if w.remoteOn {
 		w.srv = server.NewCached(w.space, w.src, w.cache)
+		if w.st != nil {
+			w.srv.SetStore(w.st)
+		}
+		w.srv.SetLegacyProtocolOnly(w.legacySrv)
 		ln := w.net.Listen("srv")
 		go func() { _ = w.srv.Serve(ln) }()
 		client, err := server.Dial("srv",
 			server.WithDialer(w.net.Dial),
+			server.WithProtocolVersion(w.proto),
 			server.WithJitterSeed(cfg.Seed),
 			server.WithCallTimeout(300*time.Millisecond),
 			server.WithDialTimeout(100*time.Millisecond),

@@ -62,6 +62,38 @@ func putBuf(b *bytes.Buffer) {
 	bufPool.Put(b)
 }
 
+// chunkPool recycles fixed-size copy chunks for CopyPooled — the same
+// recycling discipline as the staging pool, extended to the disk→wire
+// copy path. Chunks are fixed-size, so nothing ever needs dropping.
+var chunkPool = sync.Pool{New: func() any {
+	poolNews.Add(1)
+	b := make([]byte, copyChunkSize)
+	return &b
+}}
+
+// copyChunkSize is the unit CopyPooled moves bytes in: large enough to
+// amortize syscalls on a segment-file → socket pump, small enough that
+// an idle pool pins little memory.
+const copyChunkSize = 64 << 10
+
+// CopyPooled copies src to dst through a pooled fixed-size chunk,
+// counting pool activity in PoolStats. It is io.CopyBuffer with the
+// buffer's lifetime managed here — the copy path analogue of
+// drainToOwned, used by the durable store's blob streaming. dst is
+// shielded from io.CopyBuffer's ReaderFrom delegation so the pooled
+// chunk is actually used (the delegation would fall back to an
+// internal allocation for a non-file src anyway).
+func CopyPooled(dst io.Writer, src io.Reader) (int64, error) {
+	poolGets.Add(1)
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	return io.CopyBuffer(writerOnly{dst}, src, *bp)
+}
+
+// writerOnly hides any ReadFrom/WriteTo fast paths dst may have, so
+// io.CopyBuffer keeps control of the copy buffer.
+type writerOnly struct{ io.Writer }
+
 // drainToOwned drains r into a pooled scratch buffer and returns an
 // exact-size copy the caller owns outright; the scratch storage goes
 // back to the pool. This trades one copy for eliminating io.ReadAll's
