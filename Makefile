@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed bench bench-smoke bench-e12 bench-e13 bench-e14 check-metrics experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed cluster bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 check-metrics check-docs experiments examples clean
 
 all: build vet test
 
@@ -55,6 +55,16 @@ sim:
 sim-seed:
 	$(GO) test -race -run 'TestSimSeed' -v ./internal/sim -args -sim.seed=$(SEED) -sim.ops=350
 
+# Cluster tier: hash-ring and router unit/property tests under -race,
+# the kill-during-rebalance regression schedule, then a forced
+# multi-node simulation sweep (every seed runs 2–4 nodes behind the
+# consistent-hash router, with node kills, joins, and leaves in the
+# operation mix). See docs/CLUSTER.md.
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -run TestScheduleKillDuringRebalance ./internal/sim
+	$(GO) test -race -timeout 30m -run TestSimSweepCluster ./internal/sim -args -sim.cluster-seeds=256 -sim.ops=350
+
 # Full benchmark sweep (Table 1 + extension experiments + micro-benchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -83,10 +93,21 @@ bench-e14:
 bench-e15:
 	$(GO) run ./cmd/plbench -experiment e15
 
-# Scrape a briefly-run placelessd and diff the /metrics family set
-# against docs/metric_names.golden (what CI runs).
+# Machine-readable E16 result: aggregate warm-hit throughput vs
+# cluster size under consistent-hash placement (ring-balance scaling).
+bench-e16:
+	$(GO) run ./cmd/plbench -experiment e16
+
+# Scrape briefly-run daemons (placelessd, plcached, cluster-mode
+# plcached) and diff the /metrics family set against
+# docs/metric_names.golden (what CI runs).
 check-metrics:
 	sh scripts/check_metrics.sh
+
+# Verify every relative link in the repository's markdown resolves
+# (what CI runs).
+check-docs:
+	sh scripts/check_docs.sh
 
 # Human-readable experiment tables (what EXPERIMENTS.md records).
 experiments:

@@ -24,12 +24,14 @@
 //	obs                observability overhead + per-stage timings (E13)
 //	resilience         connection resilience: crash/restart + deadlines (E14)
 //	wire               wire protocol v1 gob vs v2 pipelined binary (E15)
+//	cluster            consistent-hash cluster scaling (E16)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12, e13, e14, e15)
-// runs one experiment by its DESIGN.md index and additionally writes
-// its result as BENCH_<index>.json (BENCH_wire.json for e15) in the
-// working directory, for machine consumers (CI trend tracking).
+// Alternatively, -experiment <index> (currently e12–e16) runs one
+// experiment by its DESIGN.md index and additionally writes its result
+// as BENCH_<index>.json (BENCH_wire.json for e15, BENCH_cluster.json
+// for e16) in the working directory, for machine consumers (CI trend
+// tracking).
 package main
 
 import (
@@ -49,7 +51,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15>")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15|e16>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -59,7 +61,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|cluster|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -108,8 +110,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 			return err
 		}
 		res, title = r, wireTitle(cfg)
+	case "e16":
+		cfg := experiment.DefaultClusterConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunCluster(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, clusterTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15, e16)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -122,10 +132,15 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 		return err
 	}
 	out := "BENCH_" + index + ".json"
-	if index == "e15" {
+	switch index {
+	case "e15":
 		// E15's artifact carries the protocol name: CI asserts the
 		// v2-vs-v1 ratios out of BENCH_wire.json.
 		out = "BENCH_wire.json"
+	case "e16":
+		// E16's artifact carries the subsystem name: CI asserts the
+		// scaling curve out of BENCH_cluster.json.
+		out = "BENCH_cluster.json"
 	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		return err
@@ -313,6 +328,16 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(wireTitle(cfg), res)
 	}
+	if all || which == "cluster" {
+		ran = true
+		cfg := experiment.DefaultClusterConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunCluster(cfg)
+		if err != nil {
+			return err
+		}
+		emit(clusterTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
@@ -329,6 +354,12 @@ func resilienceTitle(cfg experiment.ResilienceConfig) string {
 func wireTitle(cfg experiment.WireConfig) string {
 	return fmt.Sprintf("E15 — wire protocol v1 gob vs v2 pipelined binary (ops=%d concurrency=%d sizes=%v, loopback TCP/real clock: compare the v2/v1 ratio rows)",
 		cfg.Ops, cfg.Concurrency, cfg.BlobSizes)
+}
+
+// clusterTitle renders E16's parameter line.
+func clusterTitle(cfg experiment.ClusterConfig) string {
+	return fmt.Sprintf("E16 — consistent-hash cluster scaling (nodes=%v keys=%d reads=%d replicas=%d vnodes=%d, virtual per-node service time: compare the speedup column)",
+		cfg.Nodes, cfg.Docs*cfg.Users, cfg.Reads, cfg.Replicas, cfg.VNodes)
 }
 
 // obsTitle renders E13's parameter line.

@@ -21,11 +21,19 @@
 //	watch   <doc> <user>                  subscribe and print invalidations
 //	stats                                 print server counters (or /metrics with -http)
 //	trace   [n]                           print recent read traces (requires -http)
+//	ring    [doc [user]]                  print cluster ring ownership (see below)
 //	specs                                 list attachable property specs
 //
 // With -http set to placelessd's observability address, stats scrapes
 // /metrics instead of the TCP stats op (one line per counter/gauge),
 // and trace renders the last n per-read traces from /debug/traces.
+//
+// ring inspects consistent-hash placement (docs/CLUSTER.md). With -http
+// set to a cluster-mode plcached it fetches /ring and prints live
+// per-node state, shares, and — given doc/user arguments — the key's
+// owner set. With `ring -nodes a,b,c [-replicas N] [-vnodes N]` it
+// computes the same placement offline, for planning joins and removals
+// before touching the fleet.
 package main
 
 import (
@@ -39,7 +47,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plctl [-addr host:7999] [-http host:port] <create|read|write|addref|attach|detach|static|actives|describe|find|watch|stats|trace|specs> [args]")
+	fmt.Fprintln(os.Stderr, "usage: plctl [-addr host:7999] [-http host:port] <create|read|write|addref|attach|detach|static|actives|describe|find|watch|stats|trace|ring|specs> [args]")
 	os.Exit(2)
 }
 
@@ -60,6 +68,14 @@ func main() {
 		usage()
 	}
 	cmd, rest := args[0], args[1:]
+
+	if cmd == "ring" {
+		if err := ringCmd(*httpAddr, rest, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "plctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if cmd == "specs" {
 		for _, s := range server.KnownPropertySpecs() {

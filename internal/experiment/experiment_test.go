@@ -590,3 +590,48 @@ func TestResilienceShape(t *testing.T) {
 		t.Fatalf("table missing acceptance row:\n%s", res.Table())
 	}
 }
+
+func TestClusterScalingShape(t *testing.T) {
+	// Small configuration of E16; plbench runs the full one. The shape
+	// still carries the acceptance claim: aggregate warm-hit throughput
+	// must scale with cluster size because the ring balances primaries.
+	cfg := ClusterConfig{
+		Nodes:    []int{1, 4},
+		Docs:     32,
+		Users:    4,
+		Reads:    2048,
+		Replicas: 2,
+		VNodes:   256,
+		HitCost:  time.Millisecond,
+		Seed:     1,
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		if p.Keys != cfg.Docs*cfg.Users || p.Reads != int64(cfg.Reads) {
+			t.Fatalf("phase shape = %+v", p)
+		}
+		// Every measured read lands warm: the ring pins each key to its
+		// owners, so the warm pass filled exactly the caches that serve.
+		if p.Hits != p.Reads {
+			t.Fatalf("nodes=%d: %d of %d measured reads hit", p.Nodes, p.Hits, p.Reads)
+		}
+		if p.Failovers != 0 {
+			t.Fatalf("nodes=%d: %d failovers on a healthy fleet", p.Nodes, p.Failovers)
+		}
+	}
+	if s := res.SpeedupByNodes["4"]; s < 3 {
+		t.Fatalf("speedup at 4 nodes = %.2fx, want >= 3x (ring badly unbalanced)", s)
+	}
+	if res.Phases[0].Imbalance != 1 {
+		t.Fatalf("single node imbalance = %.2f, want exactly 1", res.Phases[0].Imbalance)
+	}
+	if !strings.Contains(res.Table(), "agg_ops/s") {
+		t.Fatalf("table missing throughput column:\n%s", res.Table())
+	}
+}

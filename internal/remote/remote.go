@@ -399,6 +399,13 @@ func (c *Cache) Suspect() bool {
 	return c.suspect
 }
 
+// ConnState reports the state of the wire behind the cache's client.
+// Cluster routing uses it to describe each peer in status output; it
+// is advisory (routing itself reacts to typed errors, not this probe).
+func (c *Cache) ConnState() server.ConnState {
+	return c.client.State()
+}
+
 // Len reports cached entry count.
 func (c *Cache) Len() int {
 	c.mu.Lock()

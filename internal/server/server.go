@@ -33,7 +33,8 @@ type Server struct {
 	cache   *core.Cache // optional server-side cache for reads
 
 	mu         sync.Mutex
-	ln         net.Listener
+	ln         net.Listener   // first listener (Addr); see lns for the full set
+	lns        []net.Listener // every listener Serve was handed (cluster nodes share one server)
 	conns      map[*serverConn]bool
 	closed     bool
 	requests   int64
@@ -114,7 +115,9 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
-// clean Close.
+// clean Close. Serve may be called concurrently with several
+// listeners — a cluster deployment gives each simulated node its own
+// endpoint on one shared server — and Close tears all of them down.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -122,7 +125,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		ln.Close()
 		return errors.New("server: closed")
 	}
-	s.ln = ln
+	if s.ln == nil {
+		s.ln = ln
+	}
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	for {
 		c, err := ln.Accept()
@@ -171,13 +177,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	ln := s.ln
+	lns := s.lns
 	conns := make([]*serverConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	if ln != nil {
+	for _, ln := range lns {
 		ln.Close()
 	}
 	for _, c := range conns {

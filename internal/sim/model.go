@@ -17,6 +17,7 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -71,21 +72,44 @@ type modelDoc struct {
 // model is the sequential reference implementation plus the legality
 // oracle.
 type model struct {
-	seq      uint64
-	docs     map[string]*modelDoc
-	order    []string
-	history  map[string][]version // key(doc,user) → versions
-	minLegal map[string]uint64    // remote reads: lowest legal seq
+	seq     uint64
+	docs    map[string]*modelDoc
+	order   []string
+	history map[string][]version // key(doc,user) → versions
+	// minLegal holds each remote node's causal lower bound per key
+	// (nkey(node, mkey(doc,user)) → lowest legal seq). The bound is per
+	// node: each replica's cache advances independently, so after a
+	// failover a different replica may legally serve bytes older than
+	// what the previous one observed — a single global ratchet would
+	// falsely flag that legal read. Cross-replica read monotonicity is
+	// explicitly NOT promised (DESIGN.md §13); within one node it is.
+	minLegal map[string]uint64
+	// remoteNodes is the registered node set; settleKey tightens every
+	// node's bound. The base (non-cluster) remote cache is node "rc".
+	remoteNodes map[string]struct{}
 }
 
 func mkey(doc, user string) string { return doc + "\x00" + user }
 
+// nkey scopes a model key to one remote node's causal bound.
+func nkey(node, k string) string { return node + "\x01" + k }
+
 func newModel() *model {
 	return &model{
-		docs:     make(map[string]*modelDoc),
-		history:  make(map[string][]version),
-		minLegal: make(map[string]uint64),
+		docs:        make(map[string]*modelDoc),
+		history:     make(map[string][]version),
+		minLegal:    make(map[string]uint64),
+		remoteNodes: map[string]struct{}{"rc": {}},
 	}
+}
+
+// addRemoteNode registers a remote node so settleKey tightens its
+// causal bounds too. A node keeps its bounds (and registration) for
+// the whole run even if it later leaves the ring: its cache object
+// survives until the leave, and bounds only ever constrain reads that
+// actually went through it.
+func (m *model) addRemoteNode(node string) {
+	m.remoteNodes[node] = struct{}{}
 }
 
 // addDoc registers a document with its initial repository content and
@@ -238,33 +262,41 @@ func (m *model) legalLocal(doc, user string, got []byte, t0, t1 time.Time) (bool
 	return false, m.describe(k, t0, t1)
 }
 
-// legalRemote reports whether a push-invalidated remote read may
-// legally have returned got. Remote staleness is bounded by causality,
-// not by intervals: the cache may serve any version at least as new as
-// the newest one it has provably observed (minLegal), which advances
-// monotonically — per key, a remote reader never travels back in time.
-// On a match the bound tightens to the version observed.
+// legalRemote reports whether a push-invalidated read through the base
+// remote cache (node "rc") may legally have returned got.
 func (m *model) legalRemote(doc, user string, got []byte) (bool, string) {
+	return m.legalRemoteAt("rc", doc, user, got)
+}
+
+// legalRemoteAt reports whether a push-invalidated remote read served
+// by node may legally have returned got. Remote staleness is bounded
+// by causality, not by intervals: a node's cache may serve any version
+// at least as new as the newest one that node has provably observed
+// (its minLegal bound), which advances monotonically — per key and per
+// node, a remote reader never travels back in time. On a match the
+// node's bound tightens to the version observed.
+func (m *model) legalRemoteAt(node, doc, user string, got []byte) (bool, string) {
 	k := mkey(doc, user)
-	min := m.minLegal[k]
+	nk := nkey(node, k)
+	min := m.minLegal[nk]
 	for i := range m.history[k] {
 		v := &m.history[k][i]
 		if v.seq < min {
 			continue
 		}
 		if bytes.Equal(v.data, got) {
-			m.minLegal[k] = v.seq
+			m.minLegal[nk] = v.seq
 			return true, ""
 		}
 	}
 	return false, m.describe(k, time.Time{}, time.Time{})
 }
 
-// settleKey records that the remote cache has provably caught up on
-// this key (pushes drained, connection up, suspect window closed): all
-// versions older than the current legal-state set become illegal. With
-// several versions still open (unresolved flush race) the bound stops
-// at the oldest open one.
+// settleKey records that every registered remote node has provably
+// caught up on this key (pushes drained, connections up, suspect
+// windows closed): all versions older than the current legal-state set
+// become illegal on every node. With several versions still open
+// (unresolved flush race) the bound stops at the oldest open one.
 func (m *model) settleKey(doc, user string) {
 	k := mkey(doc, user)
 	min := uint64(0)
@@ -274,8 +306,11 @@ func (m *model) settleKey(doc, user string) {
 			min = v.seq
 		}
 	}
-	if min > m.minLegal[k] {
-		m.minLegal[k] = min
+	for node := range m.remoteNodes {
+		nk := nkey(node, k)
+		if min > m.minLegal[nk] {
+			m.minLegal[nk] = min
+		}
 	}
 }
 
@@ -310,7 +345,14 @@ func (m *model) describe(k string, t0, t1 time.Time) string {
 		fmt.Fprintf(&b, "\n    seq=%d from=%s to=%s data=%q",
 			v.seq, v.from.Format("15:04:05.000000"), to, truncate(v.data))
 	}
-	fmt.Fprintf(&b, "\n    minLegalSeq=%d", m.minLegal[k])
+	nodes := make([]string, 0, len(m.remoteNodes))
+	for n := range m.remoteNodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "\n    minLegalSeq[%s]=%d", n, m.minLegal[nkey(n, k)])
+	}
 	return b.String()
 }
 

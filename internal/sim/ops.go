@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"placeless/internal/cluster"
 	"placeless/internal/core"
 	"placeless/internal/docspace"
 	"placeless/internal/property"
@@ -28,6 +29,9 @@ func (w *World) step(i int) error {
 	case r < 0.26:
 		return w.doLocalRead(doc, user)
 	case r < 0.38:
+		if w.clusterOn && w.rng.Intn(2) == 1 {
+			return w.doClusterRead(doc, user)
+		}
 		if w.remoteOn {
 			return w.doRemoteRead(doc, user)
 		}
@@ -53,6 +57,9 @@ func (w *World) step(i int) error {
 		if !w.remoteOn {
 			return w.doUpdateDirect(doc)
 		}
+		if w.clusterOn {
+			return w.doClusterMembership()
+		}
 		return w.doLocalRead(doc, user)
 	case r < 0.84:
 		return w.doAdvance(time.Duration(1+w.rng.Intn(40)) * time.Millisecond)
@@ -62,6 +69,9 @@ func (w *World) step(i int) error {
 		}
 		return w.doAdvance(time.Duration(1+w.rng.Intn(10)) * time.Millisecond)
 	case r < 0.90:
+		if w.clusterOn && w.rng.Intn(2) == 1 {
+			return w.doClusterKillNode()
+		}
 		if w.remoteOn {
 			return w.doBreakConns()
 		}
@@ -138,6 +148,93 @@ func (w *World) doRemoteRead(doc, user string) error {
 		return cerr
 	}
 	w.tr.note("→ %q", truncate(data))
+	return nil
+}
+
+// doClusterRead reads through the consistent-hash router, which picks
+// the key's owner set and fails over past degraded replicas. The bytes
+// are held to the causal staleness bound of the node that actually
+// served them — each replica's cache advances independently, so the
+// oracle tracks a bound per node (DESIGN.md §13).
+func (w *World) doClusterRead(doc, user string) error {
+	t0 := w.clk.Now()
+	w.tr.add(w.opIdx, t0, "cluster-read", doc+"/"+user)
+	var data []byte
+	var via string
+	err := w.guarded("cluster-read", func() error {
+		var e error
+		data, via, e = w.cl.ReadVia(doc, user)
+		return e
+	})
+	w.endOp()
+	if err != nil {
+		if errors.Is(err, remote.ErrDegraded) ||
+			errors.Is(err, remote.ErrClosed) ||
+			errors.Is(err, server.ErrDisconnected) ||
+			errors.Is(err, server.ErrTimeout) ||
+			errors.Is(err, cluster.ErrNoNodes) {
+			w.tr.note("→ unavailable (%v)", err)
+			return nil
+		}
+		return fmt.Errorf("cluster read %s/%s failed: %w", doc, user, err)
+	}
+	if cerr := w.checkRemoteAt(via, doc, user, data); cerr != nil {
+		return cerr
+	}
+	w.tr.note("→ %q via %s", truncate(data), via)
+	return nil
+}
+
+// doClusterKillNode severs one node's connections — the single-node
+// analogue of doBreakConns. The node's client reconnects on its own;
+// until then reads fail over to its replicas.
+func (w *World) doClusterKillNode() error {
+	var live []*clusterNode
+	for _, n := range w.clNodes {
+		if !n.closed {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return w.doAdvance(time.Millisecond)
+	}
+	n := live[w.rng.Intn(len(live))]
+	w.tr.add(w.opIdx, w.clk.Now(), "cluster-kill", n.name)
+	w.net.BreakConnsTo("srv-" + n.name)
+	return nil
+}
+
+// doClusterMembership joins a fresh node to the ring or retires one —
+// the rebalance paths. The ring keeps at least one member and at most
+// five; a leave closes the departed node's cache and connection (its
+// oracle bounds remain: they only constrain reads it already served).
+func (w *World) doClusterMembership() error {
+	var live []*clusterNode
+	for _, n := range w.clNodes {
+		if !n.closed {
+			live = append(live, n)
+		}
+	}
+	join := len(live) <= 1 || (len(live) < 5 && w.rng.Intn(2) == 1)
+	if join {
+		w.tr.add(w.opIdx, w.clk.Now(), "cluster-join", fmt.Sprintf("n%d", w.clSeq))
+		err := w.guarded("cluster-join", func() error { return w.addClusterNode() })
+		if err != nil {
+			// The wire may be down or faulty: a node that cannot reach
+			// the origin never finishes booting — a legal non-event.
+			w.tr.note("aborted (%v)", err)
+			return nil
+		}
+		w.endOp()
+		return nil
+	}
+	n := live[w.rng.Intn(len(live))]
+	w.tr.add(w.opIdx, w.clk.Now(), "cluster-leave", n.name)
+	w.cl.RemoveNode(n.name)
+	n.rc.Close()
+	_ = n.client.Close()
+	n.closed = true
+	w.endOp()
 	return nil
 }
 

@@ -442,6 +442,86 @@ func TestScheduleHandshakeDowngrade(t *testing.T) {
 	}
 }
 
+// TestScheduleKillDuringRebalance pins the cluster's hardest window:
+// a node dies, a new node joins while it is down (ownership moves mid-
+// death), and a write lands mid-rebalance. Every read through the
+// router — during the window and after the random schedule takes over
+// — must stay byte-legal under the per-node staleness oracle, and the
+// final state must converge on every node.
+func TestScheduleKillDuringRebalance(t *testing.T) {
+	on := true
+	wt := core.WriteThrough
+	three := 3
+	w := scheduleWorld(t, 31, func(c *Config) {
+		c.Remote = &on
+		c.Mode = &wt
+		c.Cluster = &three
+		c.Ops = 200
+	})
+	w.net.SetFaults(0, 0, 0, 0)
+	if err := w.doSettle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm every key through the router so the owners' caches hold
+	// copies a stale-serving bug could expose.
+	forEachKey := func(fn func(doc, user string)) {
+		for _, id := range w.model.order {
+			for _, u := range w.model.docs[id].users {
+				fn(id, u)
+			}
+		}
+	}
+	forEachKey(func(doc, user string) {
+		if err := w.doClusterRead(doc, user); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Kill the primary owner of the first key, so at least that key's
+	// reads must cope with a dead primary.
+	doc0 := w.model.order[0]
+	user0 := w.model.docs[doc0].users[0]
+	victim := w.cl.Owners(doc0, user0)[0]
+	w.tr.add(w.opIdx, w.clk.Now(), "cluster-kill", victim)
+	w.net.BreakConnsTo("srv-" + victim)
+
+	// Join a fresh node while the victim is down: ownership moves
+	// during the outage.
+	if err := w.guarded("cluster-join", func() error { return w.addClusterNode() }); err != nil {
+		t.Fatalf("join on a clean wire must succeed: %v", err)
+	}
+
+	// A write lands mid-rebalance; its invalidations must reach every
+	// replica that matters (or be covered by the suspect window).
+	if err := w.doWrite(doc0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every key must still read legally through the router, dead
+	// primary and half-moved ring notwithstanding.
+	forEachKey(func(doc, user string) {
+		if err := w.doClusterRead(doc, user); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Then the random schedule takes over (more kills, joins, leaves,
+	// faults), and the lost-write detector closes the run.
+	for i := 0; i < w.cfg.Ops; i++ {
+		if err := w.step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.opIdx = w.cfg.Ops
+	if err := w.finalCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if reb := w.cl.Stats().Rebalances; reb < 4 {
+		t.Fatalf("Rebalances = %d, want ≥ 4 (3 boot joins + the scripted join)", reb)
+	}
+}
+
 // TestScheduleMixedProtocolSweep runs a fixed batch of seeds with the
 // protocol pinned to each codec in turn: every fault schedule passes
 // its oracle over both the gob framing and the v2 binary framing.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"placeless/internal/clock"
+	"placeless/internal/cluster"
 	"placeless/internal/core"
 	"placeless/internal/docspace"
 	"placeless/internal/property"
@@ -60,6 +61,12 @@ type Config struct {
 	// pre-v2 binary), exercising the handshake downgrade when the
 	// client is left on ProtoAuto. Derived false.
 	LegacyServer *bool
+	// Cluster pins the consistent-hash cluster dimension: n > 0 starts
+	// the world with n cache nodes behind a cluster router (requires
+	// the remote stack), 0 disables it. Derived, roughly a third of
+	// remote worlds run 2–4 nodes; the membership, kill, and cluster
+	// read ops then join the schedule.
+	Cluster *int
 }
 
 // World is one fully-built simulated deployment plus its reference
@@ -82,6 +89,18 @@ type World struct {
 	srv       *server.Server
 	client    *server.Client
 	rc        *remote.Cache
+
+	// Cluster dimension: extra cache nodes behind a consistent-hash
+	// router, all served by the same origin server over separate
+	// listeners and connections. clNodes is append-only (a departed
+	// node is marked closed, never removed) so node names and oracle
+	// bounds stay stable for the whole run.
+	clusterOn  bool
+	clReplicas int
+	clNodes    []*clusterNode
+	cl         *cluster.Cache
+	clSeq      int
+	clRng      *rand.Rand
 
 	mode       core.WriteMode
 	flushEvery time.Duration
@@ -261,6 +280,28 @@ func NewWorld(cfg Config) (*World, error) {
 			DegradedPolicy: degraded,
 			StaleTTL:       staleTTL,
 		})
+		// The cluster dimension draws from its own generator (like the
+		// disk tier and the wire protocol) so pre-cluster seeds keep
+		// denoting the same base worlds; the extra nodes, router, and
+		// cluster ops only exist where this stream turns them on.
+		w.clRng = rand.New(rand.NewSource(cfg.Seed ^ 0x636c7573))
+		w.clusterOn = w.clRng.Float64() < 0.35
+		nodes := 2 + w.clRng.Intn(3)
+		w.clReplicas = 1 + w.clRng.Intn(2)
+		if cfg.Cluster != nil {
+			w.clusterOn = *cfg.Cluster > 0
+			if w.clusterOn {
+				nodes = *cfg.Cluster
+			}
+		}
+		if w.clusterOn {
+			w.cl = cluster.New(cluster.Options{Replicas: w.clReplicas, VNodes: 64})
+			for i := 0; i < nodes; i++ {
+				if err := w.addClusterNode(); err != nil {
+					return nil, fmt.Errorf("sim: cluster node: %w", err)
+				}
+			}
+		}
 		// Roughly half the remote seeds start with a lossy wire.
 		if rng.Intn(2) == 1 {
 			w.drawFaults()
@@ -269,9 +310,73 @@ func NewWorld(cfg Config) (*World, error) {
 	return w, nil
 }
 
+// clusterNode is one simulated cache daemon in the ring: its own
+// listener endpoint on the shared origin server, its own resilient
+// client connection (carrying its own subscriptions — the invalidation
+// fanout), and its own remote cache.
+type clusterNode struct {
+	name   string
+	client *server.Client
+	rc     *remote.Cache
+	closed bool // left the ring; rc and client are closed
+}
+
+// addClusterNode boots a fresh node and joins it to the ring. During a
+// run the dial can legally fail (the workload may have the wire down);
+// the caller treats that as an aborted join.
+func (w *World) addClusterNode() error {
+	name := fmt.Sprintf("n%d", w.clSeq)
+	w.clSeq++
+	ln := w.net.Listen("srv-" + name)
+	go func() { _ = w.srv.Serve(ln) }()
+	proto := w.proto
+	if w.clRng.Intn(2) == 1 {
+		proto = server.ProtoAuto
+	}
+	client, err := server.Dial("srv-"+name,
+		server.WithDialer(w.net.Dial),
+		server.WithProtocolVersion(proto),
+		server.WithJitterSeed(w.cfg.Seed+1000+int64(w.clSeq)),
+		server.WithCallTimeout(300*time.Millisecond),
+		server.WithDialTimeout(100*time.Millisecond),
+		server.WithWriteTimeout(100*time.Millisecond),
+		server.WithReconnect(time.Millisecond, 8*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	// As with the base client: prove Serve is accepting before anything
+	// can race the startup. Mid-run the ping can time out under faults;
+	// the join is then aborted.
+	if _, err := client.Stats(); err != nil {
+		_ = client.Close()
+		return err
+	}
+	var capacity int64
+	if w.clRng.Intn(2) == 1 {
+		capacity = 512 + w.clRng.Int63n(4096)
+	}
+	rc := remote.New(client, remote.Options{
+		Capacity:       capacity,
+		Clock:          w.clk,
+		DegradedPolicy: remote.FailFast,
+	})
+	n := &clusterNode{name: name, client: client, rc: rc}
+	w.clNodes = append(w.clNodes, n)
+	w.model.addRemoteNode(name)
+	return w.cl.AddNode(name, rc)
+}
+
 // Close tears the world down; safe after failures.
 func (w *World) Close() {
 	if w.remoteOn {
+		for _, n := range w.clNodes {
+			if !n.closed {
+				n.rc.Close()
+				_ = n.client.Close()
+				n.closed = true
+			}
+		}
 		w.rc.Close()
 		_ = w.client.Close()
 		_ = w.srv.Close()
@@ -430,28 +535,52 @@ func (w *World) checkLocal(doc, user string, got []byte, t0 time.Time) error {
 }
 
 // checkRemote verifies a push-invalidated remote read against the
-// model's causal staleness bound.
+// model's causal staleness bound for the base remote cache.
 func (w *World) checkRemote(doc, user string, got []byte) error {
+	return w.checkRemoteAt("rc", doc, user, got)
+}
+
+// checkRemoteAt verifies a push-invalidated remote read served by the
+// named node against that node's causal staleness bound.
+func (w *World) checkRemoteAt(node, doc, user string, got []byte) error {
 	for attempt := 0; ; attempt++ {
-		ok, hist := w.model.legalRemote(doc, user, got)
+		ok, hist := w.model.legalRemoteAt(node, doc, user, got)
 		if ok {
 			return nil
 		}
 		if attempt >= 2 {
-			return fmt.Errorf("STALE REMOTE READ %s/%s returned %q, older than the proven staleness bound\n  %s",
-				doc, user, truncate(got), hist)
+			return fmt.Errorf("STALE REMOTE READ %s/%s via %s returned %q, older than the proven staleness bound\n  %s",
+				doc, user, node, truncate(got), hist)
 		}
 		time.Sleep(2 * time.Millisecond)
 		w.reconcile()
 	}
 }
 
+// settlePeer is one (client, cache) pair settle must prove quiescent:
+// the base remote cache plus every cluster node still in the ring.
+type settlePeer struct {
+	name   string
+	client *server.Client
+	rc     *remote.Cache
+}
+
+func (w *World) settlePeers() []settlePeer {
+	peers := []settlePeer{{"rc", w.client, w.rc}}
+	for _, n := range w.clNodes {
+		if !n.closed {
+			peers = append(peers, settlePeer{n.name, n.client, n.rc})
+		}
+	}
+	return peers
+}
+
 // settle drives the deployment to a quiescent, provably-consistent
 // point: faults off, partition healed, every in-flight message
-// delivered, the client's invalidation queue drained, the connection
-// up, and the remote cache's post-reconnect suspect window closed.
-// After settling, the model tightens every key's remote staleness
-// bound to the current state.
+// delivered, and — for the base remote cache and every cluster node
+// still in the ring — the invalidation queue drained, the connection
+// up, and the post-reconnect suspect window closed. After settling,
+// the model tightens every key's staleness bound on every node.
 func (w *World) settle() error {
 	if !w.remoteOn {
 		return nil
@@ -464,24 +593,30 @@ func (w *World) settle() error {
 		for stable < 3 {
 			w.net.Flush()
 			w.clk.Advance(5 * time.Millisecond)
-			// Round-trip barrier: responses share the connection (and
-			// its FIFO framing) with invalidation pushes, so once a
-			// Stats call answers, every push the server sent before
-			// that answer has been decoded — it is either applied or
-			// counted by PendingInvalidations. Without the barrier a
-			// push sitting undecoded in the receive buffer is invisible
-			// to every counter and the loop declares quiescence early.
-			barrier := w.client.State() == server.StateConnected &&
-				w.guarded("settle-barrier", func() error {
-					_, err := w.client.Stats()
-					return err
-				}) == nil
-			quiet := barrier &&
-				w.net.Inflight() == 0 &&
-				w.client.PendingInvalidations() == 0 &&
-				w.client.State() == server.StateConnected &&
-				!w.rc.Suspect()
-			if quiet {
+			quiet := true
+			for _, p := range w.settlePeers() {
+				// Round-trip barrier: responses share the connection (and
+				// its FIFO framing) with invalidation pushes, so once a
+				// Stats call answers, every push the server sent before
+				// that answer has been decoded — it is either applied or
+				// counted by PendingInvalidations. Without the barrier a
+				// push sitting undecoded in the receive buffer is invisible
+				// to every counter and the loop declares quiescence early.
+				client, rc := p.client, p.rc
+				barrier := client.State() == server.StateConnected &&
+					w.guarded("settle-barrier", func() error {
+						_, err := client.Stats()
+						return err
+					}) == nil
+				if !(barrier &&
+					client.PendingInvalidations() == 0 &&
+					client.State() == server.StateConnected &&
+					!rc.Suspect()) {
+					quiet = false
+					break
+				}
+			}
+			if quiet && w.net.Inflight() == 0 {
 				stable++
 			} else {
 				stable = 0
@@ -570,6 +705,31 @@ func (w *World) finalCheck() error {
 				if !bytes.Equal(rgot, want) {
 					return fmt.Errorf("LOST WRITE (remote): final read of %s/%s = %q, model says %q\n  %s",
 						id, u, truncate(rgot), truncate(want), w.model.describe(mkey(id, u), time.Time{}, time.Time{}))
+				}
+			}
+			if w.clusterOn && len(w.cl.Nodes()) > 0 {
+				var cgot []byte
+				var via string
+				read := func() error {
+					return w.guarded("final-cluster-read", func() error {
+						var e error
+						cgot, via, e = w.cl.ReadVia(id, u)
+						return e
+					})
+				}
+				cerr := read()
+				for tries := 0; tries < 3 && (cerr != nil || !bytes.Equal(cgot, want)); tries++ {
+					if err := w.settle(); err != nil {
+						return err
+					}
+					cerr = read()
+				}
+				if cerr != nil {
+					return fmt.Errorf("final cluster read %s/%s: %w", id, u, cerr)
+				}
+				if !bytes.Equal(cgot, want) {
+					return fmt.Errorf("LOST WRITE (cluster): final read of %s/%s via %s = %q, model says %q\n  %s",
+						id, u, via, truncate(cgot), truncate(want), w.model.describe(mkey(id, u), time.Time{}, time.Time{}))
 				}
 			}
 		}

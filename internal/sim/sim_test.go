@@ -12,9 +12,10 @@ import (
 )
 
 var (
-	seedsFlag = flag.Int("sim.seeds", 64, "number of seeded schedules TestSimSweep runs")
-	opsFlag   = flag.Int("sim.ops", 350, "operations per seeded schedule")
-	seedFlag  = flag.Int64("sim.seed", -1, "single seed for TestSimSeed (reproduce a failure)")
+	seedsFlag        = flag.Int("sim.seeds", 64, "number of seeded schedules TestSimSweep runs")
+	opsFlag          = flag.Int("sim.ops", 350, "operations per seeded schedule")
+	seedFlag         = flag.Int64("sim.seed", -1, "single seed for TestSimSeed (reproduce a failure)")
+	clusterSeedsFlag = flag.Int("sim.cluster-seeds", 16, "number of forced multi-node schedules TestSimSweepCluster runs")
 )
 
 // TestSimSweep runs a batch of seeded whole-stack schedules. Each seed
@@ -32,6 +33,30 @@ func TestSimSweep(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) {
 			t.Parallel()
 			if err := RunSeed(Config{Seed: int64(s), Ops: *opsFlag}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSimSweepCluster forces the cluster dimension on: every seed runs
+// a multi-node deployment (2–4 nodes behind the consistent-hash
+// router) so node kills, joins, leaves, and cluster-routed reads are
+// exercised on every schedule, not just the ~third of remote seeds
+// that derive a cluster. `make cluster` raises -sim.cluster-seeds; CI
+// runs 128 per push.
+func TestSimSweepCluster(t *testing.T) {
+	seeds := *clusterSeedsFlag
+	if testing.Short() && seeds > 8 {
+		seeds = 8
+	}
+	on := true
+	for s := 1; s <= seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) {
+			t.Parallel()
+			nodes := 2 + s%3
+			if err := RunSeed(Config{Seed: int64(s), Ops: *opsFlag, Remote: &on, Cluster: &nodes}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -99,6 +124,40 @@ func TestOracleRemoteCausalBound(t *testing.T) {
 	// ...after which v1 must be rejected.
 	if ok, _ := m.legalRemote("d", "amy", []byte("v1")); ok {
 		t.Error("oracle accepted v1 after v2 was observed — time travel would go undetected")
+	}
+}
+
+// TestOracleClusterPerNodeBounds checks the per-node shape of the
+// causal bound: each replica's cache advances independently, so one
+// node observing a new version must not outlaw another node's legally
+// older copy — but settling tightens every registered node at once.
+func TestOracleClusterPerNodeBounds(t *testing.T) {
+	m := newModel()
+	m.addRemoteNode("n0")
+	m.addRemoteNode("n1")
+	t0 := time.Date(1999, 3, 28, 0, 0, 0, 0, time.UTC)
+	m.addDoc("d", []string{"amy"}, []byte("v1"), t0)
+	m.applyWrite("d", []byte("v2"), t0.Add(time.Second), t0.Add(time.Second))
+
+	// n0 observes v2; its own bound tightens.
+	if ok, _ := m.legalRemoteAt("n0", "d", "amy", []byte("v2")); !ok {
+		t.Fatal("current v2 should be legal on n0")
+	}
+	if ok, _ := m.legalRemoteAt("n0", "d", "amy", []byte("v1")); ok {
+		t.Error("n0 accepted v1 after observing v2 — per-node time travel undetected")
+	}
+	// n1 has observed nothing: serving the older v1 after a failover is
+	// legal. A single global ratchet would falsely flag this read.
+	if ok, _ := m.legalRemoteAt("n1", "d", "amy", []byte("v1")); !ok {
+		t.Error("n1's un-invalidated v1 copy must stay legal after n0 observed v2")
+	}
+	// Settling proves every node caught up: v1 dies everywhere.
+	m.settleKey("d", "amy")
+	if ok, _ := m.legalRemoteAt("n1", "d", "amy", []byte("v1")); ok {
+		t.Error("n1 accepted v1 after settle proved all nodes caught up")
+	}
+	if ok, _ := m.legalRemoteAt("n1", "d", "amy", []byte("v2")); !ok {
+		t.Error("v2 must stay legal on n1 after settle")
 	}
 }
 

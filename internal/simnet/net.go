@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -171,6 +172,26 @@ func (n *Net) BreakConns() {
 	conns := make([]*Conn, 0, len(n.conns))
 	for c := range n.conns {
 		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// BreakConnsTo closes every established connection whose endpoints
+// belong to the named listener, leaving other endpoints' conns and all
+// listeners intact — the cluster simulation's "kill one node's links"
+// fault. Conn addresses are derived from the listener name at dial
+// time, so the prefix match is exact per endpoint.
+func (n *Net) BreakConnsTo(name string) {
+	prefix := name + ":"
+	n.mu.Lock()
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		if strings.HasPrefix(string(c.addr), prefix) {
+			conns = append(conns, c)
+		}
 	}
 	n.mu.Unlock()
 	for _, c := range conns {

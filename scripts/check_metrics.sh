@@ -1,8 +1,9 @@
 #!/bin/sh
 # check_metrics.sh — guard the observability surface against silent
-# drift. Builds placelessd and plcached, runs both briefly (a server
-# with a memoizing cache, and the client-side cache daemon dialed into
-# it), scrapes both /metrics endpoints, extracts the metric family
+# drift. Builds placelessd and plcached and runs three daemons briefly
+# (a server with a memoizing cache, the client-side cache daemon dialed
+# into it, and a cluster-mode plcached routing over two ring members),
+# scrapes all three /metrics endpoints, extracts the metric family
 # names and types from the `# TYPE` lines, and diffs the merged set
 # against docs/metric_names.golden.
 #
@@ -18,8 +19,9 @@ GOLDEN=docs/metric_names.golden
 TCP_PORT=${PLACELESS_CHECK_TCP_PORT:-17891}
 HTTP_PORT=${PLACELESS_CHECK_HTTP_PORT:-17892}
 CACHE_PORT=${PLACELESS_CHECK_CACHE_PORT:-17893}
+CLUSTER_PORT=${PLACELESS_CHECK_CLUSTER_PORT:-17894}
 WORK=$(mktemp -d)
-trap 'kill $PID $CPID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+trap 'kill $PID $CPID $RPID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
 
 go build -o "$WORK/placelessd" ./cmd/placelessd
 go build -o "$WORK/plcached" ./cmd/plcached
@@ -76,7 +78,25 @@ until curl -sf "http://127.0.0.1:$CACHE_PORT/metrics" >"$WORK/cache_metrics.txt"
 	sleep 0.1
 done
 
-grep -h '^# TYPE' "$WORK/metrics.txt" "$WORK/cache_metrics.txt" |
+# A third daemon covers the cluster surface: plcached in -cluster mode
+# (two ring members dialed into the same placelessd) registers the
+# placeless_cluster_* families that the single-server daemon doesn't.
+RPID=""
+"$WORK/plcached" -cluster "127.0.0.1:$TCP_PORT,127.0.0.1:$TCP_PORT" \
+	-addr "127.0.0.1:$CLUSTER_PORT" >"$WORK/plcached_cluster.log" 2>&1 &
+RPID=$!
+i=0
+until curl -sf "http://127.0.0.1:$CLUSTER_PORT/metrics" >"$WORK/cluster_metrics.txt" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "check_metrics: cluster-mode plcached never served /metrics" >&2
+		cat "$WORK/plcached_cluster.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+grep -h '^# TYPE' "$WORK/metrics.txt" "$WORK/cache_metrics.txt" "$WORK/cluster_metrics.txt" |
 	awk '{print $3, $4}' | sort -u >"$WORK/names.txt"
 
 if ! diff -u "$GOLDEN" "$WORK/names.txt"; then
