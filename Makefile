@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed cluster bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 check-metrics check-docs experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed cluster bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 check-metrics check-docs experiments examples clean
 
 all: build vet test
 
@@ -97,6 +97,11 @@ bench-e15:
 # cluster size under consistent-hash placement (ring-balance scaling).
 bench-e16:
 	$(GO) run ./cmd/plbench -experiment e16
+
+# Machine-readable E17 result: longest-shared-prefix chain caching —
+# miss-path cost vs fan-out under no memo / single-cut / multi-cut.
+bench-e17:
+	$(GO) run ./cmd/plbench -experiment e17
 
 # Scrape briefly-run daemons (placelessd, plcached, cluster-mode
 # plcached) and diff the /metrics family set against

@@ -25,13 +25,14 @@
 //	resilience         connection resilience: crash/restart + deadlines (E14)
 //	wire               wire protocol v1 gob vs v2 pipelined binary (E15)
 //	cluster            consistent-hash cluster scaling (E16)
+//	prefix             longest-shared-prefix chain caching (E17)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12–e16) runs one
+// Alternatively, -experiment <index> (currently e12–e17) runs one
 // experiment by its DESIGN.md index and additionally writes its result
 // as BENCH_<index>.json (BENCH_wire.json for e15, BENCH_cluster.json
-// for e16) in the working directory, for machine consumers (CI trend
-// tracking).
+// for e16, BENCH_prefix.json for e17) in the working directory, for
+// machine consumers (CI trend tracking).
 package main
 
 import (
@@ -51,7 +52,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15|e16>")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15|e16|e17>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -61,7 +62,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|cluster|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|cluster|prefix|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -118,8 +119,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 			return err
 		}
 		res, title = r, clusterTitle(cfg)
+	case "e17":
+		cfg := experiment.DefaultPrefixConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunPrefix(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, prefixTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15, e16)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15, e16, e17)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -141,6 +150,10 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 		// E16's artifact carries the subsystem name: CI asserts the
 		// scaling curve out of BENCH_cluster.json.
 		out = "BENCH_cluster.json"
+	case "e17":
+		// E17's artifact carries the subsystem name: CI asserts the
+		// shared-segment invariants out of BENCH_prefix.json.
+		out = "BENCH_prefix.json"
 	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		return err
@@ -338,6 +351,16 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(clusterTitle(cfg), res)
 	}
+	if all || which == "prefix" {
+		ran = true
+		cfg := experiment.DefaultPrefixConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunPrefix(cfg)
+		if err != nil {
+			return err
+		}
+		emit(prefixTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
@@ -360,6 +383,12 @@ func wireTitle(cfg experiment.WireConfig) string {
 func clusterTitle(cfg experiment.ClusterConfig) string {
 	return fmt.Sprintf("E16 — consistent-hash cluster scaling (nodes=%v keys=%d reads=%d replicas=%d vnodes=%d, virtual per-node service time: compare the speedup column)",
 		cfg.Nodes, cfg.Docs*cfg.Users, cfg.Reads, cfg.Replicas, cfg.VNodes)
+}
+
+// prefixTitle renders E17's parameter line.
+func prefixTitle(cfg experiment.PrefixConfig) string {
+	return fmt.Sprintf("E17 — longest-shared-prefix chain caching (doc=%dB universal=2×%v shared=%v personal=%v, cold miss storm)",
+		cfg.DocSize, cfg.UniversalCost, cfg.SharedCost, cfg.PersonalCost)
 }
 
 // obsTitle renders E13's parameter line.

@@ -146,6 +146,18 @@ type Options struct {
 	// cost input: cheap-to-rebuild content is not worth the disk
 	// write. Zero demotes every eligible result.
 	DurableMinCost time.Duration
+	// PrefixMinCostPerKB gates which prefix cut points are worth
+	// storing under Memoize: a cut is installed only when its
+	// accumulated recompute cost is at least this much per KiB of
+	// output. Storing every prefix of a long chain is quadratic in
+	// bytes; this is the in-memory analogue of DurableMinCost. Zero
+	// (the default) stores every memoizable cut.
+	PrefixMinCostPerKB time.Duration
+	// SingleCutMemo restricts memoization to the single universal/
+	// personal boundary cut of the original two-segment split instead
+	// of the N-cut prefix pipeline — the ablation baseline for
+	// experiment E17.
+	SingleCutMemo bool
 }
 
 // CostSource selects the replacement-cost signal handed to the policy.
@@ -258,6 +270,27 @@ type Stats struct {
 	// IntermediateBytes is the current logical footprint of memoized
 	// intermediates (before signature sharing).
 	IntermediateBytes int64
+
+	// PrefixHits counts longest-prefix probes that found a cached cut:
+	// misses that resumed the transform pipeline from a memoized
+	// prefix instead of the raw source.
+	PrefixHits int64
+	// PrefixSegmentRuns counts segment executions under the N-cut
+	// pipeline (one per computed cut, so a cold chain with k cuts
+	// contributes k).
+	PrefixSegmentRuns int64
+	// PrefixInstalls counts prefix cuts admitted to the intermediate
+	// store; PrefixInstallSkips counts cuts rejected by the
+	// PrefixMinCostPerKB cost gate.
+	PrefixInstalls     int64
+	PrefixInstallSkips int64
+	// PrefixSavedBytes accumulates intermediate bytes served by the
+	// prefix pipeline without recomputation (probe and per-cut hits).
+	PrefixSavedBytes int64
+	// PrefixFallbackErrors counts staged reads that degraded to direct
+	// transform execution because the intermediate store failed
+	// mid-read (slow, not broken).
+	PrefixFallbackErrors int64
 
 	// StoreDemotions counts (doc, user) results written behind to the
 	// durable disk tier at install time.
@@ -820,7 +853,14 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 		tChain = time.Now()
 	}
 	if c.opts.Memoize {
-		data, res, trace, err = c.space.ReadDocumentStaged(doc, user, c)
+		var memo docspace.Intermediates = c
+		if c.opts.SingleCutMemo {
+			memo = singleCutView{c}
+		}
+		data, res, trace, err = c.space.ReadDocumentStaged(doc, user, memo)
+		if trace.MemoErr {
+			c.stats.prefixFallbackErrors.Inc()
+		}
 	} else {
 		data, res, err = c.space.ReadDocument(doc, user)
 	}
@@ -833,6 +873,10 @@ func (c *Cache) miss(doc, user string, tr *obs.ReadTrace) (data []byte, info Ent
 			tr.Personal = trace.PersonalDur
 		} else {
 			tr.FullChain = time.Since(tChain)
+		}
+		if trace.Attempted {
+			tr.PrefixCuts = trace.Cuts
+			tr.PrefixDepth = trace.DeepestHit
 		}
 	}
 	if err != nil {

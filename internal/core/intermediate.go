@@ -8,25 +8,34 @@ import (
 	"placeless/internal/sig"
 )
 
-// Content-addressed memoization of the universal read-path stage
-// (enabled by Options.Memoize). The document space splits the read
-// path at the universal/personal boundary (docspace.ReadDocumentStaged)
-// and hands the cache a compute closure for the universal chain; the
-// cache keys the stage's output by (signature of the raw source bytes,
-// fingerprint of the ordered universal chain) and reuses it across
-// users, so N users missing on one document execute the shared
-// universal prefix once and only their personal suffixes N times.
+// Content-addressed memoization of read-path prefixes (enabled by
+// Options.Memoize). The document space splits the read path at every
+// memoizable property boundary (docspace.ReadDocumentStaged) and hands
+// the cache a compute closure per segment; the cache keys each
+// boundary's output by (signature of the raw source bytes, incremental
+// fingerprint of the chain prefix) and reuses it across users. N users
+// missing on one document execute the shared universal prefix once,
+// and users whose personal chains share a prefix — [translate, audit]
+// and [translate, summarize] — share the translate intermediate too:
+// the longest-prefix probe resumes each read from the deepest cached
+// cut and only the remaining suffix executes.
 //
 // Content addressing makes staleness structural rather than policed:
 //   - cause 1 (content written) changes the source signature,
-//   - causes 2–3 (property add/remove/modify/reorder) change the
-//     fingerprint,
+//   - causes 2–3 (property add/remove/modify/reorder) change every
+//     fingerprint from the mutated position on,
 //   - cause 4 (external information) never reaches this store, because
 //     properties embedding external information are non-memoizable and
-//     disable memoization of their stage.
+//     poison every cut at or after them.
 // A key can therefore never serve wrong bytes; an invalidation merely
-// strands the old key, and invalidateDoc sweeps stranded intermediates
+// strands the old keys, and invalidateDoc sweeps stranded intermediates
 // eagerly so they do not have to age out of the policy.
+//
+// Storing every prefix of a long chain is quadratic in bytes, so
+// installs are gated on recompute-cost-per-size
+// (Options.PrefixMinCostPerKB) — the in-memory analogue of the durable
+// tier's DurableMinCost gate — on top of the GDS policy, which already
+// prices resident cuts by rebuild cost when choosing eviction victims.
 //
 // Locking: interMu ranks with the shard locks — policyMu and blobMu
 // nest under it, it is never held together with a shard lock, and the
@@ -34,11 +43,12 @@ import (
 // notifier re-entry) always runs with no cache lock held.
 
 // interPrefix namespaces intermediate keys inside the shared
-// replacement policy. Entry keys are doc + NUL + user, and document
-// ids do not start with a NUL byte, so the namespaces cannot collide.
+// replacement policy. Entry keys are doc + NUL + user; document ids
+// containing NUL are rejected at registration (docspace.ErrBadID), so
+// the namespaces cannot collide.
 const interPrefix = "\x00i\x00"
 
-// interKey builds the policy/store key for a universal-stage output.
+// interKey builds the policy/store key for a memoized prefix output.
 func interKey(src, fp sig.Signature) string {
 	return interPrefix + string(src[:]) + string(fp[:])
 }
@@ -46,15 +56,21 @@ func interKey(src, fp sig.Signature) string {
 // isInterKey reports whether a policy victim is an intermediate.
 func isInterKey(k string) bool { return strings.HasPrefix(k, interPrefix) }
 
-// interEntry is one memoized universal-stage output. doc is recorded
-// only so document-wide invalidation can sweep stranded keys.
+// interEntry is one memoized prefix output. doc is recorded so
+// document-wide invalidation can sweep stranded keys; user is set only
+// for cuts inside the personal chain (empty for universal-prefix
+// cuts), so a per-user invalidation can sweep that user's personal
+// cuts. A personal cut shared by users with identical chain prefixes
+// is tagged with whoever installed it — sweeping it on that user's
+// invalidation merely costs the others a recompute.
 type interEntry struct {
 	doc       string
+	user      string
 	signature sig.Signature
 	size      int64
 }
 
-// iflight is one in-progress universal-stage execution; the per-(doc,
+// iflight is one in-progress segment execution; the per-(src,
 // fingerprint) single-flight that coalesces concurrent misses from
 // different users. Same protocol as flight: the leader populates
 // data/err and closes done; close(done) is the happens-before edge.
@@ -64,16 +80,81 @@ type iflight struct {
 	err  error
 }
 
-var _ docspace.Intermediates = (*Cache)(nil)
+var (
+	_ docspace.Intermediates       = (*Cache)(nil)
+	_ docspace.PrefixIntermediates = (*Cache)(nil)
+)
 
-// Intermediate implements docspace.Intermediates: it returns the
-// memoized universal-stage output for (src, fp), or computes it via
-// compute — exactly once per key under concurrent misses. cost is the
-// simulated recompute cost of the stage (overhead + retrieval +
-// universal transforms), the policy's cost input for the intermediate.
-// The returned slice is the caller's to keep; hit reports whether
-// compute was skipped.
+// singleCutView exposes only the legacy single-cut Intermediates
+// protocol of a cache, hiding its PrefixIntermediates methods so the
+// document space offers exactly one cut point (the universal/personal
+// boundary). It is the ablation baseline for Options.SingleCutMemo.
+type singleCutView struct{ c *Cache }
+
+func (v singleCutView) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return v.c.Intermediate(doc, src, fp, cost, compute)
+}
+
+// Intermediate implements docspace.Intermediates: the legacy
+// single-cut protocol, keyed at the universal/personal boundary.
 func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return c.intermediate(doc, "", src, fp, cost, true, false, compute)
+}
+
+// PrefixIntermediate implements docspace.PrefixIntermediates for one
+// cut of the prefix pipeline.
+func (c *Cache) PrefixIntermediate(doc, user string, src sig.Signature, cut docspace.Cut, compute func() ([]byte, error)) ([]byte, bool, error) {
+	owner := ""
+	if cut.Personal {
+		owner = user
+	}
+	return c.intermediate(doc, owner, src, cut.FP, cut.Cost, cut.Universal, true, compute)
+}
+
+// LongestPrefix implements docspace.PrefixIntermediates: it scans fps
+// deepest-first and returns the first resident (src, fp) output. The
+// probe is memory-only — the durable tier is consulted per cut by
+// PrefixIntermediate, which also handles in-flight coalescing.
+func (c *Cache) LongestPrefix(doc string, src sig.Signature, fps []sig.Signature) ([]byte, int, bool) {
+	c.interMu.Lock()
+	for i := len(fps) - 1; i >= 0; i-- {
+		k := interKey(src, fps[i])
+		e := c.inter[k]
+		if e == nil {
+			continue
+		}
+		data := c.blobData(e.signature)
+		if data == nil {
+			// Blob store swept by a concurrent Close; drop the
+			// dangling entry and keep probing shallower cuts.
+			c.dropIntermediateLocked(k)
+			continue
+		}
+		c.policyMu.Lock()
+		c.policy.Access(k)
+		c.policyMu.Unlock()
+		c.interMu.Unlock()
+		c.stats.prefixHits.Inc()
+		c.stats.intermediateHits.Inc()
+		c.stats.bytesRecomputedSaved.Add(int64(len(data)))
+		c.stats.prefixSavedBytes.Add(int64(len(data)))
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, i, true
+	}
+	c.interMu.Unlock()
+	return nil, -1, false
+}
+
+// intermediate returns the memoized output for (src, fp), or computes
+// it via compute — exactly once per key under concurrent misses. cost
+// is the accumulated simulated recompute cost through the cut, the
+// policy's cost input. universal marks the cut that completes the
+// universal chain (the accounting boundary for UniversalStageRuns);
+// prefix marks calls from the N-cut pipeline (the legacy single-cut
+// entry point leaves it false). The returned slice is the caller's to
+// keep; hit reports whether compute was skipped.
+func (c *Cache) intermediate(doc, user string, src, fp sig.Signature, cost time.Duration, universal, prefix bool, compute func() ([]byte, error)) ([]byte, bool, error) {
 	k := interKey(src, fp)
 	for {
 		c.interMu.Lock()
@@ -92,6 +173,9 @@ func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Durati
 			c.interMu.Unlock()
 			c.stats.intermediateHits.Inc()
 			c.stats.bytesRecomputedSaved.Add(int64(len(data)))
+			if prefix {
+				c.stats.prefixSavedBytes.Add(int64(len(data)))
+			}
 			out := make([]byte, len(data))
 			copy(out, data)
 			return out, true, nil
@@ -107,6 +191,9 @@ func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Durati
 			}
 			c.stats.intermediateHits.Inc()
 			c.stats.bytesRecomputedSaved.Add(int64(len(f.data)))
+			if prefix {
+				c.stats.prefixSavedBytes.Add(int64(len(f.data)))
+			}
 			out := make([]byte, len(f.data))
 			copy(out, f.data)
 			return out, true, nil
@@ -133,14 +220,26 @@ func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Durati
 			}
 		}
 		if !fromDisk {
-			c.stats.universalStageRuns.Inc()
+			if universal {
+				c.stats.universalStageRuns.Inc()
+			}
+			if prefix {
+				c.stats.prefixSegmentRuns.Inc()
+			}
 			data, err = compute()
 		}
 		f.data, f.err = data, err
 		c.interMu.Lock()
 		delete(c.interFlights, k)
 		if err == nil && !c.closed.Load() {
-			c.storeIntermediateLocked(k, doc, data, cost)
+			if c.prefixWorthStoring(cost, int64(len(data))) {
+				c.storeIntermediateLocked(k, doc, user, data, cost)
+				if prefix {
+					c.stats.prefixInstalls.Inc()
+				}
+			} else {
+				c.stats.prefixInstallSkips.Inc()
+			}
 		}
 		c.interMu.Unlock()
 		close(f.done)
@@ -155,16 +254,30 @@ func (c *Cache) Intermediate(doc string, src, fp sig.Signature, cost time.Durati
 	}
 }
 
-// storeIntermediateLocked installs a computed universal-stage output.
-// Caller holds interMu; the key is flight-protected, so no entry can
-// already exist, but a racing invalidation sweep between our delete of
-// the flight and this install is impossible because both run under
+// prefixWorthStoring is the cut-point cost model: a cut is installed
+// only when its accumulated recompute cost clears
+// Options.PrefixMinCostPerKB per KiB of output — cheap-to-rebuild
+// prefixes are not worth the quadratic byte overhead of storing every
+// cut. Zero (the default) admits every memoizable cut.
+func (c *Cache) prefixWorthStoring(cost time.Duration, size int64) bool {
+	min := c.opts.PrefixMinCostPerKB
+	if min <= 0 {
+		return true
+	}
+	// cost/size >= min/KiB, cross-multiplied to stay in integers.
+	return cost*1024 >= min*time.Duration(size)
+}
+
+// storeIntermediateLocked installs a computed prefix output. Caller
+// holds interMu; the key is flight-protected, so no entry can already
+// exist, but a racing invalidation sweep between our delete of the
+// flight and this install is impossible because both run under
 // interMu — the sweep either ran before (nothing to remove) or runs
 // after (removes this entry, which is merely a lost memo, not a
 // correctness problem: the key's bytes are right by construction).
-func (c *Cache) storeIntermediateLocked(k, doc string, data []byte, cost time.Duration) {
+func (c *Cache) storeIntermediateLocked(k, doc, user string, data []byte, cost time.Duration) {
 	s := c.internBlob(data, false)
-	c.inter[k] = &interEntry{doc: doc, signature: s, size: int64(len(data))}
+	c.inter[k] = &interEntry{doc: doc, user: user, signature: s, size: int64(len(data))}
 	c.stats.intermediateEntries.Inc()
 	c.stats.intermediateBytes.Add(int64(len(data)))
 	c.policyMu.Lock()
@@ -199,13 +312,28 @@ func (c *Cache) dropIntermediateLocked(k string) bool {
 // sweepIntermediates drops every intermediate recorded for doc —
 // called by document-wide invalidation. The dropped keys are already
 // unreachable (the invalidating change moved the source signature or
-// the fingerprint); sweeping reclaims their bytes immediately instead
+// the fingerprints); sweeping reclaims their bytes immediately instead
 // of waiting for the policy to age them out.
 func (c *Cache) sweepIntermediates(doc string) {
 	c.interMu.Lock()
 	defer c.interMu.Unlock()
 	for k, e := range c.inter {
 		if e.doc == doc {
+			c.dropIntermediateLocked(k)
+		}
+	}
+}
+
+// sweepUserIntermediates drops doc's personal-cut intermediates
+// installed by user — called by per-user invalidation. A personal
+// change moves that user's cut fingerprints, stranding the old keys;
+// universal-prefix cuts (user == "") are untouched, because a personal
+// change cannot affect universal-stage output.
+func (c *Cache) sweepUserIntermediates(doc, user string) {
+	c.interMu.Lock()
+	defer c.interMu.Unlock()
+	for k, e := range c.inter {
+		if e.doc == doc && e.user != "" && e.user == user {
 			c.dropIntermediateLocked(k)
 		}
 	}

@@ -134,9 +134,11 @@ func (c *Cache) observeInvalidation(e event.Event) {
 	c.lastCause.Store(e.Doc, cause)
 }
 
-// invalidateUser bumps the generation and drops one (doc, user) entry.
-// Intermediates survive: a personal-property change cannot affect the
-// universal stage's output.
+// invalidateUser bumps the generation and drops one (doc, user) entry,
+// plus the personal-cut intermediates that user installed (a personal
+// change moves the personal prefix fingerprints, stranding those
+// keys). Universal-prefix intermediates survive: a personal-property
+// change cannot affect universal-stage output.
 func (c *Cache) invalidateUser(doc, user string) {
 	c.appendEpoch(doc, c.docGen(doc).Add(1))
 	k := key(doc, user)
@@ -146,6 +148,7 @@ func (c *Cache) invalidateUser(doc, user string) {
 		c.stats.invalidations.Inc()
 	}
 	sh.mu.Unlock()
+	c.sweepUserIntermediates(doc, user)
 }
 
 // Invalidate drops the entry for (doc, user), if any. It is the

@@ -60,6 +60,18 @@ func (c *Cache) registerMetrics(o *obs.Observer) {
 		"Current number of memoized universal-stage outputs.", c.stats.intermediateEntries.Load)
 	reg.Gauge("placeless_cache_intermediate_bytes",
 		"Current logical footprint of memoized intermediates.", c.stats.intermediateBytes.Load)
+	reg.Counter("placeless_prefix_hits_total",
+		"Longest-prefix probes that resumed a miss from a cached cut.", c.stats.prefixHits.Load)
+	reg.Counter("placeless_prefix_segment_runs_total",
+		"Segment executions under the N-cut prefix pipeline.", c.stats.prefixSegmentRuns.Load)
+	reg.Counter("placeless_prefix_installs_total",
+		"Prefix cuts admitted to the intermediate store.", c.stats.prefixInstalls.Load)
+	reg.Counter("placeless_prefix_install_skips_total",
+		"Prefix cuts rejected by the recompute-cost-per-byte gate.", c.stats.prefixInstallSkips.Load)
+	reg.Counter("placeless_prefix_saved_bytes_total",
+		"Intermediate bytes served by the prefix pipeline without recomputation.", c.stats.prefixSavedBytes.Load)
+	reg.Counter("placeless_prefix_fallback_errors_total",
+		"Staged reads degraded to direct execution by an intermediate-store failure.", c.stats.prefixFallbackErrors.Load)
 	if st := c.opts.Store; st != nil {
 		reg.Counter("placeless_store_demotions_total",
 			"Entry results written behind to the durable disk tier.", c.stats.storeDemotions.Load)

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"placeless/internal/docspace"
+	"placeless/internal/property"
+)
+
+// setupSharedPersonalDoc builds document "d" with one universal
+// spell-correct and, per user, a personal chain of [translate,
+// watermark]: every user's translate property carries the same memo
+// key, so the prefix pipeline can share its output across users.
+func setupSharedPersonalDoc(t *testing.T, w *world, users []string) {
+	t.Helper()
+	w.addDoc(t, "d", users[0], "/d", []byte("the quick brown fox\nand the lazy dog\n"))
+	if err := w.space.Attach("d", "", docspace.Universal, property.NewSpellCorrector(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range users {
+		if i > 0 {
+			if _, err := w.space.AddReference("d", u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.space.Attach("d", u, docspace.Personal, property.NewTranslator(4*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.space.Attach("d", u, docspace.Personal, property.NewWatermarker(u, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPrefixSharesPersonalSegmentAcrossUsers: after the first user's
+// miss, every further user's miss resumes from the shared translate
+// cut and executes only its own watermark — per-user work is one
+// segment, not the whole personal chain.
+func TestPrefixSharesPersonalSegmentAcrossUsers(t *testing.T) {
+	users := memoUsers(6)
+	w := newWorld(t, Options{Memoize: true})
+	setupSharedPersonalDoc(t, w, users)
+
+	w.read(t, "d", users[0])
+	base := w.cache.Stats()
+	// First user computes every segment: spell, boundary (merged with
+	// spell's cut when no event-only universal props follow — so at
+	// least spell/translate/watermark).
+	if base.PrefixSegmentRuns < 3 {
+		t.Fatalf("first miss ran %d segments, want >= 3", base.PrefixSegmentRuns)
+	}
+
+	for _, u := range users[1:] {
+		data, info, err := w.cache.ReadWithInfo("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(u)) {
+			t.Fatalf("user %s: personalization missing: %q", u, data)
+		}
+		if !info.IntermediateHit {
+			t.Fatalf("user %s: miss did not resume from a cached prefix", u)
+		}
+	}
+	st := w.cache.Stats()
+	if got := st.PrefixSegmentRuns - base.PrefixSegmentRuns; got != int64(len(users)-1) {
+		t.Fatalf("followers ran %d segments, want %d (one watermark each)", got, len(users)-1)
+	}
+	if st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1", st.UniversalStageRuns)
+	}
+	if st.PrefixHits < int64(len(users)-1) {
+		t.Fatalf("PrefixHits = %d, want >= %d", st.PrefixHits, len(users)-1)
+	}
+}
+
+// TestPrefixCostGateSkipsCheapCuts: with PrefixMinCostPerKB set above
+// any cut's recompute density, nothing is admitted to the intermediate
+// store — reads stay correct, every install is counted as skipped.
+func TestPrefixCostGateSkipsCheapCuts(t *testing.T) {
+	users := memoUsers(3)
+	gated := newWorld(t, Options{Memoize: true, PrefixMinCostPerKB: time.Hour})
+	open := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, gated, users)
+	setupMemoDoc(t, open, users)
+
+	for _, u := range users {
+		a := gated.read(t, "d", u)
+		b := open.read(t, "d", u)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("user %s: cost-gated read diverged", u)
+		}
+	}
+	st := gated.cache.Stats()
+	if st.PrefixInstalls != 0 || st.IntermediateEntries != 0 {
+		t.Fatalf("gate admitted cuts: %+v", st)
+	}
+	if st.PrefixInstallSkips == 0 {
+		t.Fatal("no install skips counted under an unreachable gate")
+	}
+	// With nothing stored, every user's miss recomputes the universal
+	// stage.
+	if st.UniversalStageRuns != int64(len(users)) {
+		t.Fatalf("UniversalStageRuns = %d, want %d", st.UniversalStageRuns, len(users))
+	}
+}
+
+// TestSingleCutMemoBaseline: the ablation flag must reproduce the
+// original two-segment protocol exactly — one intermediate at the
+// universal/personal boundary, no prefix-pipeline activity.
+func TestSingleCutMemoBaseline(t *testing.T) {
+	users := memoUsers(4)
+	w := newWorld(t, Options{Memoize: true, SingleCutMemo: true})
+	setupMemoDoc(t, w, users)
+
+	for i, u := range users {
+		data, info, err := w.cache.ReadWithInfo("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(u)) {
+			t.Fatalf("user %s: personalization missing", u)
+		}
+		if wantMemo := i > 0; info.IntermediateHit != wantMemo {
+			t.Fatalf("user %s: IntermediateHit = %v, want %v", u, info.IntermediateHit, wantMemo)
+		}
+	}
+	st := w.cache.Stats()
+	if st.IntermediateEntries != 1 {
+		t.Fatalf("IntermediateEntries = %d, want 1 (boundary only)", st.IntermediateEntries)
+	}
+	if st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1", st.UniversalStageRuns)
+	}
+	if st.IntermediateHits != int64(len(users)-1) {
+		t.Fatalf("IntermediateHits = %d, want %d", st.IntermediateHits, len(users)-1)
+	}
+	if st.PrefixHits != 0 || st.PrefixSegmentRuns != 0 {
+		t.Fatalf("single-cut baseline drove the prefix pipeline: %+v", st)
+	}
+}
+
+// TestInvalidateUserSweepsOnlyTheirPersonalCuts: a per-user
+// invalidation drops that user's personal cuts and nothing else; the
+// re-read resumes from the surviving shared prefix.
+func TestInvalidateUserSweepsOnlyTheirPersonalCuts(t *testing.T) {
+	users := memoUsers(2)
+	w := newWorld(t, Options{Memoize: true})
+	setupMemoDoc(t, w, users)
+	for _, u := range users {
+		w.read(t, "d", u)
+	}
+	before := w.cache.Stats()
+
+	w.cache.Invalidate("d", users[1])
+	mid := w.cache.Stats()
+	if got := before.IntermediateEntries - mid.IntermediateEntries; got != 1 {
+		t.Fatalf("per-user invalidation dropped %d intermediates, want 1 (their watermark cut)", got)
+	}
+
+	_, info, err := w.cache.ReadWithInfo("d", users[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hit || !info.IntermediateHit {
+		t.Fatalf("info = %+v, want a miss resumed from the surviving prefix", info)
+	}
+	st := w.cache.Stats()
+	if st.UniversalStageRuns != 1 {
+		t.Fatalf("UniversalStageRuns = %d, want 1 (universal cuts must survive)", st.UniversalStageRuns)
+	}
+	if got := st.PrefixSegmentRuns - mid.PrefixSegmentRuns; got != 1 {
+		t.Fatalf("re-read ran %d segments, want 1 (watermark only)", got)
+	}
+}

@@ -31,6 +31,14 @@ type statsCounters struct {
 	intermediateEntries  metrics.Counter
 	intermediateBytes    metrics.Counter
 
+	// Prefix-pipeline counters (the N-cut generalization).
+	prefixHits           metrics.Counter
+	prefixSegmentRuns    metrics.Counter
+	prefixInstalls       metrics.Counter
+	prefixInstallSkips   metrics.Counter
+	prefixSavedBytes     metrics.Counter
+	prefixFallbackErrors metrics.Counter
+
 	// Durable disk-tier counters (Options.Store).
 	storeDemotions        metrics.Counter
 	storeInterDemotions   metrics.Counter
@@ -66,6 +74,13 @@ func (s *statsCounters) snapshot() Stats {
 		BytesRecomputedSaved: s.bytesRecomputedSaved.Load(),
 		IntermediateEntries:  s.intermediateEntries.Load(),
 		IntermediateBytes:    s.intermediateBytes.Load(),
+
+		PrefixHits:           s.prefixHits.Load(),
+		PrefixSegmentRuns:    s.prefixSegmentRuns.Load(),
+		PrefixInstalls:       s.prefixInstalls.Load(),
+		PrefixInstallSkips:   s.prefixInstallSkips.Load(),
+		PrefixSavedBytes:     s.prefixSavedBytes.Load(),
+		PrefixFallbackErrors: s.prefixFallbackErrors.Load(),
 
 		StoreDemotions:              s.storeDemotions.Load(),
 		StoreIntermediateDemotions:  s.storeInterDemotions.Load(),

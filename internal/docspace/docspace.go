@@ -15,6 +15,7 @@ package docspace
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +41,12 @@ var (
 	// ErrNoArchive indicates a property needed version storage but the
 	// space has no archive repository configured.
 	ErrNoArchive = errors.New("docspace: no archive repository")
+	// ErrBadID indicates a document id containing a NUL byte. Caches
+	// key entries as id+"\x00"+user and namespace intermediates under
+	// a NUL-leading prefix, so a NUL inside an id would make those
+	// keys ambiguous — the invariant is enforced here, at
+	// registration, rather than trusted downstream.
+	ErrBadID = errors.New("docspace: document id contains NUL")
 )
 
 // TimerClock is the clock capability the space needs: time, sleeping,
@@ -171,6 +178,9 @@ func (s *Space) AccessOverhead() time.Duration {
 // CreateDocument registers a base document with the given
 // bit-provider, owned by owner, and creates the owner's reference.
 func (s *Space) CreateDocument(id, owner string, bits property.BitProvider) (*Base, error) {
+	if strings.ContainsRune(id, 0) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.bases[id]; ok {

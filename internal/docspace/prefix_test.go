@@ -1,0 +1,395 @@
+package docspace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"placeless/internal/property"
+	"placeless/internal/sig"
+)
+
+// fakePrefixMemo is a minimal PrefixIntermediates store: the multi-cut
+// analogue of fakeMemo, with optional fault injection for the
+// degraded-read tests.
+type fakePrefixMemo struct {
+	store    map[string][]byte
+	keys     []string // install order, one per computed cut
+	computes int
+	calls    int
+	failOn   int // fail the nth PrefixIntermediate call (1-based)
+}
+
+func newFakePrefixMemo() *fakePrefixMemo {
+	return &fakePrefixMemo{store: make(map[string][]byte)}
+}
+
+func memoKey(src, fp sig.Signature) string {
+	return string(src[:]) + string(fp[:])
+}
+
+var errStoreSick = errors.New("intermediate store unavailable")
+
+func (m *fakePrefixMemo) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return m.PrefixIntermediate(doc, "", src, Cut{FP: fp, Cost: cost, Universal: true}, compute)
+}
+
+func (m *fakePrefixMemo) LongestPrefix(doc string, src sig.Signature, fps []sig.Signature) ([]byte, int, bool) {
+	for i := len(fps) - 1; i >= 0; i-- {
+		if d, ok := m.store[memoKey(src, fps[i])]; ok {
+			return append([]byte{}, d...), i, true
+		}
+	}
+	return nil, -1, false
+}
+
+func (m *fakePrefixMemo) PrefixIntermediate(doc, user string, src sig.Signature, cut Cut, compute func() ([]byte, error)) ([]byte, bool, error) {
+	m.calls++
+	if m.failOn > 0 && m.calls == m.failOn {
+		return nil, false, errStoreSick
+	}
+	k := memoKey(src, cut.FP)
+	if d, ok := m.store[k]; ok {
+		return append([]byte{}, d...), true, nil
+	}
+	d, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	m.computes++
+	m.store[k] = append([]byte{}, d...)
+	m.keys = append(m.keys, k)
+	return d, false, nil
+}
+
+// decodeChainFrames inverts appendChainFrame: an exact decoder existing
+// at all is what proves the encoding injective.
+func decodeChainFrames(enc []byte) ([][3]string, error) {
+	var out [][3]string
+	for len(enc) > 0 {
+		var f [3]string
+		for i := 0; i < 3; i++ {
+			n, sz := binary.Uvarint(enc)
+			if sz <= 0 || uint64(len(enc)-sz) < n {
+				return nil, fmt.Errorf("corrupt frame at %d fields decoded", len(out)*3+i)
+			}
+			f[i] = string(enc[sz : sz+int(n)])
+			enc = enc[sz+int(n):]
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func encodeChainFrames(frames [][3]string) []byte {
+	var enc []byte
+	for _, f := range frames {
+		enc = appendChainFrame(enc, f[0], f[1], f[2])
+	}
+	return enc
+}
+
+// TestChainFrameCollisionRegression pins the framing bug: under the old
+// "%s\x00%s\x00%s\n" separator framing, a two-property chain encoded
+// byte-identically to a single property whose memo key embedded the
+// separators, so the two chains shared a fingerprint — and, since equal
+// fingerprints are trusted to imply equal bytes, the memo store would
+// have served one chain's output for the other.
+func TestChainFrameCollisionRegression(t *testing.T) {
+	oldFrame := func(name, class, key string) string {
+		return fmt.Sprintf("%s\x00%s\x00%s\n", name, class, key)
+	}
+	// Chain A: two properties. Chain B: one property whose memo key
+	// embeds A's separators and B's whole second frame.
+	hostileKey := "n/v1/k\nm\x00active\x00m/v1/q"
+	oldA := oldFrame("n", "active", "n/v1/k") + oldFrame("m", "active", "m/v1/q")
+	oldB := oldFrame("n", "active", hostileKey)
+	if oldA != oldB {
+		t.Fatal("regression fixture stale: the old framing no longer collides these chains")
+	}
+
+	newA := appendChainFrame(appendChainFrame(nil, "n", "active", "n/v1/k"), "m", "active", "m/v1/q")
+	newB := appendChainFrame(nil, "n", "active", hostileKey)
+	if bytes.Equal(newA, newB) {
+		t.Fatal("length-prefixed framing still collides the hostile chains")
+	}
+}
+
+// TestHostileChainsGetDistinctFingerprints is the same regression
+// end-to-end: two documents whose chains collided under the old framing
+// must expose distinct universal fingerprints.
+func TestHostileChainsGetDistinctFingerprints(t *testing.T) {
+	ident := func(b []byte) []byte { return b }
+	f := newFixture(t)
+	f.addDoc(t, "a", "eyal", "/a", []byte("content"))
+	f.addDoc(t, "b", "eyal", "/b", []byte("content"))
+
+	// Document a: chain [n (memo key n/v1/k), m (memo key m/v1/q)].
+	for _, p := range []*property.Transformer{
+		{Base: property.Base{PropName: "n"}, ReadTransform: ident, Version: 1, MemoID: "k"},
+		{Base: property.Base{PropName: "m"}, ReadTransform: ident, Version: 1, MemoID: "q"},
+	} {
+		if err := f.space.Attach("a", "", Universal, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Document b: one property whose memo key embeds a's frames under
+	// the old separator framing.
+	hostile := &property.Transformer{
+		Base: property.Base{PropName: "n"}, ReadTransform: ident,
+		Version: 1, MemoID: "k\nm\x00active\x00m/v1/q",
+	}
+	if err := f.space.Attach("b", "", Universal, hostile); err != nil {
+		t.Fatal(err)
+	}
+
+	fpA := f.fingerprint(t, "a")
+	fpB := f.fingerprint(t, "b")
+	if fpA == fpB {
+		t.Fatal("hostile memo key collided two distinct chains' fingerprints")
+	}
+}
+
+// FuzzChainFrameRoundTrip: every frame sequence must decode back to
+// itself exactly — the constructive proof that no two distinct chains
+// share an encoding, whatever bytes appear in names or memo keys.
+func FuzzChainFrameRoundTrip(f *testing.F) {
+	f.Add("n", "active", "n/v1/k", "m", "active", "m/v1/q")
+	// The historical collision: frame two's content hidden inside frame
+	// one's key using the old separators.
+	f.Add("n", "active", "n/v1/k\nm\x00active\x00m/v1/q", "", "", "")
+	f.Add("", "", "", "", "", "")
+	f.Add("a\x00b", "c\nd", "\xff\xfe", "e", "", "f")
+	f.Fuzz(func(t *testing.T, n1, c1, k1, n2, c2, k2 string) {
+		frames := [][3]string{{n1, c1, k1}, {n2, c2, k2}}
+		for _, seq := range [][][3]string{frames[:1], frames} {
+			enc := encodeChainFrames(seq)
+			got, err := decodeChainFrames(enc)
+			if err != nil {
+				t.Fatalf("decode(%q): %v", enc, err)
+			}
+			if len(got) != len(seq) {
+				t.Fatalf("decode returned %d frames, want %d", len(got), len(seq))
+			}
+			for i := range seq {
+				if got[i] != seq[i] {
+					t.Fatalf("frame %d round-tripped as %q, want %q", i, got[i], seq[i])
+				}
+			}
+		}
+	})
+}
+
+// TestChainFrameQuickRoundTrip drives the same round-trip property from
+// testing/quick's generator, covering arbitrary-length sequences.
+func TestChainFrameQuickRoundTrip(t *testing.T) {
+	prop := func(frames [][3]string) bool {
+		got, err := decodeChainFrames(encodeChainFrames(frames))
+		if err != nil || len(got) != len(frames) {
+			return false
+		}
+		for i := range frames {
+			if got[i] != frames[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateDocumentRejectsNULIds: NUL bytes in document ids would let
+// crafted ids collide with the cache's composite keys (doc NUL user and
+// the intermediate namespace prefix), so registration refuses them.
+func TestCreateDocumentRejectsNULIds(t *testing.T) {
+	f := newFixture(t)
+	f.src.Store("/x", []byte("content"))
+	bits := &property.RepoBitProvider{Repo: f.src, Path: "/x"}
+	if _, err := f.space.CreateDocument("bad\x00id", "eyal", bits); !errors.Is(err, ErrBadID) {
+		t.Fatalf("CreateDocument with NUL id: err = %v, want ErrBadID", err)
+	}
+	if _, err := f.space.CreateDocument("good-id", "eyal", bits); err != nil {
+		t.Fatalf("CreateDocument without NUL: %v", err)
+	}
+}
+
+// TestPrefixStagedMatchesPlainEverySubset is the pipeline's equivalence
+// guard: whatever subset of cuts is already cached, the staged read
+// must produce bytes identical to the unstaged path — resuming from the
+// deepest cached prefix, serving cached segments, computing the rest.
+func TestPrefixStagedMatchesPlainEverySubset(t *testing.T) {
+	f := stageFixture(t)
+	users := []string{"eyal", "paul"}
+	plain := make(map[string][]byte)
+	for _, u := range users {
+		d, _, err := f.space.ReadDocument("d", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain[u] = d
+	}
+
+	// One warm pass to learn every cut's key and bytes.
+	warm := newFakePrefixMemo()
+	for _, u := range users {
+		staged, _, trace, err := f.space.ReadDocumentStaged("d", u, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trace.Attempted || trace.Cuts == 0 {
+			t.Fatalf("user %s: multi-cut staging not attempted: %+v", u, trace)
+		}
+		if !bytes.Equal(staged, plain[u]) {
+			t.Fatalf("user %s: warm staged read diverged", u)
+		}
+	}
+	if len(warm.keys) < 4 {
+		t.Fatalf("expected at least 4 distinct cuts across two users, got %d", len(warm.keys))
+	}
+
+	// Every subset of the cuts, pre-seeded into a fresh store.
+	for mask := 0; mask < 1<<len(warm.keys); mask++ {
+		m := newFakePrefixMemo()
+		for i, k := range warm.keys {
+			if mask&(1<<i) != 0 {
+				m.store[k] = append([]byte{}, warm.store[k]...)
+			}
+		}
+		for _, u := range users {
+			staged, _, _, err := f.space.ReadDocumentStaged("d", u, m)
+			if err != nil {
+				t.Fatalf("mask %b user %s: %v", mask, u, err)
+			}
+			if !bytes.Equal(staged, plain[u]) {
+				t.Fatalf("mask %b user %s: staged read diverged:\nplain:  %q\nstaged: %q",
+					mask, u, plain[u], staged)
+			}
+		}
+	}
+}
+
+// TestPrefixSharesPersonalPrefix: two users whose personal chains share
+// a leading translate property share its cut — the personal-prefix
+// sharing the single-cut split could not express.
+func TestPrefixSharesPersonalPrefix(t *testing.T) {
+	f := newFixture(t)
+	f.addDoc(t, "d", "eyal", "/d", []byte("the quick brown fox\nand the lazy dog\n"))
+	if err := f.space.Attach("d", "", Universal, property.NewSpellCorrector(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.space.AddReference("d", "paul"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"eyal", "paul"} {
+		// Shared personal prefix: same dictionary, same memo key.
+		if err := f.space.Attach("d", u, Personal, property.NewTranslator(time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.space.Attach("d", u, Personal, property.NewWatermarker(u, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := newFakePrefixMemo()
+	if _, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", m); err != nil || trace.DeepestHit != -1 {
+		t.Fatalf("cold read: trace=%+v err=%v", trace, err)
+	}
+	afterEyal := m.computes
+
+	_, _, trace, err := f.space.ReadDocumentStaged("d", "paul", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paul's probe must resume past the universal boundary (cut 0),
+	// inside the personal chain: the translate cut (cut 1) is shared,
+	// only the watermark segment computes.
+	if trace.DeepestHit < 1 {
+		t.Fatalf("DeepestHit = %d, want >= 1 (resume inside the personal chain): %+v", trace.DeepestHit, trace)
+	}
+	if got := m.computes - afterEyal; got != 1 {
+		t.Fatalf("paul computed %d segments, want 1 (watermark only)", got)
+	}
+	if !trace.Hit {
+		t.Fatal("resuming past the boundary must report the universal stage memoized")
+	}
+}
+
+// TestStoreErrorFallsBackToDirectExecution: a sick intermediate store
+// must degrade the read to direct execution — correct bytes, MemoErr
+// set — never fail it, at whichever cut the failure strikes.
+func TestStoreErrorFallsBackToDirectExecution(t *testing.T) {
+	f := stageFixture(t)
+	plain, _, err := f.space.ReadDocument("d", "eyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe how many cuts eyal's read offers.
+	probe := newFakePrefixMemo()
+	if _, _, tr, err := f.space.ReadDocumentStaged("d", "eyal", probe); err != nil || tr.Cuts == 0 {
+		t.Fatalf("probe: trace=%+v err=%v", tr, err)
+	}
+
+	for fail := 1; fail <= probe.calls; fail++ {
+		m := newFakePrefixMemo()
+		m.failOn = fail
+		staged, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", m)
+		if err != nil {
+			t.Fatalf("failOn=%d: read failed instead of degrading: %v", fail, err)
+		}
+		if !trace.MemoErr {
+			t.Fatalf("failOn=%d: MemoErr not set: %+v", fail, trace)
+		}
+		if !trace.Attempted {
+			t.Fatalf("failOn=%d: Attempted lost on degraded read", fail)
+		}
+		if trace.Hit {
+			t.Fatalf("failOn=%d: degraded read claimed a memo hit", fail)
+		}
+		if !bytes.Equal(staged, plain) {
+			t.Fatalf("failOn=%d: degraded read diverged:\nplain:  %q\nstaged: %q", fail, plain, staged)
+		}
+	}
+
+	// Same degradation through the legacy single-cut protocol.
+	legacy := &failingMemo{}
+	staged, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", legacy)
+	if err != nil {
+		t.Fatalf("legacy store failure not degraded: %v", err)
+	}
+	if !trace.MemoErr || !trace.Attempted || trace.Hit {
+		t.Fatalf("legacy degraded trace = %+v", trace)
+	}
+	if !bytes.Equal(staged, plain) {
+		t.Fatal("legacy degraded read diverged")
+	}
+}
+
+// failingMemo is an Intermediates store whose every call fails.
+type failingMemo struct{}
+
+func (failingMemo) Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return nil, false, errStoreSick
+}
+
+// TestBoundaryCutMatchesUniversalFingerprint: the boundary cut's prefix
+// fingerprint must be bit-identical to the cached universal-chain
+// fingerprint — the compatibility bridge that keeps single-cut stores
+// and the durable tier's ContentKey on the same keys.
+func TestBoundaryCutMatchesUniversalFingerprint(t *testing.T) {
+	f := stageFixture(t)
+	m := newFakePrefixMemo()
+	_, _, trace, err := f.space.ReadDocumentStaged("d", "eyal", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Fingerprint != f.fingerprint(t, "d") {
+		t.Fatal("boundary prefix fingerprint diverged from UniversalFingerprint")
+	}
+}

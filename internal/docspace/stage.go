@@ -1,8 +1,8 @@
 package docspace
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
 	"time"
 
 	"placeless/internal/event"
@@ -11,47 +11,110 @@ import (
 	"placeless/internal/stream"
 )
 
-// This file splits the read path into a universal stage (bit-provider
-// plus base-document properties, identical for every user) and a
-// personal suffix (reference properties), so caches can memoize the
-// universal stage's output across users. The memo key is content
-// addressed: (signature of the raw source bytes, fingerprint of the
-// ordered universal chain). The paper's four invalidation causes map
-// onto the key cleanly — cause 1 (content written) changes the source
-// signature, causes 2 and 3 (property add/remove/modify, reorder)
-// change the fingerprint, and cause 4 (external information) is
-// excluded by marking such properties non-memoizable, which disables
-// memoization of any stage containing them.
+// This file splits the read path into memoizable segments. The
+// original split had exactly one cut point — the universal/personal
+// boundary — so caches could memoize the universal stage's output
+// across users. The generalized pipeline computes an incremental
+// prefix fingerprint at every memoizable property boundary (universal
+// chain first, extending into the personal chain), asks the store for
+// the longest cached prefix of (source signature, prefix fingerprint),
+// and executes only the remaining suffix. Two users whose personal
+// chains are [translate, audit] and [translate, summarize] therefore
+// share the translate intermediate, not just the universal stage.
+//
+// The memo keys stay content addressed: (signature of the raw source
+// bytes, fingerprint of the ordered chain prefix). The paper's four
+// invalidation causes map onto the key cleanly — cause 1 (content
+// written) changes the source signature, causes 2 and 3 (property
+// add/remove/modify, reorder) change the fingerprint, and cause 4
+// (external information) is excluded by marking such properties
+// non-memoizable, which poisons every cut at or after them.
 
-// Intermediates is the cache-side store for universal-stage outputs.
-// Intermediate returns the memoized stage output for (src, fp) or
-// computes it via compute — exactly once per key under concurrent
-// misses. The returned slice is owned by the caller. hit reports
-// whether compute was skipped (served from the store or coalesced
-// onto another caller's computation).
+// Intermediates is the cache-side store for memoized stage outputs.
+// Intermediate returns the memoized output for (src, fp) or computes
+// it via compute — exactly once per key under concurrent misses. The
+// returned slice is owned by the caller. hit reports whether compute
+// was skipped (served from the store or coalesced onto another
+// caller's computation). A store implementing only this interface is
+// offered exactly one cut point per read: the universal/personal
+// boundary.
 type Intermediates interface {
 	Intermediate(doc string, src, fp sig.Signature, cost time.Duration, compute func() ([]byte, error)) (data []byte, hit bool, err error)
+}
+
+// Cut describes one memoizable boundary of a read's combined
+// (universal + personal) transform chain, as handed to a
+// PrefixIntermediates store.
+type Cut struct {
+	// FP is the incremental fingerprint of the chain prefix up to and
+	// including this boundary.
+	FP sig.Signature
+	// Cost is the accumulated simulated recompute cost through this
+	// boundary (middleware overhead, bit retrieval, and every
+	// transform up to the cut) — the store's cost-model input for
+	// deciding whether the cut is worth keeping.
+	Cost time.Duration
+	// Universal marks the cut at the end of the universal chain — the
+	// single cut point of the original two-segment split.
+	Universal bool
+	// Personal marks cuts strictly inside the personal chain. They are
+	// keyed by content like every other cut (users with identical
+	// personal prefixes share them), but a store may choose to sweep
+	// them on per-user invalidation.
+	Personal bool
+}
+
+// PrefixIntermediates is the N-segment extension of Intermediates.
+// Stores implementing it receive every memoizable cut point of a read
+// instead of only the universal/personal boundary: the read path first
+// probes LongestPrefix with the full ordered cut-fingerprint list,
+// resumes from the deepest cached prefix, and then walks the remaining
+// cuts through PrefixIntermediate, handing each a compute closure for
+// just that segment.
+type PrefixIntermediates interface {
+	Intermediates
+	// LongestPrefix returns the deepest cached prefix of (src, fps):
+	// the data and index of the largest i such that (src, fps[i]) is
+	// resident, or ok=false when none is. fps is ordered shallowest to
+	// deepest. The probe is memory-only; slower tiers are consulted
+	// per cut by PrefixIntermediate.
+	LongestPrefix(doc string, src sig.Signature, fps []sig.Signature) (data []byte, idx int, ok bool)
+	// PrefixIntermediate is Intermediate for one cut of the prefix
+	// pipeline, carrying the cut's position metadata so the store can
+	// account and cost-gate installs per cut point.
+	PrefixIntermediate(doc, user string, src sig.Signature, cut Cut, compute func() ([]byte, error)) (data []byte, hit bool, err error)
 }
 
 // StageTrace reports what the staged read path did, for cache
 // accounting and tests.
 type StageTrace struct {
-	// Attempted reports whether the universal stage was memoizable
-	// (every byte-touching universal property opted in) and an
-	// Intermediates store was consulted.
+	// Attempted reports whether at least one memoizable cut point
+	// existed and an Intermediates store was consulted.
 	Attempted bool
 	// Hit reports whether the universal stage was served memoized
-	// rather than executed by this read.
+	// rather than executed by this read (the boundary cut's data came
+	// from the store, a coalesced flight, or a deeper cached prefix).
 	Hit bool
 	// SourceSig is the signature of the raw source bytes; zero when
 	// the staged path was not attempted.
 	SourceSig sig.Signature
-	// Fingerprint is the universal-chain fingerprint used as the
-	// second key half; zero when not attempted.
+	// Fingerprint is the universal-chain fingerprint (the boundary
+	// cut's prefix fingerprint); zero when not attempted.
 	Fingerprint sig.Signature
 	// SavedBytes counts intermediate bytes served without
-	// recomputation (the intermediate's size on a hit, else 0).
+	// recomputation, summed over the longest-prefix probe and every
+	// per-cut hit.
 	SavedBytes int64
+	// Cuts is the number of memoizable cut points offered to the
+	// store; DeepestHit is the index of the cut served by the
+	// longest-prefix probe, -1 when the probe missed (always -1 for
+	// single-cut stores, which are never probed).
+	Cuts       int
+	DeepestHit int
+	// MemoErr reports that the intermediate store failed mid-read and
+	// the read degraded to direct execution of the remaining
+	// transforms — slow, not broken.
+	MemoErr bool
 	// BitFetchDur, UniversalDur and PersonalDur are wall-clock stage
 	// timings of the staged read path — raw source retrieval, the
 	// universal stage (memo lookup on a hit, full execution
@@ -64,12 +127,48 @@ type StageTrace struct {
 	PersonalDur  time.Duration
 }
 
+// appendChainFrame appends one property's (name, class, key) frame to
+// enc using length-prefixed fields. Length prefixes make the encoding
+// injective: uvarint lengths are self-delimiting, so no choice of
+// names or memo keys — including ones containing NUL or newline
+// bytes — can make two distinct frame sequences encode identically.
+// (The previous separator framing, "%s\x00%s\x00%s\n", collided a
+// two-property chain with a single property whose memo key embedded
+// the separators; equal fingerprints are trusted to imply equal bytes,
+// so such a collision would silently serve wrong content.)
+func appendChainFrame(enc []byte, name, class, key string) []byte {
+	enc = binary.AppendUvarint(enc, uint64(len(name)))
+	enc = append(enc, name...)
+	enc = binary.AppendUvarint(enc, uint64(len(class)))
+	enc = append(enc, class...)
+	enc = binary.AppendUvarint(enc, uint64(len(key)))
+	enc = append(enc, key...)
+	return enc
+}
+
+// appendPropFrame appends p's chain frame to enc, or returns enc
+// unchanged for cache machinery: notifiers never touch content and
+// come and go with cache lifecycles, so including them would
+// invalidate intermediates for no content-visible reason. Properties
+// that are not memoizable contribute a marker instead of a key, which
+// is sufficient because their presence poisons every cut at or after
+// them.
+func appendPropFrame(enc []byte, p property.Active) []byte {
+	class := classOf(p)
+	if class == ClassMachinery {
+		return enc
+	}
+	key := "!nonmemo"
+	if m, ok := p.(property.Memoizable); ok {
+		if k, memoOK := m.MemoKey(); memoOK {
+			key = k
+		}
+	}
+	return appendChainFrame(enc, p.Name(), class, key)
+}
+
 // fingerprintLocked returns b's universal-chain fingerprint, computing
-// and caching it on the node if stale. The fingerprint digests the
-// ordered (name, class, memo key) triple of every non-machinery
-// universal property; properties that are not memoizable contribute a
-// marker instead of a key, which is sufficient because their presence
-// disables memoization of the whole stage. Caller holds s.mu.
+// and caching it on the node if stale. Caller holds s.mu.
 func (s *Space) fingerprintLocked(b *Base) sig.Signature {
 	return s.fingerprintNodeLocked(b.node)
 }
@@ -83,25 +182,11 @@ func (s *Space) fingerprintNodeLocked(n *node) sig.Signature {
 	if n.fpValid {
 		return n.fp
 	}
-	var sb strings.Builder
+	var enc []byte
 	for _, e := range n.actives {
-		p := e.prop
-		class := classOf(p)
-		if class == ClassMachinery {
-			// Cache machinery (notifiers) never touches content and
-			// comes and goes with cache lifecycles; including it would
-			// invalidate intermediates for no content-visible reason.
-			continue
-		}
-		key := "!nonmemo"
-		if m, ok := p.(property.Memoizable); ok {
-			if k, memoOK := m.MemoKey(); memoOK {
-				key = k
-			}
-		}
-		fmt.Fprintf(&sb, "%s\x00%s\x00%s\n", p.Name(), class, key)
+		enc = appendPropFrame(enc, e.prop)
 	}
-	n.fp = sig.Of([]byte(sb.String()))
+	n.fp = sig.Of(enc)
 	n.fpValid = true
 	return n.fp
 }
@@ -120,17 +205,36 @@ func (s *Space) UniversalFingerprint(doc string) (sig.Signature, error) {
 	return s.fingerprintLocked(b), nil
 }
 
-// snapshotUniversal copies b's active list and fingerprint in one
-// critical section, so the fingerprint handed to the cache describes
-// exactly the chain this read executes.
-func (s *Space) snapshotUniversal(b *Base) ([]property.Active, sig.Signature) {
+// snapshotChains copies both nodes' active lists and computes the
+// incremental prefix fingerprint at every boundary of the combined
+// chain in one critical section, so the fingerprints handed to the
+// cache describe exactly the chain this read executes. fps[k] is the
+// fingerprint of the first k combined properties (fps[0] covers the
+// empty prefix); fps[len(uProps)] is bit-identical to the cached
+// universal fingerprint because both digest the same frame encoding.
+func (s *Space) snapshotChains(b *Base, r *Ref) (uProps, pProps []property.Active, fps []sig.Signature) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	props := make([]property.Active, len(b.node.actives))
+	uProps = make([]property.Active, len(b.node.actives))
 	for i, e := range b.node.actives {
-		props[i] = e.prop
+		uProps[i] = e.prop
 	}
-	return props, s.fingerprintLocked(b)
+	pProps = make([]property.Active, len(r.node.actives))
+	for i, e := range r.node.actives {
+		pProps[i] = e.prop
+	}
+	fps = make([]sig.Signature, 0, len(uProps)+len(pProps)+1)
+	var enc []byte
+	fps = append(fps, sig.Of(enc))
+	for _, p := range uProps {
+		enc = appendPropFrame(enc, p)
+		fps = append(fps, sig.Of(enc))
+	}
+	for _, p := range pProps {
+		enc = appendPropFrame(enc, p)
+		fps = append(fps, sig.Of(enc))
+	}
+	return uProps, pProps, fps
 }
 
 // memoOK reports whether p's read-path wrapper may be memoized.
@@ -143,9 +247,55 @@ func memoOK(p property.Active) bool {
 	return ok
 }
 
+// stagedRun is the mutable state of one staged read's execution walk.
+type stagedRun struct {
+	rc       *property.ReadContext
+	trace    *StageTrace
+	wrappers []stream.InputWrapper
+	uWrapEnd int // wrappers[:uWrapEnd] is the universal stage
+	cur      []byte
+	wrapAt   int // wrappers[:wrapAt] already applied to cur
+	crossed  bool
+	tUni     time.Time
+	tPers    time.Time
+}
+
+// cross marks the universal/personal boundary as passed: hit reports
+// whether the boundary data came from the store rather than execution.
+func (sr *stagedRun) cross(hit bool) {
+	if sr.crossed {
+		return
+	}
+	sr.crossed = true
+	sr.trace.Hit = hit
+	sr.trace.UniversalDur = time.Since(sr.tUni)
+	sr.tPers = time.Now()
+}
+
+// finish executes every wrapper not yet applied and returns the final
+// content. If the universal boundary has not been passed (a poisoned
+// boundary cut, or a store failure early in the walk), the remainder
+// runs in two chunks split at the boundary so the per-stage timings
+// stay attributable.
+func (sr *stagedRun) finish() ([]byte, property.ReadResult, StageTrace, error) {
+	if !sr.crossed {
+		if sr.uWrapEnd > sr.wrapAt {
+			data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(sr.cur), sr.wrappers[sr.wrapAt:sr.uWrapEnd]...))
+			if err != nil {
+				return nil, property.ReadResult{}, *sr.trace, err
+			}
+			sr.cur, sr.wrapAt = data, sr.uWrapEnd
+		}
+		sr.cross(false)
+	}
+	data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(sr.cur), sr.wrappers[sr.wrapAt:]...))
+	sr.trace.PersonalDur = time.Since(sr.tPers)
+	return data, sr.rc.Result(), *sr.trace, err
+}
+
 // ReadDocumentStaged executes the read path for user's reference to
-// doc like ReadDocument, but splits it at the universal/personal
-// boundary and consults memo for the universal stage's output.
+// doc like ReadDocument, but splits it at every memoizable property
+// boundary and consults memo for cached prefixes.
 //
 // The split preserves read-path semantics exactly:
 //
@@ -154,14 +304,20 @@ func memoOK(p property.Active) bool {
 //     identically to the unstaged path.
 //   - getInputStream events are still dispatched at both levels on
 //     every read, so event-only properties (audit trails) fire whether
-//     or not the stage is served memoized.
-//   - Only the data flow differs: on an intermediate hit the universal
+//     or not any segment is served memoized.
+//   - Only the data flow differs: on a prefix hit the covered
 //     transforms (and their simulated Sleep costs) are skipped and the
-//     personal suffix runs over the memoized bytes.
+//     remaining suffix runs over the memoized bytes.
 //
-// If memo is nil, or any universal property interposing a stream has
-// not opted into memoizability, the read falls back to the ordinary
-// single-chain execution and the trace reports Attempted=false.
+// A store implementing PrefixIntermediates is offered a cut at every
+// boundary whose prefix is fully memoizable; a plain Intermediates
+// store sees only the universal/personal boundary cut (the original
+// two-segment protocol). A non-memoizable byte-touching property
+// poisons every cut at or after its position; if no cut survives — or
+// memo is nil — the read falls back to ordinary single-chain execution
+// and the trace reports Attempted=false. A store error mid-walk
+// degrades to direct execution of the remaining transforms (slow, not
+// broken) and sets trace.MemoErr.
 func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte, property.ReadResult, StageTrace, error) {
 	var trace StageTrace
 
@@ -188,28 +344,83 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 	}
 	openDur := time.Since(tOpen)
 
-	uProps, fp := s.snapshotUniversal(b)
-	memoizable := memo != nil
-	var uWrappers []stream.InputWrapper
-	for _, p := range uProps {
-		if w := p.WrapInput(rc); w != nil {
-			uWrappers = append(uWrappers, w)
+	uProps, pProps, fps := s.snapshotChains(b, r)
+	nU := len(uProps)
+	pm, multiCut := memo.(PrefixIntermediates)
+
+	// Wrap every property in chain order, recording a candidate cut at
+	// each boundary where the prefix so far is fully memoizable and
+	// the boundary is observable: after every byte-touching property,
+	// plus the end of the universal chain (whose fingerprint moves on
+	// event-only attachments too, matching the legacy boundary key).
+	var wrappers []stream.InputWrapper
+	var cuts []Cut
+	var cutWrapEnd []int
+	uWrapEnd := 0
+	poisoned := false
+	if nU == 0 {
+		// Empty universal chain: the boundary precedes every property.
+		cuts = append(cuts, Cut{FP: fps[0], Cost: rc.CostSoFar(), Universal: true})
+		cutWrapEnd = append(cutWrapEnd, 0)
+	}
+	combined := make([]property.Active, 0, nU+len(pProps))
+	combined = append(append(combined, uProps...), pProps...)
+	for i, p := range combined {
+		w := p.WrapInput(rc)
+		if w != nil {
+			wrappers = append(wrappers, w)
 			if !memoOK(p) {
-				// A byte-touching universal property without a memo
-				// contract (e.g. one embedding external information,
-				// paper cause 4) forces full re-execution every read.
-				memoizable = false
+				// A byte-touching property without a memo contract
+				// (e.g. one embedding external information, paper
+				// cause 4) forces re-execution of everything from its
+				// position on every read.
+				poisoned = true
 			}
 		}
+		atBoundary := i == nU-1
+		if atBoundary {
+			uWrapEnd = len(wrappers)
+		}
+		if poisoned || (w == nil && !atBoundary) {
+			continue
+		}
+		if n := len(cuts); n > 0 && cuts[n-1].FP == fps[i+1] && cutWrapEnd[n-1] == len(wrappers) {
+			// A machinery property (a cache's own notifier) contributes
+			// neither a fingerprint frame nor a wrapper, so a boundary
+			// right after one is the same cut as the previous boundary.
+			// Upgrade that cut in place instead of offering the store a
+			// duplicate key — a duplicate would make the boundary "hit"
+			// the segment installed moments earlier by the same read,
+			// misclassifying a full recompute as a memoized one.
+			if atBoundary {
+				cuts[n-1].Universal = true
+			}
+			continue
+		}
+		cuts = append(cuts, Cut{
+			FP:        fps[i+1],
+			Cost:      rc.CostSoFar(),
+			Universal: atBoundary,
+			Personal:  i >= nU,
+		})
+		cutWrapEnd = append(cutWrapEnd, len(wrappers))
 	}
-	// Recompute cost of the intermediate alone: middleware overhead,
-	// bit retrieval, and universal transform costs accumulated so far.
-	uCost := rc.CostSoFar()
 
-	var pWrappers []stream.InputWrapper
-	for _, p := range s.snapshotActives(r.node) {
-		if w := p.WrapInput(rc); w != nil {
-			pWrappers = append(pWrappers, w)
+	boundaryIdx := -1
+	for i, c := range cuts {
+		if c.Universal {
+			boundaryIdx = i
+		}
+	}
+	if !multiCut && memo != nil {
+		// A plain Intermediates store understands exactly one cut: the
+		// universal/personal boundary.
+		if boundaryIdx >= 0 {
+			cuts = cuts[boundaryIdx : boundaryIdx+1]
+			cutWrapEnd = cutWrapEnd[boundaryIdx : boundaryIdx+1]
+			boundaryIdx = 0
+		} else {
+			cuts, cutWrapEnd = nil, nil
 		}
 	}
 
@@ -219,9 +430,8 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 	b.node.registry.Dispatch(e)
 	r.node.registry.Dispatch(e)
 
-	if !memoizable {
-		all := append(append([]stream.InputWrapper{}, uWrappers...), pWrappers...)
-		data, err := stream.ReadAllAndClose(stream.ChainInput(raw, all...))
+	if memo == nil || len(cuts) == 0 {
+		data, err := stream.ReadAllAndClose(stream.ChainInput(raw, wrappers...))
 		return data, rc.Result(), trace, err
 	}
 
@@ -232,27 +442,72 @@ func (s *Space) ReadDocumentStaged(doc, user string, memo Intermediates) ([]byte
 	}
 	trace.BitFetchDur = openDur + time.Since(tRaw)
 	srcSig := sig.Of(rawBytes)
-
-	tUni := time.Now()
-	inter, hit, err := memo.Intermediate(doc, srcSig, fp, uCost, func() ([]byte, error) {
-		return stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(rawBytes), uWrappers...))
-	})
-	if err != nil {
-		return nil, property.ReadResult{}, trace, err
-	}
-	trace.UniversalDur = time.Since(tUni)
 	trace.Attempted = true
-	trace.Hit = hit
 	trace.SourceSig = srcSig
-	trace.Fingerprint = fp
-	if hit {
-		trace.SavedBytes = int64(len(inter))
+	trace.Fingerprint = fps[nU]
+	trace.Cuts = len(cuts)
+	trace.DeepestHit = -1
+
+	sr := &stagedRun{
+		rc: rc, trace: &trace,
+		wrappers: wrappers, uWrapEnd: uWrapEnd,
+		cur: rawBytes, tUni: time.Now(),
 	}
 
-	tPers := time.Now()
-	data, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(inter), pWrappers...))
-	trace.PersonalDur = time.Since(tPers)
-	return data, rc.Result(), trace, err
+	next := 0
+	if multiCut {
+		probe := make([]sig.Signature, len(cuts))
+		for i, c := range cuts {
+			probe[i] = c.FP
+		}
+		if data, idx, ok := pm.LongestPrefix(doc, srcSig, probe); ok {
+			sr.cur, sr.wrapAt, next = data, cutWrapEnd[idx], idx+1
+			trace.DeepestHit = idx
+			trace.SavedBytes += int64(len(data))
+			if boundaryIdx >= 0 && idx >= boundaryIdx {
+				sr.cross(true)
+			}
+		}
+	}
+
+	for ; next < len(cuts); next++ {
+		seg := sr.wrappers[sr.wrapAt:cutWrapEnd[next]]
+		prev := sr.cur
+		var computeErr error
+		compute := func() ([]byte, error) {
+			d, err := stream.ReadAllAndClose(stream.ChainInput(stream.BytesReader(prev), seg...))
+			if err != nil {
+				computeErr = err
+			}
+			return d, err
+		}
+		var data []byte
+		var hit bool
+		if multiCut {
+			data, hit, err = pm.PrefixIntermediate(doc, user, srcSig, cuts[next], compute)
+		} else {
+			data, hit, err = memo.Intermediate(doc, srcSig, cuts[next].FP, cuts[next].Cost, compute)
+		}
+		if err != nil {
+			if computeErr != nil {
+				// The transform chain itself failed; the store merely
+				// relayed it. This read cannot produce content.
+				return nil, property.ReadResult{}, trace, err
+			}
+			// The store is sick, not the chain: degrade to direct
+			// execution of the remaining transforms.
+			trace.MemoErr = true
+			return sr.finish()
+		}
+		if hit {
+			trace.SavedBytes += int64(len(data))
+		}
+		sr.cur, sr.wrapAt = data, cutWrapEnd[next]
+		if next == boundaryIdx {
+			sr.cross(hit)
+		}
+	}
+	return sr.finish()
 }
 
 // ContentKey is the durable identity of one (doc, user) read result:

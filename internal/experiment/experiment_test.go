@@ -635,3 +635,61 @@ func TestClusterScalingShape(t *testing.T) {
 		t.Fatalf("table missing throughput column:\n%s", res.Table())
 	}
 }
+
+func TestPrefixFanOut(t *testing.T) {
+	// Reduced E17: plbench runs the full sweep. The acceptance
+	// invariants are asserted at the 64-user level — the shared
+	// personal segment executes once under multi-cut (O(distinct
+	// prefixes)) versus once per user under single-cut (O(users)), and
+	// the multi-cut miss path beats the single-cut baseline by at
+	// least 3x.
+	cfg := PrefixConfig{
+		Users:         []int{8, 64},
+		DocSize:       4 << 10,
+		UniversalCost: 2 * time.Millisecond,
+		SharedCost:    4 * time.Millisecond,
+		PersonalCost:  100 * time.Microsecond,
+		Seed:          1,
+	}
+	res, err := RunPrefix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Users) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Users))
+	}
+	for i, row := range res.Rows {
+		if row.Users != cfg.Users[i] {
+			t.Fatalf("row %d users = %d", i, row.Users)
+		}
+		if row.UniversalRuns != 1 {
+			t.Fatalf("row %d: universal runs = %d, want 1", i, row.UniversalRuns)
+		}
+		if row.SharedRunsMulti != 1 {
+			t.Fatalf("row %d: multi-cut ran the shared segment %d times, want 1", i, row.SharedRunsMulti)
+		}
+		if row.SharedRunsSingle != int64(row.Users) {
+			t.Fatalf("row %d: single-cut ran the shared segment %d times, want %d", i, row.SharedRunsSingle, row.Users)
+		}
+		if row.PrefixHits < int64(row.Users-1) {
+			t.Fatalf("row %d: prefix hits = %d, want >= %d", i, row.PrefixHits, row.Users-1)
+		}
+		if row.MultiMiss >= row.SingleMiss || row.SingleMiss >= row.FullMiss {
+			t.Fatalf("row %d: miss times not ordered multi < single < full: %v %v %v",
+				i, row.MultiMiss, row.SingleMiss, row.FullMiss)
+		}
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.SpeedupVsSingle < 3 {
+		t.Fatalf("speedup vs single-cut at %d users = %.2fx, want >= 3x", last.Users, last.SpeedupVsSingle)
+	}
+	// Determinism (virtual clock): the JSON artifact must be stable.
+	again, err := RunPrefix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Fatalf("row %d not deterministic: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}

@@ -99,6 +99,14 @@ type ReadTrace struct {
 	// Remote is the wire round trip for remote-cache misses (stage
 	// remote_rtt).
 	Remote time.Duration `json:"remote_ns,omitempty"`
+	// PrefixCuts is the number of memoizable cut points the staged
+	// read offered the intermediate store (the N-segment prefix
+	// pipeline); zero when the staged split was not attempted.
+	PrefixCuts int `json:"prefix_cuts,omitempty"`
+	// PrefixDepth is the index of the deepest cached prefix served by
+	// the longest-prefix probe, -1 when the probe found nothing.
+	// Meaningful only when PrefixCuts > 0.
+	PrefixDepth int `json:"prefix_depth,omitempty"`
 }
 
 // TraceRing is a fixed-capacity ring of the most recent read traces.
