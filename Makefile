@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed cluster bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 check-metrics check-docs experiments examples clean
+.PHONY: all build vet test test-race race chaos fuzz store sim sim-seed cluster bench bench-smoke bench-e12 bench-e13 bench-e14 bench-e15 bench-e16 bench-e17 bench-e18 cover check-metrics check-docs experiments examples clean
 
 all: build vet test
 
@@ -102,6 +102,19 @@ bench-e16:
 # miss-path cost vs fan-out under no memo / single-cut / multi-cut.
 bench-e17:
 	$(GO) run ./cmd/plbench -experiment e17
+
+# Machine-readable E18 result: trace-driven swarm frontier — one
+# generated op stream (Zipf docs, diurnal intensity, chain churn,
+# flash crowd) over single/cluster/write-back deployments, reported
+# as a latency/staleness/recompute-cost table (BENCH_swarm.json).
+bench-e18:
+	$(GO) run ./cmd/plbench -experiment e18
+
+# Per-package statement coverage summary (what CI uploads as an
+# artifact). Writes cover.out in the working directory.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # Scrape briefly-run daemons (placelessd, plcached, cluster-mode
 # plcached) and diff the /metrics family set against

@@ -26,13 +26,14 @@
 //	wire               wire protocol v1 gob vs v2 pipelined binary (E15)
 //	cluster            consistent-hash cluster scaling (E16)
 //	prefix             longest-shared-prefix chain caching (E17)
+//	swarm              trace-driven swarm latency/staleness/cost frontier (E18)
 //	all                run everything
 //
-// Alternatively, -experiment <index> (currently e12–e17) runs one
+// Alternatively, -experiment <index> (currently e12–e18) runs one
 // experiment by its DESIGN.md index and additionally writes its result
 // as BENCH_<index>.json (BENCH_wire.json for e15, BENCH_cluster.json
-// for e16, BENCH_prefix.json for e17) in the working directory, for
-// machine consumers (CI trend tracking).
+// for e16, BENCH_prefix.json for e17, BENCH_swarm.json for e18) in the
+// working directory, for machine consumers (CI trend tracking).
 package main
 
 import (
@@ -52,7 +53,7 @@ func main() {
 	flag.Parse()
 	if *expIndex != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15|e16|e17>")
+			fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] -experiment <e12|e13|e14|e15|e16|e17|e18>")
 			os.Exit(2)
 		}
 		if err := runIndexed(os.Stdout, *expIndex, *seed, *format); err != nil {
@@ -62,7 +63,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 || (*format != "table" && *format != "csv") {
-		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|cluster|prefix|all>")
+		fmt.Fprintln(os.Stderr, "usage: plbench [-seed N] [-iters N] [-format table|csv] <table1|notifier-verifier|nv-sweep|replacement|sharing|cacheability|chains|qos|collection|cost-ablation|placement|parallel|memo|obs|resilience|wire|cluster|prefix|swarm|all>")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *seed, *iters, *format); err != nil {
@@ -127,8 +128,16 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 			return err
 		}
 		res, title = r, prefixTitle(cfg)
+	case "e18":
+		cfg := experiment.DefaultSwarmConfig()
+		cfg.Seed = seed
+		r, err := experiment.RunSwarm(cfg)
+		if err != nil {
+			return err
+		}
+		res, title = r, swarmTitle(cfg)
 	default:
-		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15, e16, e17)", index)
+		return fmt.Errorf("unknown experiment index %q (have: e12, e13, e14, e15, e16, e17, e18)", index)
 	}
 	fmt.Fprintln(w, title)
 	if format == "csv" {
@@ -154,6 +163,10 @@ func runIndexed(w *os.File, index string, seed int64, format string) error {
 		// E17's artifact carries the subsystem name: CI asserts the
 		// shared-segment invariants out of BENCH_prefix.json.
 		out = "BENCH_prefix.json"
+	case "e18":
+		// E18's artifact carries the workload name: CI asserts the
+		// frontier's live cells out of BENCH_swarm.json.
+		out = "BENCH_swarm.json"
 	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		return err
@@ -361,6 +374,16 @@ func run(w *os.File, which string, seed int64, iters int, format string) error {
 		}
 		emit(prefixTitle(cfg), res)
 	}
+	if all || which == "swarm" {
+		ran = true
+		cfg := experiment.DefaultSwarmConfig()
+		cfg.Seed = seed
+		res, err := experiment.RunSwarm(cfg)
+		if err != nil {
+			return err
+		}
+		emit(swarmTitle(cfg), res)
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
@@ -389,6 +412,12 @@ func clusterTitle(cfg experiment.ClusterConfig) string {
 func prefixTitle(cfg experiment.PrefixConfig) string {
 	return fmt.Sprintf("E17 — longest-shared-prefix chain caching (doc=%dB universal=2×%v shared=%v personal=%v, cold miss storm)",
 		cfg.DocSize, cfg.UniversalCost, cfg.SharedCost, cfg.PersonalCost)
+}
+
+// swarmTitle renders E18's parameter line.
+func swarmTitle(cfg experiment.SwarmConfig) string {
+	return fmt.Sprintf("E18 — trace-driven swarm frontier (users=%d docs=%d ops=%d zipf=%.2f flash=%.0fx nodes=%d workers=%d, real clock: latency columns are machine-dependent, counts are seed-deterministic)",
+		cfg.Users, cfg.Docs, cfg.Ops, cfg.Alpha, cfg.FlashBoost, cfg.Nodes, cfg.Workers)
 }
 
 // obsTitle renders E13's parameter line.

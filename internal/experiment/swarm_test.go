@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSwarmConfig shrinks E18 to CI-test scale while keeping every
+// phase's cells live.
+func testSwarmConfig() SwarmConfig {
+	cfg := DefaultSwarmConfig()
+	cfg.Users = 2000
+	cfg.Docs = 60
+	cfg.Ops = 5000
+	cfg.WritebackOps = 1500
+	return cfg
+}
+
+// TestSwarmPhasesLive runs the scaled-down E18 and checks each phase
+// reports a live frontier: the write-through rows have hits, memo
+// savings and misses, and the write-back row a nonzero staleness
+// column.
+func TestSwarmPhasesLive(t *testing.T) {
+	res, err := RunSwarm(testSwarmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		if p.Hits == 0 || p.Misses == 0 || p.SegmentRunsSaved == 0 {
+			t.Fatalf("phase %s has dead cells: %+v", p.Phase, p)
+		}
+		if p.Hits+p.Misses != p.Reads {
+			t.Fatalf("phase %s: hits+misses != reads: %+v", p.Phase, p)
+		}
+	}
+	single, clustered, wb := res.Phases[0], res.Phases[1], res.Phases[2]
+	if single.Phase != "single/wt" || clustered.Phase != "cluster/wt" || wb.Phase != "single/wb" {
+		t.Fatalf("phase order wrong: %s %s %s", single.Phase, clustered.Phase, wb.Phase)
+	}
+	if clustered.Nodes != 3 || clustered.RouterReads != clustered.Reads {
+		t.Fatalf("cluster phase not routed: %+v", clustered)
+	}
+	if single.StaleReads != 0 || clustered.StaleReads != 0 {
+		t.Fatal("write-through phases must be staleness-free")
+	}
+	if wb.StaleReads == 0 {
+		t.Fatalf("write-back phase reported no stale reads: %+v", wb)
+	}
+	if wb.Workers != 1 {
+		t.Fatalf("write-back phase ran %d workers, want 1", wb.Workers)
+	}
+}
+
+// TestSwarmDeterministicCounts pins that two runs of the same seed
+// produce identical frontier counts in every phase (latency and
+// elapsed columns excluded — they are wall-clock).
+func TestSwarmDeterministicCounts(t *testing.T) {
+	cfg := testSwarmConfig()
+	a, err := RunSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Phases {
+		pa, pb := a.Phases[i], b.Phases[i]
+		pa.P50Micros, pa.P99Micros, pa.ElapsedMS = 0, 0, 0
+		pb.P50Micros, pb.P99Micros, pb.ElapsedMS = 0, 0, 0
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("phase %s counts differ across identical seeds:\n%+v\n%+v", pa.Phase, pa, pb)
+		}
+	}
+}
+
+// TestSwarmRenders checks the table and CSV renderings carry the
+// frontier columns.
+func TestSwarmRenders(t *testing.T) {
+	cfg := testSwarmConfig()
+	cfg.Ops, cfg.WritebackOps = 800, 400
+	res, err := RunSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{res.Table(), res.CSV()} {
+		for _, col := range []string{"phase", "hit%", "memo_saved", "stale", "p99_us"} {
+			if !strings.Contains(out, col) {
+				t.Fatalf("rendering missing column %q:\n%s", col, out)
+			}
+		}
+		for _, phase := range []string{"single/wt", "cluster/wt", "single/wb"} {
+			if !strings.Contains(out, phase) {
+				t.Fatalf("rendering missing phase %q:\n%s", phase, out)
+			}
+		}
+	}
+}

@@ -6,7 +6,10 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"placeless/internal/docspace"
 	"placeless/internal/event"
 	"placeless/internal/property"
+	"placeless/internal/remote"
 	"placeless/internal/server"
 )
 
@@ -519,6 +523,190 @@ func TestScheduleKillDuringRebalance(t *testing.T) {
 	}
 	if reb := w.cl.Stats().Rebalances; reb < 4 {
 		t.Fatalf("Rebalances = %d, want ≥ 4 (3 boot joins + the scripted join)", reb)
+	}
+}
+
+// TestScheduleFlashCrowdCluster pins the flash-crowd window: a write
+// invalidates one hot key everywhere, then a burst of concurrent reads
+// — the E18 spike, ~100x a key's normal concurrency — slams that key
+// through the router. Every served byte must stay legal under the
+// per-node staleness oracle, and the single-flight hold must absorb
+// the crowd: the origin may run the document's transform chain at most
+// once per non-coalesced miss, not once per reader.
+func TestScheduleFlashCrowdCluster(t *testing.T) {
+	on := true
+	wt := core.WriteThrough
+	three := 3
+	// Find a seed whose router-warmed key actually caches on a node
+	// (cacheability is seed-derived): the spike needs node copies for
+	// the write to invalidate.
+	var (
+		w            *World
+		doc0, user0  string
+	)
+	liveStats := func() (hits, coalesced int64) {
+		for _, n := range w.clNodes {
+			if !n.closed {
+				st := n.rc.Stats()
+				hits += st.Hits
+				coalesced += st.CoalescedMisses
+			}
+		}
+		return
+	}
+seeds:
+	for seed := int64(1); ; seed++ {
+		w = scheduleWorld(t, seed, func(c *Config) {
+			c.Remote = &on
+			c.Mode = &wt
+			c.Cluster = &three
+			c.Ops = 150
+		})
+		w.net.SetFaults(0, 0, 0, 0)
+		if err := w.doSettle(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range w.model.order {
+			u := w.model.docs[id].users[0]
+			// Warm, then re-read: a node hit proves the key caches.
+			err := w.guarded("warm-read", func() error {
+				if _, _, e := w.cl.ReadVia(id, u); e != nil {
+					return e
+				}
+				_, _, e := w.cl.ReadVia(id, u)
+				return e
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h, _ := liveStats(); h > 0 {
+				doc0, user0 = id, u
+				break seeds
+			}
+		}
+	}
+
+	// A pass-through counting transform on the hot document: it leaves
+	// the bytes alone (so the model needs no registration) but counts
+	// every origin execution of the chain — the recompute cost the
+	// coalescing hold is supposed to bound. The real-time sleep holds
+	// each origin execution open long enough for the rest of the crowd
+	// to genuinely overlap the leader's flight; virtual cost cannot do
+	// that (the virtual clock advances under blocked readers, so a
+	// virtual-cost chain completes before the scheduler runs anyone
+	// else, serializing the burst into hits).
+	var runs atomic.Int64
+	count := &property.Transformer{
+		Base: property.Base{PropName: "flash-count"},
+		ReadTransform: func(b []byte) []byte {
+			runs.Add(1)
+			time.Sleep(5 * time.Millisecond)
+			return b
+		},
+		Version: 1,
+	}
+	if err := w.space.Attach(doc0, "", docspace.Universal, count); err != nil {
+		t.Fatal(err)
+	}
+	// Re-warm through the router (the attach invalidated the key
+	// everywhere) and drain its invalidation pushes, so the burst below
+	// starts from a settled, cached state.
+	if err := w.doClusterRead(doc0, user0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.doSettle(); err != nil {
+		t.Fatal(err)
+	}
+	baseRuns := runs.Load()
+	baseHits, baseCoalesced := liveStats()
+
+	// The spike: a write lands on the hot document, and its
+	// invalidation pushes are drained so the burst provably starts
+	// against an invalidated key (undrained, part of the crowd can
+	// legally hit the pre-write entry and dodge the flight).
+	if err := w.doWrite(doc0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.doSettle(); err != nil {
+		t.Fatal(err)
+	}
+	// A flash crowd of concurrent readers hits the invalidated key
+	// through the router, inside one guarded call so the virtual clock
+	// advances under all of them together.
+	const K = 48
+	var (
+		data [K][]byte
+		via  [K]string
+		errs [K]error
+	)
+	if err := w.guarded("flash-crowd", func() error {
+		var wg sync.WaitGroup
+		for i := 0; i < K; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				data[i], via[i], errs[i] = w.cl.ReadVia(doc0, user0)
+			}(i)
+		}
+		wg.Wait()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.endOp()
+
+	// Zero oracle violations: every served byte is held to the serving
+	// node's causal staleness bound. (A read may legally lose its
+	// real-time call deadline under -race; those count as unserved.)
+	served := 0
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			if errors.Is(errs[i], remote.ErrDegraded) ||
+				errors.Is(errs[i], server.ErrDisconnected) ||
+				errors.Is(errs[i], server.ErrTimeout) {
+				continue
+			}
+			t.Fatalf("flash read %d failed: %v", i, errs[i])
+		}
+		served++
+		if cerr := w.checkRemoteAt(via[i], doc0, user0, data[i]); cerr != nil {
+			t.Fatal(cerr)
+		}
+	}
+	if served < K/2 {
+		t.Fatalf("only %d/%d flash reads served on a clean wire", served, K)
+	}
+
+	runsDelta := runs.Load() - baseRuns
+	hits, coalesced := liveStats()
+	hitsDelta, coalescedDelta := hits-baseHits, coalesced-baseCoalesced
+	if runsDelta < 1 {
+		t.Fatal("the write invalidated nothing: zero transform runs during the spike")
+	}
+	// The hold: each served read is exactly one of node-hit, coalesced
+	// join, or leader miss, and only leader misses can reach the origin
+	// — so transform runs are bounded by the non-absorbed remainder.
+	if absorbed := hitsDelta + coalescedDelta; runsDelta > int64(served)-absorbed {
+		t.Fatalf("origin ran the chain %d times but only %d of %d reads escaped the hold (hits=%d coalesced=%d)",
+			runsDelta, int64(served)-absorbed, served, hitsDelta, coalescedDelta)
+	}
+	if runsDelta > K/8 {
+		t.Fatalf("flash crowd leaked %d origin transform runs for %d concurrent readers", runsDelta, K)
+	}
+	if coalescedDelta < 1 {
+		t.Fatalf("no reads coalesced during a %d-wide burst on one key", K)
+	}
+
+	// The random schedule takes over, and the lost-write detector
+	// closes the run: the spike must leave no latent staleness behind.
+	for i := 0; i < w.cfg.Ops; i++ {
+		if err := w.step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.opIdx = w.cfg.Ops
+	if err := w.finalCheck(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,159 @@
+// Package swarm is the trace-driven scaled load generator: it
+// synthesizes up to millions of simulated users over Zipf-distributed
+// document popularity, diurnal office intensity, personal-chain churn,
+// and injected flash-crowd spikes, and drives the op stream against
+// either a single in-process cache or the consistent-hash cluster
+// router — reporting a latency/staleness/recompute-cost frontier.
+//
+// Users are virtualized: a bounded worker pool multiplexes user
+// identities, so a million-user run costs O(workers) goroutines and
+// O(touched keys) memory, not O(users). Everything about the op
+// stream is a pure function of the generator seed; frontier counts
+// (not wall-clock latencies) are deterministic too, because ops are
+// partitioned to workers by document — every (doc, user) key's
+// operations execute in stream order on one worker.
+package swarm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"placeless/internal/trace"
+)
+
+// Config parameterizes the op-stream generator. Fields with zero
+// values are defaulted by Norm.
+type Config struct {
+	// Users is the simulated user population; identities are
+	// virtualized, so this may be millions.
+	Users int
+	// Docs is the document population.
+	Docs int
+	// Ops is the stream length.
+	Ops int
+	// Alpha is the document-popularity Zipf exponent (s); typical
+	// traces sit near 0.8–1.0.
+	Alpha float64
+	// UserAlpha skews user activity (a few users do most of the
+	// touching); 0 is uniform.
+	UserAlpha float64
+	// WriteFrac is the fraction of ops that write through the system;
+	// ChurnFrac the fraction that mutate personal property chains
+	// (attach/detach/reorder, mirroring trace.OpKind).
+	WriteFrac, ChurnFrac float64
+	// FlashDoc is the document rank whose popularity spikes by
+	// FlashBoost between FlashStart·Day and FlashEnd·Day. A boost of 0
+	// or an empty window disables the spike.
+	FlashDoc   int
+	FlashBoost float64
+	FlashStart float64
+	FlashEnd   float64
+	// Day is the virtual-day length op timestamps are scaled onto.
+	Day time.Duration
+	// Seed fixes the whole stream.
+	Seed int64
+}
+
+// Norm fills defaults and returns the effective configuration.
+func (c Config) Norm() Config {
+	if c.Users <= 0 {
+		c.Users = 1000
+	}
+	if c.Docs <= 0 {
+		c.Docs = 100
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.9
+	}
+	if c.Day <= 0 {
+		c.Day = 24 * time.Hour
+	}
+	if c.FlashEnd < c.FlashStart {
+		c.FlashEnd = c.FlashStart
+	}
+	return c
+}
+
+// Op is one generated operation. Doc and User are population indexes
+// (see DocID/UserName); At is the virtual time-of-day offset the
+// diurnal model assigned.
+type Op struct {
+	Kind trace.OpKind
+	Doc  int
+	User int
+	Arg  int
+	At   time.Duration
+}
+
+// DocID names document i; UserName names user i. The doc format
+// matches trace.DocID so tooling built on one workload reads the
+// other.
+func DocID(i int) string { return trace.DocID(i) }
+
+// UserName names user i. Distinct from trace.UserID's "user-%02d"
+// because the swarm population does not fit two digits.
+func UserName(i int) string { return fmt.Sprintf("u%06d", i) }
+
+// Ops generates the deterministic op stream for cfg: diurnal
+// timestamps, Zipf-sampled documents (with the flash window swapping
+// in the boosted sampler), skewed user identities, and the
+// read/write/churn kind mix. The same cfg always yields a
+// byte-identical stream (see Encode).
+func Ops(cfg Config) []Op {
+	cfg = cfg.Norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	times := trace.DiurnalTimes(rng, cfg.Ops, cfg.Day)
+	docs := trace.NewZipf(cfg.Docs, cfg.Alpha)
+	flash := docs
+	if cfg.FlashBoost > 1 && cfg.FlashEnd > cfg.FlashStart {
+		flash = docs.Boosted(cfg.FlashDoc, cfg.FlashBoost)
+	}
+	users := trace.NewZipf(cfg.Users, cfg.UserAlpha)
+	flashLo := time.Duration(cfg.FlashStart * float64(cfg.Day))
+	flashHi := time.Duration(cfg.FlashEnd * float64(cfg.Day))
+
+	out := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		at := times[i]
+		z := docs
+		if flash != docs && at >= flashLo && at < flashHi {
+			z = flash
+		}
+		op := Op{
+			Doc:  z.Sample(rng),
+			User: users.Sample(rng),
+			Arg:  rng.Intn(1 << 16),
+			At:   at,
+		}
+		switch r := rng.Float64(); {
+		case r < cfg.WriteFrac:
+			op.Kind = trace.OpWrite
+		case r < cfg.WriteFrac+cfg.ChurnFrac:
+			// Rotate through the personal-chain mutation kinds, the
+			// same convention GenerateOffice uses.
+			op.Kind = trace.OpAttach + trace.OpKind(rng.Intn(3))
+		default:
+			op.Kind = trace.OpRead
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Encode renders an op stream in a canonical line format, one op per
+// line. The determinism golden pins its checksum: any change to the
+// generator's draw order — however innocent — must re-pin the golden
+// deliberately.
+func Encode(ops []Op) []byte {
+	var b strings.Builder
+	b.Grow(len(ops) * 32)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "%d %d %d %d %d\n", int(op.Kind), op.Doc, op.User, op.Arg, int64(op.At))
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,106 @@
+package swarm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"placeless/internal/trace"
+)
+
+// goldenCfg is the pinned generator configuration for the determinism
+// golden. Touch nothing here without re-pinning the checksum below.
+var goldenCfg = Config{
+	Users: 100000, Docs: 500, Ops: 20000,
+	Alpha: 0.9, UserAlpha: 0.6,
+	WriteFrac: 0.03, ChurnFrac: 0.05,
+	FlashDoc: 3, FlashBoost: 100, FlashStart: 0.4, FlashEnd: 0.45,
+	Day:  4 * time.Hour,
+	Seed: 42,
+}
+
+// goldenSum is sha256(Encode(Ops(goldenCfg))). It pins that the same
+// swarm seed yields a byte-identical op stream across runs, platforms,
+// and refactors — the cross-package mirror of
+// TestGenerateOfficeDeterministic, reaching through trace.Zipf,
+// trace.DiurnalTimes, and the swarm kind mix.
+const goldenSum = "09b98942b6fdeffac88df56ffeeb174aa9c60d125394b6a3f031b25c195c1857"
+
+// TestOpsDeterministicGolden pins the generator's byte-identical
+// op-stream contract.
+func TestOpsDeterministicGolden(t *testing.T) {
+	a := Encode(Ops(goldenCfg))
+	b := Encode(Ops(goldenCfg))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two generations of the same seed differ")
+	}
+	sum := sha256.Sum256(a)
+	if got := hex.EncodeToString(sum[:]); got != goldenSum {
+		t.Fatalf("op-stream checksum drifted:\n  got  %s\n  want %s\nA deliberate generator change must re-pin goldenSum.", got, goldenSum)
+	}
+}
+
+// TestOpsShape sanity-checks the stream the golden pins: every op in
+// range, timestamps sorted, the kind mix near its configured
+// fractions, and the flash window concentrated on the flash doc.
+func TestOpsShape(t *testing.T) {
+	cfg := goldenCfg
+	ops := Ops(cfg)
+	if len(ops) != cfg.Ops {
+		t.Fatalf("got %d ops, want %d", len(ops), cfg.Ops)
+	}
+	var writes, churn, flashHits, flashOps int
+	for i, op := range ops {
+		if op.Doc < 0 || op.Doc >= cfg.Docs || op.User < 0 || op.User >= cfg.Users {
+			t.Fatalf("op %d out of population: %+v", i, op)
+		}
+		if i > 0 && op.At < ops[i-1].At {
+			t.Fatalf("timestamps not sorted at %d", i)
+		}
+		switch op.Kind {
+		case trace.OpWrite:
+			writes++
+		case trace.OpAttach, trace.OpDetach, trace.OpReorder:
+			churn++
+		case trace.OpRead:
+		default:
+			t.Fatalf("op %d has kind %v, not in the swarm mix", i, op.Kind)
+		}
+		frac := float64(op.At) / float64(cfg.Day)
+		if frac >= cfg.FlashStart && frac < cfg.FlashEnd {
+			flashOps++
+			if op.Doc == cfg.FlashDoc {
+				flashHits++
+			}
+		}
+	}
+	if w := float64(writes) / float64(len(ops)); w < cfg.WriteFrac/2 || w > cfg.WriteFrac*2 {
+		t.Fatalf("write fraction %.3f far from configured %.3f", w, cfg.WriteFrac)
+	}
+	if c := float64(churn) / float64(len(ops)); c < cfg.ChurnFrac/2 || c > cfg.ChurnFrac*2 {
+		t.Fatalf("churn fraction %.3f far from configured %.3f", c, cfg.ChurnFrac)
+	}
+	if flashOps == 0 {
+		t.Fatal("flash window drew no ops")
+	}
+	// 100x boost on a rank-3 doc must dominate its window.
+	if frac := float64(flashHits) / float64(flashOps); frac < 0.3 {
+		t.Fatalf("flash doc drew only %.1f%% of its window", frac*100)
+	}
+	// Outside the window the flash doc is just rank 3.
+	var coldHits, coldOps int
+	for _, op := range ops {
+		frac := float64(op.At) / float64(cfg.Day)
+		if frac < cfg.FlashStart || frac >= cfg.FlashEnd {
+			coldOps++
+			if op.Doc == cfg.FlashDoc {
+				coldHits++
+			}
+		}
+	}
+	if frac := float64(coldHits) / float64(coldOps); frac > 0.2 {
+		t.Fatalf("flash doc drew %.1f%% outside its window — boost leaked", frac*100)
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// officeRatePoints is the piecewise-linear office intensity curve over
+// one 24-hour day, as (hour, relative rate) knots: near-quiet
+// overnight, a morning ramp to the pre-lunch peak, a lunch dip, an
+// afternoon plateau, and an evening falloff. Rates are relative to the
+// peak (1.0).
+var officeRatePoints = [][2]float64{
+	{0, 0.05}, {6, 0.05}, {8, 0.45}, {10, 1.0}, {12, 0.9},
+	{13, 0.55}, {14, 0.85}, {16, 0.95}, {18, 0.5}, {20, 0.15},
+	{22, 0.05}, {24, 0.05},
+}
+
+// OfficeRate returns the relative operation intensity at time-of-day
+// tod, a pure deterministic function in [0.05, 1.0]. Times outside
+// [0, 24h) wrap around the day.
+func OfficeRate(tod time.Duration) float64 {
+	const day = 24 * time.Hour
+	tod %= day
+	if tod < 0 {
+		tod += day
+	}
+	h := tod.Hours()
+	for i := 1; i < len(officeRatePoints); i++ {
+		lo, hi := officeRatePoints[i-1], officeRatePoints[i]
+		if h <= hi[0] {
+			frac := (h - lo[0]) / (hi[0] - lo[0])
+			return lo[1] + frac*(hi[1]-lo[1])
+		}
+	}
+	return officeRatePoints[len(officeRatePoints)-1][1]
+}
+
+// DiurnalTimes draws n sorted timestamps over one virtual day of the
+// given length, distributed with the OfficeRate intensity curve (an
+// inhomogeneous Poisson profile sampled by inverting the cumulative
+// rate at minute resolution). Deterministic in the rng stream.
+func DiurnalTimes(rng *rand.Rand, n int, day time.Duration) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if day <= 0 {
+		day = 24 * time.Hour
+	}
+	// Cumulative intensity at minute resolution over the scaled day.
+	const steps = 24 * 60
+	cum := make([]float64, steps)
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		tod := 24 * time.Hour * time.Duration(i) / steps
+		total += OfficeRate(tod)
+		cum[i] = total
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		target := rng.Float64() * total
+		step := sort.Search(steps, func(j int) bool { return cum[j] > target })
+		// Uniform within the minute bucket, scaled onto the virtual day.
+		frac := (float64(step) + rng.Float64()) / steps
+		out[i] = time.Duration(frac * float64(day))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -74,14 +74,20 @@ func DefaultOfficeConfig() OfficeConfig {
 	}
 }
 
-// GenerateOffice produces a deterministic office workload. Property
-// operations alternate attach/detach/reorder pressure; documents are
-// Zipf-popular like the web trace.
+// GenerateOffice produces a deterministic office workload, seeding a
+// fresh generator from cfg.Seed. Property operations alternate
+// attach/detach/reorder pressure; documents are Zipf-popular like the
+// web trace.
 func GenerateOffice(cfg OfficeConfig) []OfficeOp {
+	return GenerateOfficeWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateOfficeWith produces the office workload drawing every random
+// choice from rng (see GenerateWith for why the stream is explicit).
+func GenerateOfficeWith(rng *rand.Rand, cfg OfficeConfig) []OfficeOp {
 	if cfg.Docs <= 0 || cfg.Users <= 0 || cfg.Length <= 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.Docs-1))
 	out := make([]OfficeOp, 0, cfg.Length)
 	for i := 0; i < cfg.Length; i++ {

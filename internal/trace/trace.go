@@ -57,8 +57,17 @@ func DocID(i int) string { return fmt.Sprintf("doc-%04d", i) }
 // UserID names user i consistently across the harness.
 func UserID(i int) string { return fmt.Sprintf("user-%02d", i) }
 
-// Generate produces a deterministic access sequence for cfg.
+// Generate produces a deterministic access sequence for cfg, seeding
+// a fresh generator from cfg.Seed.
 func Generate(cfg Config) []Access {
+	return GenerateWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateWith produces the access sequence for cfg drawing every
+// random choice from rng — callers that compose several generators
+// thread one explicit stream instead of relying on per-call seeding,
+// so the whole composition is a pure function of one seed.
+func GenerateWith(rng *rand.Rand, cfg Config) []Access {
 	if cfg.Docs <= 0 || cfg.Users <= 0 || cfg.Length <= 0 {
 		return nil
 	}
@@ -66,7 +75,6 @@ func Generate(cfg Config) []Access {
 	if alpha <= 1 {
 		alpha = 1.0001
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	zipf := rand.NewZipf(rng, alpha, 1, uint64(cfg.Docs-1))
 	out := make([]Access, 0, cfg.Length)
 	for i := 0; i < cfg.Length; i++ {
@@ -88,7 +96,11 @@ func Generate(cfg Config) []Access {
 // [minSize, minSize·~200] with a median a few times minSize, matching
 // the small-documents-dominate shape of 1990s web content.
 func Sizes(docs int, minSize int64, seed int64) map[string]int64 {
-	rng := rand.New(rand.NewSource(seed))
+	return SizesWith(rand.New(rand.NewSource(seed)), docs, minSize)
+}
+
+// SizesWith draws the size distribution from an explicit rng stream.
+func SizesWith(rng *rand.Rand, docs int, minSize int64) map[string]int64 {
 	out := make(map[string]int64, docs)
 	for i := 0; i < docs; i++ {
 		// Log-normal via exp of a normal sample, clamped to

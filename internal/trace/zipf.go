@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks from [0, n) with probability proportional to
+// 1/(rank+1)^s via inverse-CDF lookup over the cumulative weights.
+//
+// The standard library's rand.NewZipf requires s > 1, which excludes
+// the s ≈ 0.8–1.0 range real web and document traces sit in (the
+// Generate workload nudges such exponents to 1.0001 as a workaround).
+// This sampler accepts any s > 0, supports exactly [0, n), and takes
+// the *rand.Rand explicitly so callers own the random stream — the
+// convention the swarm generator's determinism golden depends on.
+type Zipf struct {
+	cum []float64 // cum[i] = sum of weights for ranks 0..i
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. Exponents
+// at or below zero are treated as 0 (uniform). n must be positive.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N is the support size: samples land in [0, N()).
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Weight returns rank's unnormalized probability mass.
+func (z *Zipf) Weight(rank int) float64 {
+	if rank < 0 || rank >= len(z.cum) {
+		return 0
+	}
+	if rank == 0 {
+		return z.cum[0]
+	}
+	return z.cum[rank] - z.cum[rank-1]
+}
+
+// Boosted returns a new sampler identical to z except rank's weight is
+// multiplied by factor — how a flash crowd spikes one document's
+// popularity without disturbing the rest of the distribution.
+func (z *Zipf) Boosted(rank int, factor float64) *Zipf {
+	if rank < 0 || rank >= len(z.cum) || factor <= 0 {
+		return z
+	}
+	cum := make([]float64, len(z.cum))
+	total := 0.0
+	for i := range cum {
+		w := z.Weight(i)
+		if i == rank {
+			w *= factor
+		}
+		total += w
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Sample draws one rank using rng. rng.Float64() is in [0, 1), so the
+// target mass is strictly below the total and the result is always a
+// valid rank.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	target := rng.Float64() * z.cum[len(z.cum)-1]
+	// First index whose cumulative mass exceeds the target.
+	return sort.Search(len(z.cum), func(i int) bool { return z.cum[i] > target })
+}

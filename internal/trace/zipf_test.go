@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestZipfSupport pins the support contract: every sample from any
+// (n, s) sampler lands in exactly [0, n).
+func TestZipfSupport(t *testing.T) {
+	f := func(nRaw uint8, sRaw uint8, seed int64) bool {
+		n := 1 + int(nRaw)%64
+		s := float64(sRaw) / 32 // 0 .. ~8
+		z := NewZipf(n, s)
+		if z.N() != n {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if r := z.Sample(rng); r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfMonotoneWeights pins that the configured mass is monotone
+// non-increasing by rank, and that a large empirical sample respects
+// the same ordering on the well-separated head ranks.
+func TestZipfMonotoneWeights(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	for r := 1; r < z.N(); r++ {
+		if z.Weight(r) > z.Weight(r-1) {
+			t.Fatalf("weight(%d)=%g > weight(%d)=%g", r, z.Weight(r), r-1, z.Weight(r-1))
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, z.N())
+	const samples = 400000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Adjacent ranks in the tail differ by tiny mass; only require the
+	// empirical ordering where the configured masses are far apart.
+	for r := 1; r < 8; r++ {
+		if counts[r] > counts[r-1] {
+			t.Fatalf("empirical frequency inverted at head rank %d: %d > %d", r, counts[r], counts[r-1])
+		}
+	}
+	if counts[0] == 0 || counts[z.N()-1] == 0 {
+		t.Fatalf("400k samples left support endpoints untouched: head=%d tail=%d", counts[0], counts[z.N()-1])
+	}
+}
+
+// TestZipfRankFrequencySlope fits the empirical log(frequency) vs
+// log(rank+1) slope and requires it within tolerance of -s for
+// exponents both below and above 1 (the range rand.NewZipf cannot
+// cover is the point of this sampler).
+func TestZipfRankFrequencySlope(t *testing.T) {
+	for _, s := range []float64{0.6, 0.8, 1.0, 1.3} {
+		z := NewZipf(200, s)
+		rng := rand.New(rand.NewSource(11))
+		counts := make([]float64, z.N())
+		const samples = 600000
+		for i := 0; i < samples; i++ {
+			counts[z.Sample(rng)]++
+		}
+		// Least-squares slope over the head (the tail's counts are too
+		// small for a stable log).
+		var sx, sy, sxx, sxy float64
+		n := 0.0
+		for r := 0; r < 40; r++ {
+			if counts[r] == 0 {
+				continue
+			}
+			x, y := math.Log(float64(r+1)), math.Log(counts[r])
+			sx, sy, sxx, sxy = sx+x, sy+y, sxx+x*x, sxy+x*y
+			n++
+		}
+		slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+		if math.Abs(slope+s) > 0.1 {
+			t.Fatalf("s=%.2f: fitted rank-frequency slope %.3f, want %.3f ± 0.1", s, slope, -s)
+		}
+	}
+}
+
+// TestZipfBoosted pins the flash-crowd mechanism: boosting one rank
+// multiplies exactly its weight, leaving every other rank's mass (and
+// the sampler it was derived from) untouched.
+func TestZipfBoosted(t *testing.T) {
+	base := NewZipf(20, 0.9)
+	boosted := base.Boosted(7, 100)
+	for r := 0; r < base.N(); r++ {
+		want := base.Weight(r)
+		if r == 7 {
+			want *= 100
+		}
+		if got := boosted.Weight(r); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("boosted weight(%d) = %g, want %g", r, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	hot := 0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		if boosted.Sample(rng) == 7 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / samples; frac < 0.5 {
+		t.Fatalf("rank 7 boosted 100x drew only %.1f%% of samples", frac*100)
+	}
+	// Out-of-range or non-positive boosts are identity.
+	if base.Boosted(-1, 100) != base || base.Boosted(0, 0) != base {
+		t.Fatal("invalid boost must return the receiver unchanged")
+	}
+}
+
+// TestOfficeRateShape pins the diurnal curve: peak working hours beat
+// the overnight floor by an order of magnitude, lunch dips below the
+// surrounding peaks, and the curve wraps cleanly at midnight.
+func TestOfficeRateShape(t *testing.T) {
+	at := func(h float64) float64 {
+		return OfficeRate(time.Duration(h * float64(time.Hour)))
+	}
+	if night, peak := at(3), at(10); peak < 10*night {
+		t.Fatalf("peak %.2f not ≫ overnight %.2f", peak, night)
+	}
+	if lunch := at(13); lunch >= at(11) || lunch >= at(15) {
+		t.Fatalf("lunch dip %.2f not below surrounding peaks %.2f/%.2f", lunch, at(11), at(15))
+	}
+	if OfficeRate(0) != OfficeRate(24*time.Hour) {
+		t.Fatal("rate must wrap at midnight")
+	}
+	if OfficeRate(-time.Hour) != OfficeRate(23*time.Hour) {
+		t.Fatal("negative times must wrap into the day")
+	}
+}
+
+// TestDiurnalTimes pins the timestamp sampler: sorted output, support
+// within the virtual day, deterministic in the rng stream, and more
+// mass in working hours than overnight.
+func TestDiurnalTimes(t *testing.T) {
+	day := 2 * time.Hour // compressed virtual day
+	a := DiurnalTimes(rand.New(rand.NewSource(5)), 5000, day)
+	b := DiurnalTimes(rand.New(rand.NewSource(5)), 5000, day)
+	work, night := 0, 0
+	for i, ts := range a {
+		if ts != b[i] {
+			t.Fatalf("timestamp %d differs across identical streams", i)
+		}
+		if ts < 0 || ts >= day {
+			t.Fatalf("timestamp %v outside the %v day", ts, day)
+		}
+		if i > 0 && ts < a[i-1] {
+			t.Fatalf("timestamps not sorted at %d", i)
+		}
+		// Hours 9–17 vs 0–6 of the scaled day.
+		frac := float64(ts) / float64(day) * 24
+		switch {
+		case frac >= 9 && frac < 17:
+			work++
+		case frac < 6:
+			night++
+		}
+	}
+	if work < 5*night {
+		t.Fatalf("working hours drew %d timestamps vs %d overnight, want ≥ 5x", work, night)
+	}
+}
